@@ -1,0 +1,127 @@
+// Command ppmsim runs one workload set under a chosen governor on the
+// simulated TC2 platform and prints a run summary — the quickest way to
+// poke at the system.
+//
+// Usage:
+//
+//	ppmsim [-set l1|...|h3] [-governor PPM|HPM|HL] [-tdp watts] [-dur seconds] [-v]
+//
+// Example:
+//
+//	ppmsim -set m2 -governor PPM -tdp 4 -dur 60
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pricepower/internal/exp"
+	"pricepower/internal/hw"
+	"pricepower/internal/metrics"
+	"pricepower/internal/platform"
+	"pricepower/internal/sim"
+	"pricepower/internal/trace"
+	"pricepower/internal/workload"
+)
+
+func main() {
+	setName := flag.String("set", "m1", "workload set (Table 6: l1..l3, m1..m3, h1..h3)")
+	governor := flag.String("governor", "PPM", "governor: PPM, HPM or HL")
+	tdp := flag.Float64("tdp", 0, "TDP budget in W (0 = unconstrained)")
+	dur := flag.Float64("dur", 60, "measured virtual seconds")
+	traceFile := flag.String("trace", "", "write a full CSV run trace to this file")
+	list := flag.Bool("list", false, "list workload sets and exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("Workload sets (Table 6):")
+		for _, s := range workload.Sets {
+			in, _ := s.Intensity(workload.TC2LittleCapacity)
+			fmt.Printf("  %-3s %-7s intensity %+.3f:", s.Name, s.Class(), in)
+			for _, m := range s.Members {
+				fmt.Printf(" %s", m.TaskName())
+			}
+			fmt.Println()
+		}
+		return
+	}
+
+	set, ok := workload.SetByName(*setName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "ppmsim: unknown workload set %q (try -list)\n", *setName)
+		os.Exit(1)
+	}
+	var r exp.RunResult
+	var err error
+	if *traceFile != "" {
+		r, err = runTraced(*governor, set, *tdp, sim.FromSeconds(*dur), *traceFile)
+	} else {
+		r, err = exp.RunSet(*governor, set, *tdp, sim.FromSeconds(*dur))
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ppmsim: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("workload %s under %s", r.Set, r.Governor)
+	if *tdp > 0 {
+		fmt.Printf(" (TDP %.1f W)", *tdp)
+	}
+	fmt.Printf(", %.0f s measured after %.0f s warm-up\n",
+		*dur, exp.Warmup.Seconds())
+	fmt.Printf("  heart-rate miss (any task below range):  %5.1f %%\n", r.MissFrac*100)
+	fmt.Printf("  average chip power:                      %5.2f W\n", r.AvgPower)
+	fmt.Printf("  energy:                                  %5.1f J\n", r.Energy)
+	fmt.Printf("  task movements (cross-cluster):          %d (%d)\n", r.Migrations, r.CrossMigrations)
+	fmt.Printf("  V-F transitions (thermal cycling):       %d\n", r.Transitions)
+	fmt.Printf("  peak die temperature (RC model):         %5.1f °C\n", r.PeakTempC)
+	if *traceFile != "" {
+		fmt.Printf("  trace written to %s\n", *traceFile)
+	}
+}
+
+// runTraced mirrors exp.RunSet with a CSV recorder attached.
+func runTraced(governor string, set workload.Set, wtdp float64, dur sim.Time, file string) (exp.RunResult, error) {
+	specs, err := set.Specs(1)
+	if err != nil {
+		return exp.RunResult{}, err
+	}
+	p := platform.NewTC2()
+	g, err := exp.NewGovernor(governor, wtdp)
+	if err != nil {
+		return exp.RunResult{}, err
+	}
+	p.SetGovernor(g)
+	exp.PlaceOnLittle(p, specs)
+	pr := metrics.NewProbe(p, exp.Warmup)
+	pr.Attach()
+	thermal := hw.NewThermalModel(p.Chip, nil, 25)
+	rec := trace.New(p, thermal, 100*sim.Millisecond)
+	rec.Attach()
+	p.Run(exp.Warmup + dur)
+
+	f, err := os.Create(file)
+	if err != nil {
+		return exp.RunResult{}, err
+	}
+	defer f.Close()
+	if err := rec.WriteCSV(f); err != nil {
+		return exp.RunResult{}, err
+	}
+
+	total, cross := p.Migrations()
+	trans := 0
+	peakT := 25.0
+	for i, cl := range p.Chip.Clusters {
+		trans += cl.Transitions()
+		if t := thermal.Peak(i); t > peakT {
+			peakT = t
+		}
+	}
+	return exp.RunResult{
+		Governor: governor, Set: set.Name,
+		MissFrac: pr.AnyBelowFrac(), AvgPower: pr.AveragePower(), Energy: pr.Energy(),
+		Migrations: total, CrossMigrations: cross, Transitions: trans, PeakTempC: peakT,
+	}, nil
+}

@@ -1,0 +1,76 @@
+// Manycluster: the framework beyond big.LITTLE. A synthetic four-cluster
+// platform (ladders spread from 350 to 3000 PU, alternating simple/complex
+// micro-architectures) runs the PPM governor with *no off-line profiles at
+// all*: the online profiler — the paper's stated future work — learns each
+// task's cross-architecture demand ratio from the governor's own
+// migrations.
+//
+//	go run ./examples/manycluster
+package main
+
+import (
+	"fmt"
+
+	"pricepower"
+	"pricepower/internal/hw"
+	"pricepower/internal/ppm"
+)
+
+func main() {
+	chip, err := pricepower.NewChip(hw.ScaledSpec(4, 2))
+	if err != nil {
+		panic(err)
+	}
+	p := pricepower.NewPlatform(chip, pricepower.Millisecond)
+
+	online := ppm.NewOnlineProfiler()
+	cfg := pricepower.PPMDefaults(0)
+	cfg.Profiles = online.Profiles // learned, not measured off-line
+	cfg.Online = online
+	p.SetGovernor(pricepower.NewPPM(cfg))
+
+	mk := func(name string, demandPU float64, core int) *pricepower.Task {
+		return p.AddTask(pricepower.TaskSpec{
+			Name: name, Priority: 1, MinHR: 27, MaxHR: 33, Loop: true,
+			Phases: []pricepower.TaskPhase{{HBCostLittle: demandPU / 30, SpeedupBig: 2,
+				SelfCapHR: 36}}, // self-paced: won't soak idle supply
+		}, core)
+	}
+	tasks := []*pricepower.Task{
+		mk("tiny", 200, 0),    // fits the weakest cluster
+		mk("medium", 1500, 1), // needs a mid-tier cluster
+		mk("huge", 2400, 0),   // needs the strongest cluster
+	}
+
+	fmt.Println(chip.String())
+	fmt.Println("\nt[s]  task@cluster(maxPU) hr/target ...")
+	for i := 0; i < 8; i++ {
+		p.Run(5 * pricepower.Second)
+		fmt.Printf("%4.0f ", p.Now().Seconds())
+		for _, tk := range tasks {
+			cl := p.ClusterOf(tk)
+			fmt.Printf("  %s@%s(%d) %.2f", tk.Name, cl.Spec.Name,
+				cl.Spec.MaxFreqMHz(), tk.HeartRate(p.Now())/tk.TargetHR())
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nlearned demand ratios (big-type demand / LITTLE-type demand):")
+	for _, tk := range tasks {
+		if r, ok := online.Ratio(tk.Name); ok {
+			fmt.Printf("  %-7s %.2f (true 0.50)\n", tk.Name, r)
+		} else {
+			fmt.Printf("  %-7s (never migrated across types)\n", tk.Name)
+		}
+	}
+	fmt.Println("\nclusters:")
+	for i, cl := range chip.Clusters {
+		state := "on"
+		if !cl.On {
+			state = "off"
+		}
+		fmt.Printf("  %s (%s, max %d PU): %s at %d MHz, %.2f W\n",
+			cl.Spec.Name, cl.Spec.Type, cl.Spec.MaxFreqMHz(), state,
+			cl.CurLevel().FreqMHz, p.ClusterPower(i))
+	}
+}

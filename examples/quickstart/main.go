@@ -1,0 +1,53 @@
+// Quickstart: run the price-theory market standalone (no hardware model),
+// reproducing the paper's Table 1/2 dynamics — two tasks bid for a core's
+// processing units, the price emerges from the bids, and a demand spike
+// inflates the price until the cluster agent raises the supply.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"pricepower"
+)
+
+func main() {
+	// A single one-core cluster with a 4-rung supply ladder (PUs = MHz).
+	ctl := pricepower.NewLadderControl([]float64{300, 400, 500, 600}, nil)
+	cfg := pricepower.MarketConfig{InitialAllowance: 1000, InitialBid: 1, Tolerance: 0.2}
+	m := pricepower.NewMarket(cfg, []pricepower.ClusterControl{ctl}, []int{1})
+
+	// Two equal-priority tasks demanding 200 and 100 PUs.
+	ta := m.AddTask(1, 0)
+	tb := m.AddTask(1, 0)
+	ta.Demand, tb.Demand = 200, 100
+
+	fmt.Println("round  bid_a  bid_b  price    supply_a  supply_b  S")
+	step := func(round int) {
+		m.StepOnce()
+		fmt.Printf("%5d  %5.2f  %5.2f  %.5f  %8.0f  %8.0f  %3.0f\n",
+			round, ta.Bid(), tb.Bid(), m.Cluster(0).Cores[0].Price(),
+			ta.Purchased(), tb.Purchased(), ctl.SupplyPU())
+		// Feed the purchases back as next round's observations (a real
+		// governor feeds measured supply instead).
+		ta.Observed, tb.Observed = ta.Purchased(), tb.Purchased()
+	}
+
+	// Table 1: from equal $1 bids to a demand-proportional allocation.
+	for round := 1; round <= 2; round++ {
+		step(round)
+	}
+
+	// Table 2: task a's demand jumps to 300 PUs — the market inflates and
+	// the cluster agent raises the V-F level to restore the price.
+	fmt.Println("-- demand of task a rises to 300 PUs --")
+	ta.Demand = 300
+	for round := 3; round <= 6; round++ {
+		step(round)
+	}
+
+	if ta.Satisfied() && tb.Satisfied() {
+		fmt.Println("equilibrium: both demands met at supply", ctl.SupplyPU(), "PUs")
+	}
+}

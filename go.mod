@@ -1,0 +1,3 @@
+module pricepower
+
+go 1.22

@@ -1,0 +1,60 @@
+// Package control provides the classic PID controller the HPM baseline
+// (Muthukaruppan et al., DAC'13) builds its hierarchical power-management
+// loops from.
+package control
+
+// PID is a discrete PID controller with output clamping and integrator
+// anti-windup. The zero value is unusable; set the gains (and optionally
+// the output bounds) before calling Update.
+type PID struct {
+	// Gains.
+	Kp, Ki, Kd float64
+	// Output bounds; both zero means unbounded.
+	OutMin, OutMax float64
+
+	integral    float64
+	prevErr     float64
+	initialized bool
+}
+
+// Update advances the controller with the current error over a step of dt
+// seconds and returns the control output.
+func (c *PID) Update(err, dt float64) float64 {
+	if dt <= 0 {
+		dt = 1e-9
+	}
+	deriv := 0.0
+	if c.initialized {
+		deriv = (err - c.prevErr) / dt
+	}
+	c.prevErr = err
+	c.initialized = true
+
+	c.integral += err * dt
+	out := c.Kp*err + c.Ki*c.integral + c.Kd*deriv
+
+	if c.OutMin != 0 || c.OutMax != 0 {
+		// Clamp and anti-windup: when saturated, bleed the integrator so it
+		// does not accumulate unbounded error.
+		if out > c.OutMax {
+			out = c.OutMax
+			if c.Ki != 0 {
+				c.integral = (out - c.Kp*err - c.Kd*deriv) / c.Ki
+			}
+		} else if out < c.OutMin {
+			out = c.OutMin
+			if c.Ki != 0 {
+				c.integral = (out - c.Kp*err - c.Kd*deriv) / c.Ki
+			}
+		}
+	}
+	return out
+}
+
+// Reset clears the controller state (used after mode switches or
+// migrations, when history is stale).
+func (c *PID) Reset() {
+	c.integral = 0
+	c.prevErr = 0
+	c.initialized = false
+}

@@ -1,0 +1,80 @@
+package control
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPIDProportional(t *testing.T) {
+	c := PID{Kp: 2}
+	if out := c.Update(3, 0.1); out != 6 {
+		t.Errorf("P-only output = %v, want 6", out)
+	}
+}
+
+func TestPIDIntegralAccumulates(t *testing.T) {
+	c := PID{Ki: 1}
+	c.Update(1, 1)
+	out := c.Update(1, 1)
+	if math.Abs(out-2) > 1e-9 {
+		t.Errorf("I output after 2s of err=1: %v, want 2", out)
+	}
+}
+
+func TestPIDDerivativeFirstStepZero(t *testing.T) {
+	c := PID{Kd: 1}
+	if out := c.Update(5, 0.1); out != 0 {
+		t.Errorf("D output on first step = %v, want 0", out)
+	}
+	if out := c.Update(6, 0.1); math.Abs(out-10) > 1e-9 {
+		t.Errorf("D output = %v, want 10", out)
+	}
+}
+
+func TestPIDClampAndAntiWindup(t *testing.T) {
+	c := PID{Kp: 1, Ki: 10, OutMin: -1, OutMax: 1}
+	for i := 0; i < 100; i++ {
+		if out := c.Update(100, 0.1); out > 1 || out < -1 {
+			t.Fatalf("output %v outside clamp", out)
+		}
+	}
+	// After saturation, a sign flip must pull the output off the rail
+	// promptly (anti-windup), not after unwinding 100 steps of integral.
+	out := c.Update(-100, 0.1)
+	if out != -1 {
+		t.Errorf("output after error sign flip = %v, want -1 (responsive)", out)
+	}
+}
+
+func TestPIDConvergesSimplePlant(t *testing.T) {
+	// Plant: value += out; target 10.
+	c := PID{Kp: 0.5, Ki: 0.2}
+	value := 0.0
+	for i := 0; i < 200; i++ {
+		out := c.Update(10-value, 0.1)
+		value += out * 0.1
+	}
+	if math.Abs(value-10) > 0.5 {
+		t.Errorf("closed loop settled at %v, want ≈10", value)
+	}
+}
+
+func TestPIDReset(t *testing.T) {
+	c := PID{Kp: 1, Ki: 1, Kd: 1}
+	c.Update(5, 1)
+	c.Update(7, 1)
+	c.Reset()
+	// After reset, behaves like a fresh controller.
+	if out := c.Update(2, 1); math.Abs(out-(2+2)) > 1e-9 { // P=2, I=2, D=0
+		t.Errorf("post-reset output = %v, want 4", out)
+	}
+}
+
+func TestPIDZeroDtGuard(t *testing.T) {
+	c := PID{Kd: 1}
+	c.Update(1, 0)
+	out := c.Update(1, 0) // must not divide by zero / return NaN
+	if math.IsNaN(out) || math.IsInf(out, 0) {
+		t.Errorf("output with dt=0 is %v", out)
+	}
+}

@@ -1,0 +1,183 @@
+package core
+
+// TaskAgent is the buyer representing one task (§3.2.1). Each round the
+// governor injects the task's current demand and the supply it observed;
+// the agent then revises its bid:
+//
+//	b_t ← clamp(b_t + (d_t − s_t)·P_c,  b_min,  a_t + m_t)
+//
+// (Eq. 1 with the textual cap: "the bidding amount is capped by the
+// summation of allowance a_t and savings m_t"). Unspent allowance
+// accumulates as savings m_t up to SavingsCap × a_t.
+type TaskAgent struct {
+	ID       int
+	Priority int
+
+	// Demand is d_t on the task's current core type, set by the governor
+	// before each round.
+	Demand float64
+	// Observed is the supply s_t the task received, set by the governor
+	// before each round. (After price discovery the market also computes the
+	// purchased supply; governors may feed that back or use measurements.)
+	Observed float64
+
+	allowance float64
+	savings   float64
+	bid       float64
+	purchased float64
+}
+
+// Bid reports the agent's current bid b_t.
+func (a *TaskAgent) Bid() float64 { return a.bid }
+
+// Allowance reports the agent's current allowance a_t.
+func (a *TaskAgent) Allowance() float64 { return a.allowance }
+
+// Savings reports the agent's current savings m_t.
+func (a *TaskAgent) Savings() float64 { return a.savings }
+
+// Purchased reports the supply bought in the last price-discovery step.
+func (a *TaskAgent) Purchased() float64 { return a.purchased }
+
+// Satisfied reports whether the purchased supply covers the demand.
+func (a *TaskAgent) Satisfied() bool { return a.purchased >= a.Demand-1e-9 }
+
+// reviseBid applies Eq. 1 given the price observed in the previous round.
+// An agent with no demand at all (finished or fully idle task) has nothing
+// to buy: its bid decays toward the floor — Eq. 1 alone would freeze it at
+// its last value (d−s = 0−0) and hold the price, and with it the V-F level,
+// up forever.
+func (a *TaskAgent) reviseBid(price float64, cfg Config) {
+	if a.Demand <= 0 {
+		a.bid /= 2
+		if a.bid < cfg.MinBid {
+			a.bid = cfg.MinBid
+		}
+		return
+	}
+	b := a.bid + (a.Demand-a.Observed)*price
+	max := a.allowance + a.savings
+	if b > max {
+		b = max
+	}
+	if b < cfg.MinBid {
+		b = cfg.MinBid
+	}
+	a.bid = b
+}
+
+// settleSavings updates m_t after bidding: unspent allowance is saved,
+// overspending draws savings down, and the balance is clamped to
+// [0, SavingsCap·a_t].
+func (a *TaskAgent) settleSavings(cfg Config) {
+	a.savings += a.allowance - a.bid
+	if a.savings < 0 {
+		a.savings = 0
+	}
+	if cap := cfg.SavingsCap * a.allowance; a.savings > cap {
+		a.savings = cap
+	}
+}
+
+// CoreAgent is the seller for one core (§3.2.1): it discovers the price of
+// the core's PUs from the task agents' bids and distributes supply in
+// proportion to the bids. It also fans the core allowance out to its task
+// agents in proportion to priority.
+type CoreAgent struct {
+	ID    int
+	Tasks []*TaskAgent
+
+	price     float64
+	basePrice float64
+	allowance float64
+}
+
+// Price reports the last discovered price P_c per PU.
+func (c *CoreAgent) Price() float64 { return c.price }
+
+// BasePrice reports the reference price inflation/deflation is measured
+// against; it resets whenever the cluster's V-F level changes (§3.2.2).
+func (c *CoreAgent) BasePrice() float64 { return c.basePrice }
+
+// Allowance reports the core allowance A_c.
+func (c *CoreAgent) Allowance() float64 { return c.allowance }
+
+// Demand reports D_c, the sum of its tasks' demands.
+func (c *CoreAgent) Demand() float64 {
+	var d float64
+	for _, t := range c.Tasks {
+		d += t.Demand
+	}
+	return d
+}
+
+// PrioritySum reports R_c.
+func (c *CoreAgent) PrioritySum() int {
+	var r int
+	for _, t := range c.Tasks {
+		r += t.Priority
+	}
+	return r
+}
+
+// distributeAllowance splits A_c among the task agents proportionally to
+// priority: a_t = A_c · r_t / R_c.
+func (c *CoreAgent) distributeAllowance() {
+	r := c.PrioritySum()
+	if r == 0 {
+		return
+	}
+	for _, t := range c.Tasks {
+		t.allowance = c.allowance * float64(t.Priority) / float64(r)
+	}
+}
+
+// runBids lets every task agent revise its bid against the price of the
+// previous round.
+func (c *CoreAgent) runBids(cfg Config) {
+	for _, t := range c.Tasks {
+		t.reviseBid(c.price, cfg)
+		t.settleSavings(cfg)
+	}
+}
+
+// discover performs price discovery and the purchase step: P_c = Σ b_t /
+// S_c, s_t = b_t / P_c. With supply S_c == 0 (powered-down cluster) or no
+// bids, the price collapses to 0 and nobody purchases.
+func (c *CoreAgent) discover(supply float64) {
+	var sum float64
+	for _, t := range c.Tasks {
+		sum += t.bid
+	}
+	if supply <= 0 || sum <= 0 {
+		c.price = 0
+		for _, t := range c.Tasks {
+			t.purchased = 0
+		}
+		return
+	}
+	c.price = sum / supply
+	for _, t := range c.Tasks {
+		t.purchased = t.bid / c.price
+	}
+}
+
+// Oversupply reports S_c − D_c, how many PUs the core currently supplies
+// beyond its tasks' aggregate demand (the LBT module targets the most
+// oversupplied unconstrained core).
+func (c *CoreAgent) Oversupply(supply float64) float64 { return supply - c.Demand() }
+
+// atBidFloor reports whether every task agent on the core bids the minimum
+// — the deflation signal's saturation point: prices can no longer fall even
+// though nobody wants the supply.
+func (c *CoreAgent) atBidFloor(cfg Config) bool {
+	if len(c.Tasks) == 0 {
+		return false
+	}
+	for _, t := range c.Tasks {
+		if t.bid > cfg.MinBid+1e-12 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,167 @@
+package core
+
+// ClusterAgent supervises the core agents sharing one V-F regulator
+// (§3.2.2). It watches the price on the cluster's *constrained* core — the
+// core with the highest demand, which determines the V-F level the whole
+// cluster needs — and steps the shared supply up on price inflation or down
+// on deflation beyond the tolerance δ.
+//
+// While a V-F change is settling, bids are frozen for one round so the task
+// agents first observe the effect of the new supply on their existing bids;
+// the price seen in that round becomes the new base price.
+type ClusterAgent struct {
+	ID      int
+	Cores   []*CoreAgent
+	Control ClusterControl
+
+	allowance float64
+	frozen    bool
+}
+
+// Allowance reports the cluster allowance A_v.
+func (v *ClusterAgent) Allowance() float64 { return v.allowance }
+
+// Frozen reports whether the cluster is settling after a V-F change (bids
+// held this round).
+func (v *ClusterAgent) Frozen() bool { return v.frozen }
+
+// ConstrainedCore returns the core agent with the highest demand (c̃_v), or
+// nil when the cluster has no tasks.
+func (v *ClusterAgent) ConstrainedCore() *CoreAgent {
+	var best *CoreAgent
+	bestD := -1.0
+	for _, c := range v.Cores {
+		if len(c.Tasks) == 0 {
+			continue
+		}
+		if d := c.Demand(); d > bestD {
+			best, bestD = c, d
+		}
+	}
+	return best
+}
+
+// Demand reports D_v, the demand of the constrained core (the cluster's
+// supply requirement, since all cores share the V-F level).
+func (v *ClusterAgent) Demand() float64 {
+	if c := v.ConstrainedCore(); c != nil {
+		return c.Demand()
+	}
+	return 0
+}
+
+// SupplyPU reports the per-core supply S_v of the cluster.
+func (v *ClusterAgent) SupplyPU() float64 { return v.Control.SupplyPU() }
+
+// PrioritySum reports R_v.
+func (v *ClusterAgent) PrioritySum() int {
+	var r int
+	for _, c := range v.Cores {
+		r += c.PrioritySum()
+	}
+	return r
+}
+
+// TaskCount reports the number of task agents in the cluster.
+func (v *ClusterAgent) TaskCount() int {
+	var n int
+	for _, c := range v.Cores {
+		n += len(c.Tasks)
+	}
+	return n
+}
+
+// distributeAllowance splits A_v among core agents proportionally to their
+// priority sums: A_c = A_v · R_c / R_v.
+func (v *ClusterAgent) distributeAllowance() {
+	r := v.PrioritySum()
+	if r == 0 {
+		return
+	}
+	for _, c := range v.Cores {
+		c.allowance = v.allowance * float64(c.PrioritySum()) / float64(r)
+		c.distributeAllowance()
+	}
+}
+
+// runBids runs the bid-revision step on every core unless the cluster is
+// settling a V-F change.
+func (v *ClusterAgent) runBids(cfg Config) {
+	if v.frozen {
+		return
+	}
+	for _, c := range v.Cores {
+		c.runBids(cfg)
+	}
+}
+
+// discover performs price discovery on every core at the current supply.
+func (v *ClusterAgent) discover() {
+	s := v.Control.SupplyPU()
+	for _, c := range v.Cores {
+		c.discover(s)
+	}
+}
+
+// controlPrice implements the inflation/deflation response (§3.2.2). It
+// must run after discover. It reports whether the V-F level changed.
+//
+// The state parameter carries the chip agent's classification: in the
+// normal state the §3.2.4 anti-oscillation rule applies — demand is rounded
+// up to the next supply value, so the cluster never deflates below the rung
+// its constrained core needs (otherwise a core demanding 540 PU would
+// oscillate between the 500 and 600 PU rungs forever). In the threshold and
+// emergency states deflation is unconditional: there the falling bids
+// express what the curbed allowances can afford, and supply must follow
+// them down to bring power inside the budget (Table 3's 600→500 step).
+func (v *ClusterAgent) controlPrice(cfg Config, state State) bool {
+	cc := v.ConstrainedCore()
+	if cc == nil {
+		// Empty cluster: drift to the bottom of the ladder.
+		v.frozen = false
+		return v.Control.StepDown()
+	}
+	if v.frozen {
+		// Observation round after a V-F change: adopt the new price as the
+		// base for all cores and resume bidding next round.
+		for _, c := range v.Cores {
+			c.basePrice = c.price
+		}
+		v.frozen = false
+		return false
+	}
+	if cc.basePrice == 0 {
+		// First round with tasks: establish the base.
+		for _, c := range v.Cores {
+			c.basePrice = c.price
+		}
+		return false
+	}
+	p, base := cc.price, cc.basePrice
+	// Once every bid on the constrained core sits at b_min the price cannot
+	// fall any further — treat that saturation as deflation, or the cluster
+	// would hold a high V-F level nobody is paying for.
+	floored := cc.atBidFloor(cfg)
+	switch {
+	case p >= base+base*cfg.Tolerance && !floored:
+		if v.Control.StepUp() {
+			v.frozen = true
+			return true
+		}
+	case p <= base-base*cfg.Tolerance || floored:
+		if state == Normal && v.Control.SupplyAt(v.Control.Level()-1) < cc.Demand() {
+			// Anti-oscillation: the rung below cannot carry the constrained
+			// core's (rounded-up) demand. Adopt the deflated price as the new
+			// base instead of thrashing the regulator.
+			for _, c := range v.Cores {
+				c.basePrice = c.price
+			}
+			return false
+		}
+		if v.Control.StepDown() {
+			v.frozen = true
+			return true
+		}
+	}
+	return false
+}

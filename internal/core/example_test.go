@@ -1,0 +1,41 @@
+package core_test
+
+import (
+	"fmt"
+
+	"pricepower/internal/core"
+)
+
+// The paper's Table 1 running example: two tasks bid for a 300 PU core and
+// converge to their 200/100 PU demands in two rounds.
+func ExampleMarket() {
+	ctl := core.NewLadderControl([]float64{300}, nil)
+	m := core.NewMarket(core.Config{InitialAllowance: 1000, InitialBid: 1},
+		[]core.ClusterControl{ctl}, []int{1})
+	ta := m.AddTask(1, 0)
+	tb := m.AddTask(1, 0)
+	ta.Demand, tb.Demand = 200, 100
+
+	for round := 1; round <= 2; round++ {
+		m.StepOnce()
+		fmt.Printf("round %d: bids %.2f/%.2f supplies %.0f/%.0f\n",
+			round, ta.Bid(), tb.Bid(), ta.Purchased(), tb.Purchased())
+		ta.Observed, tb.Observed = ta.Purchased(), tb.Purchased()
+	}
+	// Output:
+	// round 1: bids 1.00/1.00 supplies 150/150
+	// round 2: bids 1.33/0.67 supplies 200/100
+}
+
+// Price discovery follows P_c = Σ bids / supply.
+func ExampleCoreAgent_Price() {
+	ctl := core.NewLadderControl([]float64{300}, nil)
+	m := core.NewMarket(core.Config{InitialAllowance: 100, InitialBid: 1},
+		[]core.ClusterControl{ctl}, []int{1})
+	m.AddTask(1, 0).Demand = 100
+	m.AddTask(1, 0).Demand = 100
+	m.StepOnce()
+	fmt.Printf("price %.4f per PU\n", m.Cluster(0).Cores[0].Price())
+	// Output:
+	// price 0.0067 per PU
+}

@@ -1,0 +1,110 @@
+package core
+
+// LadderControl is a self-contained ClusterControl over an explicit supply
+// ladder with a per-level power table. The paper's running examples
+// (Tables 1–3) and the quickstart example run the market against it without
+// any hardware model; tests use it to script arbitrary power responses.
+type LadderControl struct {
+	// Ladder lists per-core supplies in ascending order (PUs).
+	Ladder []float64
+	// PowerPerLevel lists the cluster's busy power at each rung (W).
+	// Optional; a nil table reports zero power (no TDP pressure).
+	PowerPerLevel []float64
+	// IdlePerLevel optionally lists the cluster's idle power per rung; nil
+	// defaults to 30 % of PowerPerLevel.
+	IdlePerLevel []float64
+
+	level int
+}
+
+// NewLadderControl builds a control starting at the bottom rung.
+func NewLadderControl(ladder []float64, power []float64) *LadderControl {
+	if len(ladder) == 0 {
+		panic("core: empty supply ladder")
+	}
+	return &LadderControl{Ladder: ladder, PowerPerLevel: power}
+}
+
+// SupplyPU reports the current per-core supply.
+func (l *LadderControl) SupplyPU() float64 { return l.Ladder[l.level] }
+
+// SupplyAt reports the supply at rung i (clamped).
+func (l *LadderControl) SupplyAt(i int) float64 {
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(l.Ladder) {
+		i = len(l.Ladder) - 1
+	}
+	return l.Ladder[i]
+}
+
+// Level reports the current rung.
+func (l *LadderControl) Level() int { return l.level }
+
+// NumLevels reports the ladder height.
+func (l *LadderControl) NumLevels() int { return len(l.Ladder) }
+
+// SetLevel jumps to rung i (clamped).
+func (l *LadderControl) SetLevel(i int) {
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(l.Ladder) {
+		i = len(l.Ladder) - 1
+	}
+	l.level = i
+}
+
+// StepUp moves one rung up; it reports false at the top.
+func (l *LadderControl) StepUp() bool {
+	if l.level+1 >= len(l.Ladder) {
+		return false
+	}
+	l.level++
+	return true
+}
+
+// StepDown moves one rung down; it reports false at the bottom.
+func (l *LadderControl) StepDown() bool {
+	if l.level == 0 {
+		return false
+	}
+	l.level--
+	return true
+}
+
+// Power reports the scripted power at the current rung.
+func (l *LadderControl) Power() float64 { return l.PowerAt(l.level) }
+
+// PowerAt reports the scripted power at rung i.
+func (l *LadderControl) PowerAt(i int) float64 {
+	if l.PowerPerLevel == nil {
+		return 0
+	}
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(l.PowerPerLevel) {
+		i = len(l.PowerPerLevel) - 1
+	}
+	return l.PowerPerLevel[i]
+}
+
+// IdlePowerAt reports the scripted idle power at rung i: the IdlePerLevel
+// table when set, else 30 % of the busy envelope (a typical static/dynamic
+// split for the mobile silicon the paper targets).
+func (l *LadderControl) IdlePowerAt(i int) float64 {
+	if l.IdlePerLevel != nil {
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(l.IdlePerLevel) {
+			i = len(l.IdlePerLevel) - 1
+		}
+		return l.IdlePerLevel[i]
+	}
+	return 0.3 * l.PowerAt(i)
+}
+
+var _ ClusterControl = (*LadderControl)(nil)

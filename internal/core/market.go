@@ -1,0 +1,353 @@
+package core
+
+import "fmt"
+
+// State is the chip agent's power-state classification (§3.2.3).
+type State int
+
+const (
+	// Normal: W < Wth. The chip agent grows the allowance toward satisfying
+	// all demand.
+	Normal State = iota
+	// Threshold: Wth ≤ W < Wtdp, the buffer zone. The allowance is held
+	// constant so an overloaded system stabilizes here.
+	Threshold
+	// Emergency: W ≥ Wtdp. Allowances are curbed proportionally to the TDP
+	// excursion.
+	Emergency
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case Normal:
+		return "normal"
+	case Threshold:
+		return "threshold"
+	case Emergency:
+		return "emergency"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Market is the assembled agent hierarchy with the chip agent's money
+// control on top.
+type Market struct {
+	cfg      Config
+	Clusters []*ClusterAgent
+
+	allowance float64
+	state     State
+	wAvg      float64 // smoothed chip power for state classification
+	round     int
+	nextID    int
+	parallel  bool
+}
+
+// NewMarket builds a market over the given cluster controls; coresPer[i]
+// core agents are created for cluster i.
+func NewMarket(cfg Config, controls []ClusterControl, coresPer []int) *Market {
+	if len(controls) != len(coresPer) {
+		panic("core: controls and coresPer length mismatch")
+	}
+	cfg = cfg.withDefaults()
+	m := &Market{cfg: cfg, allowance: cfg.InitialAllowance}
+	coreID := 0
+	for i, ctl := range controls {
+		v := &ClusterAgent{ID: i, Control: ctl}
+		for j := 0; j < coresPer[i]; j++ {
+			v.Cores = append(v.Cores, &CoreAgent{ID: coreID})
+			coreID++
+		}
+		m.Clusters = append(m.Clusters, v)
+	}
+	m.parallel = len(m.Clusters) >= parallelThreshold
+	return m
+}
+
+// Config returns the market's (defaulted) configuration.
+func (m *Market) Config() Config { return m.cfg }
+
+// Allowance reports the global allowance A.
+func (m *Market) Allowance() float64 { return m.allowance }
+
+// SetAllowance overrides A (used when seeding experiments mid-flight).
+func (m *Market) SetAllowance(a float64) { m.allowance = a }
+
+// State reports the chip agent's classification of the last round.
+func (m *Market) State() State { return m.state }
+
+// Round reports how many bid rounds have run.
+func (m *Market) Round() int { return m.round }
+
+// Cluster returns cluster agent i.
+func (m *Market) Cluster(i int) *ClusterAgent { return m.Clusters[i] }
+
+// CoreByID finds a core agent by its global ID.
+func (m *Market) CoreByID(id int) (*ClusterAgent, *CoreAgent) {
+	for _, v := range m.Clusters {
+		for _, c := range v.Cores {
+			if c.ID == id {
+				return v, c
+			}
+		}
+	}
+	return nil, nil
+}
+
+// AddTask creates a task agent with the given priority on the given core
+// and seeds its bid.
+func (m *Market) AddTask(priority int, coreID int) *TaskAgent {
+	_, c := m.CoreByID(coreID)
+	if c == nil {
+		panic(fmt.Sprintf("core: AddTask on unknown core %d", coreID))
+	}
+	a := &TaskAgent{ID: m.nextID, Priority: priority, bid: m.cfg.InitialBid}
+	m.nextID++
+	c.Tasks = append(c.Tasks, a)
+	return a
+}
+
+// RemoveTask detaches a task agent from the market (task exit).
+func (m *Market) RemoveTask(a *TaskAgent) {
+	for _, v := range m.Clusters {
+		for _, c := range v.Cores {
+			for i, t := range c.Tasks {
+				if t == a {
+					c.Tasks = append(c.Tasks[:i], c.Tasks[i+1:]...)
+					return
+				}
+			}
+		}
+	}
+}
+
+// MoveTask reassigns a task agent to another core (load balancing or
+// migration). The agent keeps its money: savings follow the task.
+func (m *Market) MoveTask(a *TaskAgent, toCore int) {
+	_, dst := m.CoreByID(toCore)
+	if dst == nil {
+		panic(fmt.Sprintf("core: MoveTask to unknown core %d", toCore))
+	}
+	m.RemoveTask(a)
+	dst.Tasks = append(dst.Tasks, a)
+}
+
+// TotalDemand reports D = Σ_v D_v (cluster demand is its constrained
+// core's).
+func (m *Market) TotalDemand() float64 {
+	var d float64
+	for _, v := range m.Clusters {
+		d += v.Demand()
+	}
+	return d
+}
+
+// TotalSupply reports S = Σ_v S_v.
+func (m *Market) TotalSupply() float64 {
+	var s float64
+	for _, v := range m.Clusters {
+		s += v.SupplyPU()
+	}
+	return s
+}
+
+// Power reports W = Σ_v cluster power, from the cluster controls' sensors.
+func (m *Market) Power() float64 {
+	var w float64
+	for _, v := range m.Clusters {
+		w += v.Control.Power()
+	}
+	return w
+}
+
+// classify maps a power reading onto the state machine. Without a TDP
+// configured (Wtdp == 0) the chip stays in the normal state — the paper's
+// "no TDP constraint" configuration.
+func (m *Market) classify(w float64) State {
+	if m.cfg.Wtdp <= 0 {
+		return Normal
+	}
+	switch {
+	case w >= m.cfg.Wtdp:
+		return Emergency
+	case w >= m.cfg.Wth:
+		return Threshold
+	default:
+		return Normal
+	}
+}
+
+// StepOnce runs one complete market round (§3.2): chip-agent allowance
+// update and hierarchical distribution, bid revision, price discovery and
+// purchase, then the cluster agents' price control (DVFS). Task demands and
+// observed supplies must have been injected into the task agents before the
+// call.
+func (m *Market) StepOnce() {
+	m.round++
+	w := m.Power()
+	// The TDP is a thermal constraint, so the state machine classifies a
+	// smoothed power reading: with discrete V-F rungs an overloaded system
+	// oscillates around the budget (§3.2.3), and classifying raw samples
+	// would alternate normal-state allowance growth with emergency cuts —
+	// compounding into runaway — while the *average* power sits squarely in
+	// the buffer zone.
+	if m.wAvg == 0 {
+		m.wAvg = w
+	} else {
+		m.wAvg = 0.3*w + 0.7*m.wAvg
+	}
+	m.state = m.classify(m.wAvg)
+
+	// Chip agent: Δ rules (§3.2.3).
+	d, s := m.TotalDemand(), m.TotalSupply()
+	switch m.state {
+	case Normal:
+		// Extra money exists to trigger supply increases (§3.2.3); when
+		// every occupied cluster already sits at its top rung, further
+		// allowance growth cannot raise supply and would only debase the
+		// currency (and drown out the priority-proportional caps), so the
+		// chip agent holds the allowance.
+		if d > s && d > 0 && m.canRaiseSupply() {
+			m.allowance += m.allowance * (d - s) / d
+		}
+	case Threshold:
+		// Allowance held: Δ = 0.
+	case Emergency:
+		m.allowance += m.allowance * (m.cfg.Wtdp - m.wAvg) / m.cfg.Wtdp
+	}
+	if floor := m.cfg.MinBid * float64(m.taskCount()+1); m.allowance < floor {
+		m.allowance = floor
+	}
+
+	// Hierarchical allowance distribution: A → A_v (inversely proportional
+	// to cluster power) → A_c (by priority) → a_t (by priority).
+	m.distributeAllowance(w)
+
+	// Bidding, price discovery, purchase, price control: cluster-local
+	// phases, concurrent across clusters in parallel mode.
+	m.forEachCluster(func(v *ClusterAgent) {
+		v.runBids(m.cfg)
+		v.discover()
+		v.controlPrice(m.cfg, m.state)
+	})
+
+	// Emergency backstop: the curbed allowances normally percolate into
+	// lower bids, deflation, and a supply drop — but once bids sit on the
+	// b_min floor the price can no longer fall and the deflation signal
+	// disappears while power is still above TDP. The chip agent then forces
+	// the hungriest cluster down one rung directly ("must be brought down
+	// quickly", §3.2.3).
+	if m.state == Emergency {
+		m.forceCooldown()
+	}
+}
+
+// forceCooldown steps the highest-power occupied cluster down one V-F rung,
+// unless a cluster already moved this round.
+func (m *Market) forceCooldown() {
+	var worst *ClusterAgent
+	worstP := -1.0
+	for _, v := range m.Clusters {
+		if v.TaskCount() == 0 {
+			continue
+		}
+		if v.frozen {
+			return // supply already moved this round; let it settle
+		}
+		if p := v.Control.Power(); p > worstP {
+			worst, worstP = v, p
+		}
+	}
+	if worst != nil && worst.Control.StepDown() {
+		worst.frozen = true
+	}
+}
+
+// canRaiseSupply reports whether any cluster with tasks has V-F headroom.
+func (m *Market) canRaiseSupply() bool {
+	for _, v := range m.Clusters {
+		if v.TaskCount() == 0 {
+			continue
+		}
+		if v.Control.Level() < v.Control.NumLevels()-1 {
+			return true
+		}
+	}
+	return false
+}
+
+func (m *Market) taskCount() int {
+	var n int
+	for _, v := range m.Clusters {
+		n += v.TaskCount()
+	}
+	return n
+}
+
+// distributeAllowance computes A_v = A·(W−W_v)/W across the clusters that
+// have tasks (normalized so the shares sum to A; for the two-cluster TC2
+// the paper's formula is already normalized), then recurses down the
+// hierarchy.
+func (m *Market) distributeAllowance(w float64) {
+	type share struct {
+		v      *ClusterAgent
+		weight float64
+	}
+	var shares []share
+	var sum float64
+	for _, v := range m.Clusters {
+		if v.TaskCount() == 0 {
+			v.allowance = 0
+			continue
+		}
+		weight := 1.0
+		if w > 0 {
+			weight = (w - v.Control.Power()) / w
+			if weight <= 0 {
+				weight = 1e-6 // a cluster drawing all chip power still gets a sliver
+			}
+		}
+		shares = append(shares, share{v, weight})
+		sum += weight
+	}
+	if len(shares) == 0 {
+		return
+	}
+	if sum <= 0 {
+		for i := range shares {
+			shares[i].weight = 1
+		}
+		sum = float64(len(shares))
+	}
+	for _, sh := range shares {
+		sh.v.allowance = m.allowance * sh.weight / sum
+	}
+	// The per-cluster fan-out (A_v → A_c → a_t) is cluster-local.
+	m.forEachCluster(func(v *ClusterAgent) {
+		if v.TaskCount() > 0 {
+			v.distributeAllowance()
+		}
+	})
+}
+
+// Stable reports whether the last round left every cluster un-frozen and no
+// cluster's constrained-core price outside its tolerance band — the price
+// equilibrium of §3.2.4.
+func (m *Market) Stable() bool {
+	for _, v := range m.Clusters {
+		if v.Frozen() {
+			return false
+		}
+		cc := v.ConstrainedCore()
+		if cc == nil || cc.basePrice == 0 {
+			continue
+		}
+		tol := cc.basePrice * m.cfg.Tolerance
+		if cc.price >= cc.basePrice+tol || cc.price <= cc.basePrice-tol {
+			return false
+		}
+	}
+	return true
+}

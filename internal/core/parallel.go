@@ -1,0 +1,48 @@
+package core
+
+import "sync"
+
+// Parallel round execution
+//
+// The paper's framework is "distributed and hence scalable with minimal
+// runtime overhead": every agent acts on local information. Within one
+// round, the cluster-level phases — allowance fan-out below the cluster
+// weights, bid revision, price discovery, and price control — touch only
+// cluster-local state, so they can execute concurrently across clusters
+// with results identical to the sequential order (verified by
+// TestParallelRoundEquivalence). The chip agent's money-supply update and
+// the emergency backstop remain the only global, sequential steps.
+//
+// Parallelism is enabled automatically for many-cluster markets (the
+// Table 7 scalability regime); SetParallel overrides the choice.
+
+// parallelThreshold is the cluster count above which NewMarket enables
+// concurrent rounds by default.
+const parallelThreshold = 16
+
+// SetParallel forces concurrent (true) or sequential (false) round
+// execution.
+func (m *Market) SetParallel(on bool) { m.parallel = on }
+
+// Parallel reports whether rounds execute concurrently across clusters.
+func (m *Market) Parallel() bool { return m.parallel }
+
+// forEachCluster runs fn over every cluster agent, concurrently when the
+// market is in parallel mode.
+func (m *Market) forEachCluster(fn func(v *ClusterAgent)) {
+	if !m.parallel || len(m.Clusters) < 2 {
+		for _, v := range m.Clusters {
+			fn(v)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(m.Clusters))
+	for _, v := range m.Clusters {
+		go func(v *ClusterAgent) {
+			defer wg.Done()
+			fn(v)
+		}(v)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"testing"
+
+	"pricepower/internal/sim"
+)
+
+// buildParallelRig creates two structurally identical many-cluster markets
+// with the same agents and demands.
+func buildParallelRig(seed uint64, clusters, coresPer, tasksPer int) (a, b *Market, agentsA, agentsB []*TaskAgent) {
+	mk := func() (*Market, []*TaskAgent) {
+		rng := sim.NewRand(seed)
+		controls := make([]ClusterControl, clusters)
+		cores := make([]int, clusters)
+		for i := range controls {
+			base := 300 + 100*float64(i%5)
+			controls[i] = NewLadderControl(
+				[]float64{base, base * 1.5, base * 2, base * 3},
+				[]float64{0.5, 1, 1.8, 3})
+			cores[i] = coresPer
+		}
+		m := NewMarket(Config{InitialAllowance: 50, InitialBid: 1, Wtdp: float64(clusters)},
+			controls, cores)
+		var agents []*TaskAgent
+		for coreID := 0; coreID < clusters*coresPer; coreID++ {
+			for t := 0; t < tasksPer; t++ {
+				ag := m.AddTask(1+rng.Intn(7), coreID)
+				ag.Demand = rng.Range(20, 500)
+				agents = append(agents, ag)
+			}
+		}
+		return m, agents
+	}
+	a, agentsA = mk()
+	b, agentsB = mk()
+	return
+}
+
+// TestParallelRoundEquivalence: concurrent round execution must be
+// bit-identical to sequential execution — the cluster phases are local by
+// construction.
+func TestParallelRoundEquivalence(t *testing.T) {
+	seq, par, agSeq, agPar := buildParallelRig(99, 24, 2, 2)
+	seq.SetParallel(false)
+	par.SetParallel(true)
+	if !par.Parallel() || seq.Parallel() {
+		t.Fatal("parallel flags wrong")
+	}
+	for round := 0; round < 60; round++ {
+		seq.StepOnce()
+		par.StepOnce()
+		for i := range agSeq {
+			if agSeq[i].Bid() != agPar[i].Bid() {
+				t.Fatalf("round %d agent %d: bid %v != %v", round, i, agSeq[i].Bid(), agPar[i].Bid())
+			}
+			if agSeq[i].Purchased() != agPar[i].Purchased() {
+				t.Fatalf("round %d agent %d: purchase %v != %v",
+					round, i, agSeq[i].Purchased(), agPar[i].Purchased())
+			}
+			if agSeq[i].Savings() != agPar[i].Savings() {
+				t.Fatalf("round %d agent %d: savings diverged", round, i)
+			}
+			agSeq[i].Observed = agSeq[i].Purchased()
+			agPar[i].Observed = agPar[i].Purchased()
+		}
+		for ci := range seq.Clusters {
+			if seq.Clusters[ci].Control.Level() != par.Clusters[ci].Control.Level() {
+				t.Fatalf("round %d cluster %d: levels diverged", round, ci)
+			}
+		}
+		if seq.Allowance() != par.Allowance() || seq.State() != par.State() {
+			t.Fatalf("round %d: chip agent diverged", round)
+		}
+	}
+}
+
+// Many-cluster markets enable parallel rounds automatically; small ones
+// don't.
+func TestParallelAutoEnable(t *testing.T) {
+	big, _, _, _ := buildParallelRig(1, parallelThreshold, 1, 1)
+	if !big.Parallel() {
+		t.Error("16-cluster market not parallel by default")
+	}
+	ctl := NewLadderControl([]float64{300}, nil)
+	small := NewMarket(Config{}, []ClusterControl{ctl}, []int{1})
+	if small.Parallel() {
+		t.Error("single-cluster market parallel by default")
+	}
+}
+
+// The race detector exercises the concurrent path even on a small market.
+func TestParallelUnderRaceDetector(t *testing.T) {
+	m, _, agents, _ := buildParallelRig(7, 8, 2, 3)
+	m.SetParallel(true)
+	for round := 0; round < 50; round++ {
+		m.StepOnce()
+		for _, a := range agents {
+			a.Observed = a.Purchased()
+		}
+	}
+}

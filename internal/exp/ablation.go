@@ -1,0 +1,118 @@
+package exp
+
+import (
+	"fmt"
+
+	"pricepower/internal/metrics"
+	"pricepower/internal/platform"
+	"pricepower/internal/ppm"
+	"pricepower/internal/sim"
+	"pricepower/internal/workload"
+)
+
+// AblationResult is one row of the design-knob study.
+type AblationResult struct {
+	Name        string
+	MissFrac    float64
+	AvgPower    float64
+	Transitions int
+	Migrations  int
+}
+
+// RunPPMVariant runs one workload set under a custom PPM configuration and
+// reports the evaluation metrics — the primitive the ablation studies (and
+// any downstream tuning) are built from.
+func RunPPMVariant(cfg ppm.Config, set workload.Set, dur sim.Time) (AblationResult, error) {
+	specs, err := set.Specs(1)
+	if err != nil {
+		return AblationResult{}, err
+	}
+	if cfg.Profiles == nil {
+		cfg.Profiles = WorkloadProfiles
+	}
+	p := platform.NewTC2()
+	p.SetGovernor(ppm.New(cfg))
+	PlaceOnLittle(p, specs)
+	pr := metrics.NewProbe(p, Warmup)
+	pr.Attach()
+	p.Run(Warmup + dur)
+	trans := 0
+	for _, cl := range p.Chip.Clusters {
+		trans += cl.Transitions()
+	}
+	migs, _ := p.Migrations()
+	return AblationResult{
+		MissFrac:    pr.AnyBelowFrac(),
+		AvgPower:    pr.AveragePower(),
+		Transitions: trans,
+		Migrations:  migs,
+	}, nil
+}
+
+// Ablation sweeps the design knobs DESIGN.md calls out, one variant at a
+// time against the PPM defaults, on a medium workload set (m2) under the
+// 4 W cap — the regime where every knob is load-bearing:
+//
+//   - tolerance δ: reaction speed vs thermal cycling (§3.2.2);
+//   - buffer zone Wth/Wtdp: utilization vs oscillation (§3.2.3);
+//   - savings cap: transient outbidding power (§3.2.3);
+//   - LBT on/off: the whole §3.3 module.
+func Ablation(dur sim.Time) (*Table, error) {
+	set, ok := workload.SetByName("m2")
+	if !ok {
+		return nil, fmt.Errorf("exp: workload set m2 missing")
+	}
+	const wtdp = 4.0
+	t := &Table{
+		Title: "Ablation: PPM design knobs on workload m2 under a 4 W TDP",
+		Headers: []string{"Variant", "Miss [%]", "Avg power [W]",
+			"V-F transitions", "Migrations"},
+		Note: "each variant changes one knob from the defaults (δ=0.2, Wth=0.9·Wtdp, savings 5×, LBT on)",
+	}
+
+	variants := []struct {
+		name string
+		cfg  func() ppm.Config
+	}{
+		{"defaults", func() ppm.Config { return ppm.DefaultConfig(wtdp) }},
+		{"δ=0.05 (twitchy)", func() ppm.Config {
+			c := ppm.DefaultConfig(wtdp)
+			c.Market.Tolerance = 0.05
+			return c
+		}},
+		{"δ=0.5 (sluggish)", func() ppm.Config {
+			c := ppm.DefaultConfig(wtdp)
+			c.Market.Tolerance = 0.5
+			return c
+		}},
+		{"buffer Wth=0.7·Wtdp", func() ppm.Config {
+			c := ppm.DefaultConfig(wtdp)
+			c.Market.Wth = 0.7 * wtdp
+			return c
+		}},
+		{"buffer Wth=0.97·Wtdp", func() ppm.Config {
+			c := ppm.DefaultConfig(wtdp)
+			c.Market.Wth = 0.97 * wtdp
+			return c
+		}},
+		{"savings off", func() ppm.Config {
+			c := ppm.DefaultConfig(wtdp)
+			c.Market.SavingsCap = 1e-9
+			return c
+		}},
+		{"LBT off", func() ppm.Config {
+			c := ppm.DefaultConfig(wtdp)
+			c.DisableLBT = true
+			return c
+		}},
+	}
+	for _, v := range variants {
+		r, err := RunPPMVariant(v.cfg(), set, dur)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(v.name, fmt.Sprintf("%.1f", r.MissFrac*100),
+			fmt.Sprintf("%.2f", r.AvgPower), r.Transitions, r.Migrations)
+	}
+	return t, nil
+}

@@ -1,0 +1,164 @@
+package exp
+
+import (
+	"fmt"
+
+	"pricepower/internal/hl"
+	"pricepower/internal/hpm"
+	"pricepower/internal/hw"
+	"pricepower/internal/metrics"
+	"pricepower/internal/platform"
+	"pricepower/internal/ppm"
+	"pricepower/internal/sim"
+	"pricepower/internal/task"
+	"pricepower/internal/workload"
+)
+
+// GovernorNames lists the three compared schemes in the paper's order.
+var GovernorNames = []string{"PPM", "HPM", "HL"}
+
+// Warmup is the settling time excluded from measurements in comparative
+// runs (HRM windows fill, the market boots).
+const Warmup = 5 * sim.Second
+
+// DefaultRunDuration is the measured virtual time per comparative run.
+const DefaultRunDuration = 120 * sim.Second
+
+// RunResult summarizes one (workload set, governor) run.
+type RunResult struct {
+	Governor string
+	Set      string
+	// MissFrac is the fraction of time any task was below its minimum heart
+	// rate (Figures 4 and 6).
+	MissFrac float64
+	// AvgPower is the mean chip power in W (Figure 5).
+	AvgPower float64
+	// Energy is joules over the measured window.
+	Energy float64
+	// Migrations counts task movements (total, cross-cluster).
+	Migrations, CrossMigrations int
+	// Transitions counts V-F changes across clusters (thermal cycling).
+	Transitions int
+	// PeakTempC is the hottest cluster die temperature reached (°C, RC
+	// thermal model at 25 °C ambient).
+	PeakTempC float64
+	// Heartbeats is the total application progress delivered during the
+	// measured window.
+	Heartbeats float64
+}
+
+// EnergyPerKBeat reports joules per thousand heartbeats — the
+// energy-efficiency view of a run (the paper's goal is meeting demands "at
+// minimal energy", so less is better at equal miss rates).
+func (r RunResult) EnergyPerKBeat() float64 {
+	if r.Heartbeats <= 0 {
+		return 0
+	}
+	return r.Energy / r.Heartbeats * 1000
+}
+
+// WorkloadProfiles adapts the workload registry's off-line profiling table
+// to the PPM governor.
+func WorkloadProfiles(name string, ct hw.CoreType) (float64, bool) {
+	p, ok := workload.ProfileFor(name)
+	if !ok {
+		return 0, false
+	}
+	return p.Demand(ct), true
+}
+
+// NewGovernor builds one of the three compared governors for a TDP budget
+// (0 = unconstrained).
+func NewGovernor(name string, wtdp float64) (platform.Governor, error) {
+	switch name {
+	case "PPM":
+		cfg := ppm.DefaultConfig(wtdp)
+		cfg.Profiles = WorkloadProfiles
+		return ppm.New(cfg), nil
+	case "HPM":
+		return hpm.New(hpm.DefaultConfig(wtdp)), nil
+	case "HL":
+		return hl.New(hl.DefaultConfig(wtdp)), nil
+	default:
+		return nil, fmt.Errorf("exp: unknown governor %q (want PPM, HPM or HL)", name)
+	}
+}
+
+// RunSet executes one workload set under one governor on a fresh TC2
+// platform for the given measured duration and returns the summary.
+// Tasks boot on the LITTLE cluster (as the paper's Linux does), spread
+// round-robin over its cores.
+func RunSet(governor string, set workload.Set, wtdp float64, dur sim.Time) (RunResult, error) {
+	specs, err := set.Specs(1)
+	if err != nil {
+		return RunResult{}, err
+	}
+	p := platform.NewTC2()
+	g, err := NewGovernor(governor, wtdp)
+	if err != nil {
+		return RunResult{}, err
+	}
+	p.SetGovernor(g)
+	PlaceOnLittle(p, specs)
+	pr := metrics.NewProbe(p, Warmup)
+	pr.Attach()
+	thermal := hw.NewThermalModel(p.Chip, nil, 25)
+	p.Engine.AddHook(sim.TickFunc(func(now sim.Time) { thermal.Update(p.Engine.Step()) }))
+	p.Run(Warmup + dur)
+
+	total, cross := p.Migrations()
+	trans := 0
+	peakT := 25.0
+	for i, cl := range p.Chip.Clusters {
+		trans += cl.Transitions()
+		if t := thermal.Peak(i); t > peakT {
+			peakT = t
+		}
+	}
+	return RunResult{
+		Governor:        governor,
+		Set:             set.Name,
+		MissFrac:        pr.AnyBelowFrac(),
+		AvgPower:        pr.AveragePower(),
+		Energy:          pr.Energy(),
+		Migrations:      total,
+		CrossMigrations: cross,
+		Transitions:     trans,
+		PeakTempC:       peakT,
+		Heartbeats:      pr.HeartbeatsDelivered(),
+	}, nil
+}
+
+// PlaceOnLittle spreads the specs round-robin across the LITTLE cluster's
+// cores (falling back to core 0 on an all-big platform).
+func PlaceOnLittle(p *platform.Platform, specs []task.Spec) {
+	var littleCores []int
+	for _, c := range p.Chip.Cores {
+		if c.Type() == hw.Little {
+			littleCores = append(littleCores, c.ID)
+		}
+	}
+	if len(littleCores) == 0 {
+		littleCores = []int{0}
+	}
+	for i, s := range specs {
+		p.AddTask(s, littleCores[i%len(littleCores)])
+	}
+}
+
+// RunAllSets runs every Table 6 workload set under every governor and
+// returns results indexed [set][governor].
+func RunAllSets(wtdp float64, dur sim.Time) ([][]RunResult, error) {
+	out := make([][]RunResult, len(workload.Sets))
+	for i, set := range workload.Sets {
+		out[i] = make([]RunResult, len(GovernorNames))
+		for j, gov := range GovernorNames {
+			r, err := RunSet(gov, set, wtdp, dur)
+			if err != nil {
+				return nil, err
+			}
+			out[i][j] = r
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,108 @@
+// Package exp regenerates every table and figure of the paper's evaluation:
+// the running-example traces (Tables 1–3), the demand-conversion
+// illustration (Table 4), the benchmark and workload-set inventories
+// (Tables 5–6), the scalability study (Table 7), the comparative studies
+// (Figures 4–6), and the priority/savings case studies (Figures 7–8).
+//
+// Each experiment returns a Table (and, for the figures, the underlying
+// numeric results) so the same code serves cmd/experiments, the test suite,
+// and the benchmark harness.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a rendered experiment result: a titled grid of cells.
+type Table struct {
+	Title   string
+	Note    string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends one row of cells, formatting each with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = trimFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.4f", v)
+	s = strings.TrimRight(s, "0")
+	s = strings.TrimRight(s, ".")
+	if s == "" || s == "-" {
+		return "0"
+	}
+	return s
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) {
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintf(w, "  %s\n", strings.Join(parts, "  "))
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	if t.Note != "" {
+		fmt.Fprintf(w, "  (%s)\n", t.Note)
+	}
+	fmt.Fprintln(w)
+}
+
+// CSV writes the table as comma-separated values.
+func (t *Table) CSV(w io.Writer) {
+	fmt.Fprintln(w, strings.Join(t.Headers, ","))
+	for _, row := range t.Rows {
+		fmt.Fprintln(w, strings.Join(row, ","))
+	}
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var sb strings.Builder
+	t.Render(&sb)
+	return sb.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}

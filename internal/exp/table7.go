@@ -1,0 +1,117 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"pricepower/internal/core"
+	"pricepower/internal/lbt"
+	"pricepower/internal/sim"
+)
+
+// Table7Config is one row of the scalability study: V clusters of C cores
+// with T tasks per core.
+type Table7Config struct {
+	V, C, T int
+}
+
+// Table7Configs are the paper's twelve configurations (V up to 256 clusters,
+// C up to 16 cores per cluster, T ∈ {8, 32} tasks per core, up to 131,072
+// tasks total).
+var Table7Configs = []Table7Config{
+	{2, 4, 8}, {2, 4, 32},
+	{4, 4, 8}, {4, 4, 32},
+	{16, 8, 8}, {16, 8, 32},
+	{16, 16, 8}, {16, 16, 32},
+	{256, 8, 8}, {256, 8, 32},
+	{256, 16, 8}, {256, 16, 32},
+}
+
+// Table7Quick trims the sweep for tests and -short benchmarks.
+var Table7Quick = []Table7Config{{2, 4, 8}, {4, 4, 8}, {16, 8, 8}}
+
+// BuildScaledMarket constructs a V-cluster market mirroring §5.5's setup:
+// cluster maximum supplies spread over 350–3000 PUs, tasks with random
+// demands in 10–50 PUs fed to the designated constrained cluster (cluster
+// 0, the paper's A7 at its lowest 350 MHz level), and random supply/demand
+// information for the other clusters.
+func BuildScaledMarket(cfg Table7Config, seed uint64) (*core.Market, *lbt.Planner) {
+	rng := sim.NewRand(seed)
+	controls := make([]core.ClusterControl, cfg.V)
+	cores := make([]int, cfg.V)
+	for v := 0; v < cfg.V; v++ {
+		maxSupply := 350.0
+		if cfg.V > 1 {
+			maxSupply = 350 + (3000-350)*float64(v)/float64(cfg.V-1)
+		}
+		const nLevels = 6
+		ladder := make([]float64, nLevels)
+		power := make([]float64, nLevels)
+		for l := 0; l < nLevels; l++ {
+			frac := float64(l+1) / nLevels
+			ladder[l] = maxSupply * frac
+			power[l] = (0.5 + 3.5*frac) * (1 + 0.2*float64(v%3))
+		}
+		controls[v] = core.NewLadderControl(ladder, power)
+		cores[v] = cfg.C
+	}
+	m := core.NewMarket(core.Config{InitialAllowance: float64(cfg.V * cfg.C * cfg.T)},
+		controls, cores)
+
+	demands := make(map[int][]float64)
+	coreID := 0
+	for v := 0; v < cfg.V; v++ {
+		for c := 0; c < cfg.C; c++ {
+			for i := 0; i < cfg.T; i++ {
+				a := m.AddTask(1+rng.Intn(8), coreID)
+				ds := make([]float64, cfg.V)
+				for k := range ds {
+					ds[k] = rng.Range(10, 50)
+				}
+				demands[a.ID] = ds
+				a.Demand = ds[v]
+				a.Observed = rng.Range(10, 50)
+			}
+			coreID++
+		}
+	}
+	est := lbt.EstimatorFunc(func(a *core.TaskAgent, cluster int) float64 {
+		return demands[a.ID][cluster]
+	})
+	return m, lbt.NewPlanner(m, est)
+}
+
+// MeasureTable7 measures the wall-clock overhead of one LBT invocation in
+// the constrained cluster — the per-invocation cost §5.5 reports — averaged
+// over iters invocations.
+func MeasureTable7(cfg Table7Config, iters int, seed uint64) time.Duration {
+	_, planner := BuildScaledMarket(cfg, seed)
+	// One throwaway run outside the timed region warms caches.
+	planner.PlanForCluster(0, lbt.Migrate)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		planner.PlanForCluster(0, lbt.Migrate)
+	}
+	return time.Since(start) / time.Duration(iters)
+}
+
+// Table7 runs the scalability sweep. The paper reports overhead on a
+// Cortex-A7 at 350 MHz; we report Go wall-clock on the host, so absolute
+// values differ while the scaling shape (≈linear in T·V with the per-
+// candidate evaluation cost) is the claim under test. The percentage column
+// relates the overhead to the 190 ms migration period, as in the paper.
+func Table7(configs []Table7Config, iters int) *Table {
+	t := &Table{
+		Title: "Table 7: computational overhead of the LBT module in the constrained core",
+		Headers: []string{"V (clusters)", "C (cores/cluster)", "T (tasks/core)",
+			"Total tasks", "Avg overhead [ms]", "Avg overhead [% of 190ms period]"},
+		Note: "host wall-clock; the paper measured a 350 MHz Cortex-A7 — compare shapes, not absolutes",
+	}
+	for _, cfg := range configs {
+		d := MeasureTable7(cfg, iters, 42)
+		ms := float64(d.Microseconds()) / 1000.0
+		t.AddRow(cfg.V, cfg.C, cfg.T, cfg.V*cfg.C*cfg.T,
+			fmt.Sprintf("%.3f", ms), fmt.Sprintf("%.2f", ms/190*100))
+	}
+	return t
+}

@@ -1,0 +1,194 @@
+package exp
+
+import (
+	"fmt"
+
+	"pricepower/internal/core"
+	"pricepower/internal/task"
+	"pricepower/internal/workload"
+)
+
+// feedback copies purchases into next-round observations (the experiment
+// harness's stand-in for platform measurement).
+func feedback(agents ...*core.TaskAgent) {
+	for _, a := range agents {
+		a.Observed = a.Purchased()
+	}
+}
+
+// Table1 reproduces the task/core dynamics running example: two tasks with
+// demands 200 and 100 PU bidding for a 300 PU core, reaching their demands
+// in two rounds.
+func Table1() *Table {
+	cfg := core.Config{InitialAllowance: 1000, InitialBid: 1}
+	ctl := core.NewLadderControl([]float64{300}, nil)
+	m := core.NewMarket(cfg, []core.ClusterControl{ctl}, []int{1})
+	ta := m.AddTask(1, 0)
+	tb := m.AddTask(1, 0)
+	ta.Demand, tb.Demand = 200, 100
+
+	t := &Table{
+		Title:   "Table 1: Task and Core Level Dynamics Example",
+		Headers: []string{"Round", "b_ta", "b_tb", "P_c", "s_ta", "s_tb", "S_c"},
+	}
+	cc := m.Cluster(0).Cores[0]
+	for round := 1; round <= 2; round++ {
+		m.StepOnce()
+		t.AddRow(round, fmt.Sprintf("%.2f", ta.Bid()), fmt.Sprintf("%.2f", tb.Bid()),
+			fmt.Sprintf("%.4f", cc.Price()),
+			fmt.Sprintf("%.0f", ta.Purchased()), fmt.Sprintf("%.0f", tb.Purchased()),
+			fmt.Sprintf("%.0f", ctl.SupplyPU()))
+		feedback(ta, tb)
+	}
+	return t
+}
+
+// Table2 reproduces the cluster dynamics running example: the demand of
+// task a rises from 200 to 300 PU; with δ = 0.2 the resulting inflation
+// raises the supply from 300 to 400 PU, and the settle round re-bases the
+// price.
+func Table2() *Table {
+	cfg := core.Config{InitialAllowance: 1000, InitialBid: 1, Tolerance: 0.2}
+	ctl := core.NewLadderControl([]float64{300, 400, 500, 600}, nil)
+	m := core.NewMarket(cfg, []core.ClusterControl{ctl}, []int{1})
+	ta := m.AddTask(1, 0)
+	tb := m.AddTask(1, 0)
+	ta.Demand, tb.Demand = 200, 100
+
+	t := &Table{
+		Title:   "Table 2: Cluster Level Dynamics Example (rounds 3-4)",
+		Headers: []string{"Round", "b_ta", "b_tb", "P_c", "PBase_c", "s_ta", "s_tb", "S_c"},
+	}
+	cc := m.Cluster(0).Cores[0]
+	for round := 1; round <= 4; round++ {
+		if round == 3 {
+			ta.Demand = 300 // the Table 2 demand step
+		}
+		m.StepOnce()
+		if round >= 3 {
+			t.AddRow(round, fmt.Sprintf("%.2f", ta.Bid()), fmt.Sprintf("%.2f", tb.Bid()),
+				fmt.Sprintf("%.4f", cc.Price()), fmt.Sprintf("%.4f", cc.BasePrice()),
+				fmt.Sprintf("%.0f", ta.Purchased()), fmt.Sprintf("%.0f", tb.Purchased()),
+				fmt.Sprintf("%.0f", ctl.SupplyPU()))
+		}
+		feedback(ta, tb)
+	}
+	return t
+}
+
+// Table3 reproduces the chip-level dynamics running example: priorities 2:1,
+// Wtdp = 2.25 W, Wth = 1.75 W, supply ladder {300..600} where 500 PU draws
+// 2 W (threshold) and 600 PU draws 3 W (emergency). The trace shows the
+// allowance rising to chase unmet demand, the excursion into the emergency
+// state, the allowance cut, and stabilization in the threshold state with
+// the high-priority task satisfied.
+func Table3() *Table {
+	cfg := core.Config{
+		InitialAllowance: 4.5, InitialBid: 1, Tolerance: 0.2,
+		Wtdp: 2.25, Wth: 1.75, SavingsCap: 5,
+	}
+	ctl := core.NewLadderControl(
+		[]float64{300, 400, 500, 600},
+		[]float64{0.8, 0.8, 2.0, 3.0})
+	m := core.NewMarket(cfg, []core.ClusterControl{ctl}, []int{1})
+	ta := m.AddTask(2, 0)
+	tb := m.AddTask(1, 0)
+	ta.Demand, tb.Demand = 300, 100
+
+	t := &Table{
+		Title: "Table 3: Chip Level Dynamics Example",
+		Headers: []string{"Round", "A", "a_ta", "a_tb", "b_ta", "b_tb",
+			"m_ta", "m_tb", "P_c", "d_ta", "d_tb", "s_ta", "s_tb", "S_c", "W", "state"},
+		Note: "demand of t_b rises to 300 PU at round 13; the market passes " +
+			"through emergency and stabilizes in threshold",
+	}
+	cc := m.Cluster(0).Cores[0]
+	record := func(round int) {
+		t.AddRow(round,
+			fmt.Sprintf("%.2f", m.Allowance()),
+			fmt.Sprintf("%.2f", ta.Allowance()), fmt.Sprintf("%.2f", tb.Allowance()),
+			fmt.Sprintf("%.2f", ta.Bid()), fmt.Sprintf("%.2f", tb.Bid()),
+			fmt.Sprintf("%.2f", ta.Savings()), fmt.Sprintf("%.2f", tb.Savings()),
+			fmt.Sprintf("%.4f", cc.Price()),
+			fmt.Sprintf("%.0f", ta.Demand), fmt.Sprintf("%.0f", tb.Demand),
+			fmt.Sprintf("%.0f", ta.Purchased()), fmt.Sprintf("%.0f", tb.Purchased()),
+			fmt.Sprintf("%.0f", ctl.SupplyPU()),
+			fmt.Sprintf("%.1f", m.Power()), m.State().String())
+	}
+	const totalRounds = 70
+	for round := 1; round <= totalRounds; round++ {
+		if round == 13 {
+			tb.Demand = 300 // the Table 3 demand step
+		}
+		m.StepOnce()
+		// Record the interesting windows: the overload transient (the
+		// paper's rounds 4-11 analogue) and the settled tail (its round 16).
+		if (round >= 11 && round <= 24) || round > totalRounds-6 {
+			record(round)
+		}
+		if round == 24 {
+			t.AddRow("...")
+		}
+		feedback(ta, tb)
+	}
+	return t
+}
+
+// Table4 reproduces the heart-rate→demand conversion example with the
+// reference range 24–30 hb/s (target 27).
+func Table4() *Table {
+	t := &Table{
+		Title: "Table 4: heart rate to demand conversion " +
+			"(reference range 24-30 hb/s, target 27)",
+		Headers: []string{"Prog. phase", "Current hr (hb/s)", "Frequency (MHz)",
+			"Utilization (%)", "s (PU)", "d (PU)"},
+	}
+	rows := []struct {
+		hr, freq, util float64
+	}{{15, 500, 1.00}, {10, 800, 0.50}, {40, 1000, 1.00}}
+	for i, r := range rows {
+		s := r.freq * r.util
+		d := task.EstimateDemand(27, s, r.hr)
+		t.AddRow(i+1, fmt.Sprintf("%.0f", r.hr), fmt.Sprintf("%.0f", r.freq),
+			fmt.Sprintf("%.0f", r.util*100), fmt.Sprintf("%.0f", s), fmt.Sprintf("%.0f", d))
+	}
+	return t
+}
+
+// Table5 lists the benchmark inventory.
+func Table5() *Table {
+	t := &Table{
+		Title:   "Table 5: Benchmarks description",
+		Headers: []string{"Benchmark", "Suite", "Description", "Inputs", "Heartbeat location"},
+	}
+	for _, name := range workload.Names() {
+		b, _ := workload.ByName(name)
+		t.AddRow(b.Name, b.Suite, b.Description, b.InputsDesc, b.HeartbeatAt)
+	}
+	return t
+}
+
+// Table6 lists the workload sets with their intensity values and classes.
+func Table6() *Table {
+	t := &Table{
+		Title:   "Table 6: Workload Sets",
+		Headers: []string{"Set", "Class", "Members", "Intensity"},
+		Note: "intensity = (Σ d_t^A7 − S_A7^maxfreq) / S_A7^maxfreq over the " +
+			"LITTLE cluster's 3000 PU aggregate capacity",
+	}
+	for _, s := range workload.Sets {
+		members := ""
+		for i, m := range s.Members {
+			if i > 0 {
+				members += ", "
+			}
+			members += m.TaskName()
+		}
+		in, err := s.Intensity(workload.TC2LittleCapacity)
+		if err != nil {
+			panic(err)
+		}
+		t.AddRow(s.Name, s.Class().String(), members, fmt.Sprintf("%+.3f", in))
+	}
+	return t
+}

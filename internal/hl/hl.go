@@ -1,0 +1,207 @@
+// Package hl re-implements the paper's second baseline: the Linaro
+// heterogeneity-aware scheduler shipped with Linux 3.8 for big.LITTLE [3],
+// paired with the cpufreq ondemand governor (§5.3).
+//
+// Policy, as the paper describes it:
+//
+//   - a task's activeness — the time it spends in the active run queue,
+//     i.e. its PELT load — is the migration signal: above an up-threshold
+//     the task moves to the big cluster, below a down-threshold it moves
+//     back to LITTLE ("the HL scheduler migrates the tasks to the powerful
+//     A15 cluster at the first opportunity");
+//   - the scheduler does not react to the demands of individual tasks: all
+//     tasks keep the default fair-share weight and no heart-rate feedback
+//     exists;
+//   - the ondemand governor jumps a cluster to its maximum frequency when
+//     utilization exceeds the up threshold (95 %), otherwise it picks the
+//     lowest frequency that keeps utilization at ~80 %;
+//   - under a TDP budget (the Figure 6 experiment) the A15 cluster is
+//     switched off outright once chip power exceeds the budget, which
+//     bounds power at the LITTLE cluster's 2 W envelope.
+package hl
+
+import (
+	"math"
+
+	"pricepower/internal/hw"
+	"pricepower/internal/platform"
+	"pricepower/internal/sim"
+)
+
+// Config tunes the baseline.
+type Config struct {
+	// SamplePeriod is the ondemand sampling period (default 100 ms, the
+	// cpufreq default magnitude).
+	SamplePeriod sim.Time
+	// MigratePeriod is how often migration thresholds are checked (default
+	// 50 ms).
+	MigratePeriod sim.Time
+	// UpThreshold / DownThreshold are the PELT-load bounds for big/LITTLE
+	// migration (defaults 0.8 / 0.3).
+	UpThreshold, DownThreshold float64
+	// OndemandUp is the utilization above which ondemand jumps to fmax
+	// (default 0.95); below it the governor targets OndemandTarget (0.8).
+	OndemandUp, OndemandTarget float64
+	// Wtdp is the TDP budget; above it the big cluster is powered off
+	// permanently. 0 disables the mechanism.
+	Wtdp float64
+}
+
+// DefaultConfig returns the baseline tuning for a given TDP (0 = none).
+func DefaultConfig(wtdp float64) Config {
+	return Config{
+		SamplePeriod:   100 * sim.Millisecond,
+		MigratePeriod:  50 * sim.Millisecond,
+		UpThreshold:    0.8,
+		DownThreshold:  0.3,
+		OndemandUp:     0.95,
+		OndemandTarget: 0.8,
+		Wtdp:           wtdp,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig(c.Wtdp)
+	if c.SamplePeriod <= 0 {
+		c.SamplePeriod = d.SamplePeriod
+	}
+	if c.MigratePeriod <= 0 {
+		c.MigratePeriod = d.MigratePeriod
+	}
+	if c.UpThreshold <= 0 {
+		c.UpThreshold = d.UpThreshold
+	}
+	if c.DownThreshold <= 0 {
+		c.DownThreshold = d.DownThreshold
+	}
+	if c.OndemandUp <= 0 {
+		c.OndemandUp = d.OndemandUp
+	}
+	if c.OndemandTarget <= 0 {
+		c.OndemandTarget = d.OndemandTarget
+	}
+	return c
+}
+
+// Governor implements platform.Governor.
+type Governor struct {
+	cfg Config
+	p   *platform.Platform
+
+	nextSample  sim.Time
+	nextMigrate sim.Time
+	bigOff      bool
+}
+
+// New builds an HL governor.
+func New(cfg Config) *Governor { return &Governor{cfg: cfg.withDefaults()} }
+
+// Name implements platform.Governor.
+func (g *Governor) Name() string { return "HL" }
+
+// BigClusterOff reports whether the TDP mechanism has shut the big cluster
+// down.
+func (g *Governor) BigClusterOff() bool { return g.bigOff }
+
+// Attach implements platform.Governor.
+func (g *Governor) Attach(p *platform.Platform) {
+	g.p = p
+	g.nextSample = g.cfg.SamplePeriod
+	g.nextMigrate = g.cfg.MigratePeriod
+}
+
+// Tick implements platform.Governor.
+func (g *Governor) Tick(now sim.Time) {
+	if g.cfg.Wtdp > 0 && !g.bigOff && g.p.Power() > g.cfg.Wtdp {
+		g.shutBigCluster()
+	}
+	if now >= g.nextMigrate {
+		g.nextMigrate += g.cfg.MigratePeriod
+		g.migrate()
+	}
+	if now >= g.nextSample {
+		g.nextSample += g.cfg.SamplePeriod
+		g.ondemand()
+	}
+}
+
+// migrate applies the activeness thresholds.
+func (g *Governor) migrate() {
+	for _, t := range g.p.Tasks() {
+		if g.p.Migrating(t) {
+			continue
+		}
+		load := g.p.Load(t)
+		cl := g.p.ClusterOf(t)
+		switch {
+		case cl.Spec.Type == hw.Little && load > g.cfg.UpThreshold && !g.bigOff:
+			if dst := g.emptiestCore(hw.Big); dst >= 0 {
+				g.p.Migrate(t, dst)
+			}
+		case cl.Spec.Type == hw.Big && load < g.cfg.DownThreshold:
+			if dst := g.emptiestCore(hw.Little); dst >= 0 {
+				g.p.Migrate(t, dst)
+			}
+		}
+	}
+}
+
+// ondemand runs the cpufreq policy per cluster.
+func (g *Governor) ondemand() {
+	for _, cl := range g.p.Chip.Clusters {
+		if !cl.On {
+			continue
+		}
+		maxUtil := 0.0
+		for _, c := range cl.Cores {
+			if c.Utilization > maxUtil {
+				maxUtil = c.Utilization
+			}
+		}
+		if maxUtil > g.cfg.OndemandUp {
+			cl.SetLevel(cl.NumLevels() - 1)
+			continue
+		}
+		// Pick the lowest frequency that would put the busiest core at the
+		// target utilization.
+		cur := float64(cl.CurLevel().FreqMHz)
+		want := cur * maxUtil / g.cfg.OndemandTarget
+		cl.SetLevel(cl.LevelForSupply(want))
+	}
+}
+
+// shutBigCluster evacuates and powers off every big cluster (the paper's
+// TDP handling for HL: "powering down of the A15 cluster guarantees that
+// the total power consumption will be well below the TDP constraint").
+func (g *Governor) shutBigCluster() {
+	g.bigOff = true
+	for _, t := range g.p.Tasks() {
+		if g.p.ClusterOf(t).Spec.Type == hw.Big {
+			if dst := g.emptiestCore(hw.Little); dst >= 0 {
+				g.p.Migrate(t, dst)
+			}
+		}
+	}
+	for _, cl := range g.p.Chip.Clusters {
+		if cl.Spec.Type == hw.Big {
+			cl.PowerOff()
+		}
+	}
+}
+
+// emptiestCore returns the core of the given type hosting the fewest tasks,
+// or -1 when none is available.
+func (g *Governor) emptiestCore(ct hw.CoreType) int {
+	best, bestN := -1, math.MaxInt32
+	for _, c := range g.p.Chip.Cores {
+		if c.Type() != ct || !c.Cluster.On {
+			continue
+		}
+		if n := len(g.p.TasksOnCore(c.ID)); n < bestN {
+			best, bestN = c.ID, n
+		}
+	}
+	return best
+}
+
+var _ platform.Governor = (*Governor)(nil)

@@ -1,0 +1,127 @@
+package hl
+
+import (
+	"testing"
+
+	"pricepower/internal/hw"
+	"pricepower/internal/metrics"
+	"pricepower/internal/platform"
+	"pricepower/internal/sim"
+	"pricepower/internal/task"
+)
+
+func spec(name string, demandLittle float64) task.Spec {
+	return task.Spec{
+		Name:     name,
+		Priority: 1,
+		MinHR:    24,
+		MaxHR:    30,
+		Phases:   []task.Phase{{HBCostLittle: demandLittle / 27, SpeedupBig: 2}},
+		Loop:     true,
+	}
+}
+
+func newRig(cfg Config) (*platform.Platform, *Governor) {
+	p := platform.NewTC2()
+	g := New(cfg)
+	p.SetGovernor(g)
+	return p, g
+}
+
+// "The HL scheduler migrates the tasks to the powerful A15 cluster at the
+// first opportunity": a CPU-bound task saturates its LITTLE core, its load
+// rises past the up-threshold, and it moves to big.
+func TestBusyTaskMigratesToBigQuickly(t *testing.T) {
+	p, _ := newRig(DefaultConfig(0))
+	tk := p.AddTask(spec("busy", 900), 2)
+	p.Run(2 * sim.Second)
+	if p.ClusterOf(tk).Spec.Type != hw.Big {
+		t.Errorf("CPU-bound task still on %v after 2s", p.ClusterOf(tk).Spec.Type)
+	}
+}
+
+// A lightly-loaded task on a big core drops below the down-threshold and
+// returns to LITTLE.
+func TestLightTaskReturnsToLittle(t *testing.T) {
+	p, _ := newRig(DefaultConfig(0))
+	s := spec("light", 100)
+	s.Phases[0].SelfCapHR = 28 // paces itself: low load on a big core
+	tk := p.AddTask(s, 0)
+	p.Run(10 * sim.Second)
+	if p.ClusterOf(tk).Spec.Type != hw.Little {
+		t.Errorf("light task still on %v", p.ClusterOf(tk).Spec.Type)
+	}
+}
+
+// ondemand jumps to fmax above the up threshold…
+func TestOndemandRacesToMax(t *testing.T) {
+	p, _ := newRig(DefaultConfig(0))
+	p.AddTask(spec("busy", 2000), 0) // saturates a big core
+	p.Run(5 * sim.Second)
+	big := p.Chip.Clusters[0]
+	if big.Level() != big.NumLevels()-1 {
+		t.Errorf("big level = %d under saturation, want top", big.Level())
+	}
+}
+
+// …and scales down toward the 80 % target when load is modest.
+func TestOndemandScalesDown(t *testing.T) {
+	p, _ := newRig(DefaultConfig(0))
+	s := spec("v", 300)
+	s.Phases[0].SelfCapHR = 30 // consumes ≤ 333 PU
+	p.AddTask(s, 2)
+	little := p.Chip.Clusters[1]
+	little.SetLevel(little.NumLevels() - 1)
+	p.Run(10 * sim.Second)
+	if f := little.CurLevel().FreqMHz; f > 500 {
+		t.Errorf("LITTLE frequency = %d MHz for a ≈330 PU task, want ≤ 500", f)
+	}
+}
+
+// HL ignores heart rates and priorities: weights stay at the fair default.
+func TestWeightsUntouched(t *testing.T) {
+	p, _ := newRig(DefaultConfig(0))
+	a := p.AddTask(spec("a", 900), 2)
+	b := p.AddTask(spec("b", 300), 2)
+	p.Run(5 * sim.Second)
+	if p.Weight(a) != p.Weight(b) {
+		t.Errorf("weights diverged: %v vs %v", p.Weight(a), p.Weight(b))
+	}
+}
+
+// Under TDP, exceeding the budget shuts the big cluster off permanently and
+// evacuates its tasks.
+func TestTDPShutsBigCluster(t *testing.T) {
+	cfg := DefaultConfig(4.0)
+	p, g := newRig(cfg)
+	a := p.AddTask(spec("a", 1400), 0)
+	b := p.AddTask(spec("b", 1400), 1)
+	c := p.AddTask(spec("c", 1400), 2)
+	pr := metrics.NewProbe(p, 5*sim.Second)
+	pr.Attach()
+	p.Run(20 * sim.Second)
+	if !g.BigClusterOff() {
+		t.Fatal("big cluster not shut down despite TDP breach")
+	}
+	if p.Chip.Clusters[0].On {
+		t.Error("big cluster still powered")
+	}
+	for _, tk := range []*task.Task{a, b, c} {
+		if p.ClusterOf(tk).Spec.Type != hw.Little {
+			t.Errorf("task %s not evacuated to LITTLE", tk.Name)
+		}
+	}
+	if avg := pr.AveragePower(); avg > 4.0 {
+		t.Errorf("average power = %.2f W after shutdown", avg)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	g := New(Config{})
+	if g.cfg.SamplePeriod != 100*sim.Millisecond || g.cfg.UpThreshold != 0.8 {
+		t.Errorf("defaults not applied: %+v", g.cfg)
+	}
+	if g.Name() != "HL" {
+		t.Errorf("name = %q", g.Name())
+	}
+}

@@ -1,0 +1,338 @@
+// Package hpm re-implements the paper's primary baseline: the Hierarchical
+// Power Management framework of Muthukaruppan et al. (DAC'13) [25], a
+// control-theory governor for asymmetric multi-cores.
+//
+// Structure, as described there and summarized in §5.3 of the paper:
+//
+//   - per-task PID controllers steer each task's CPU share (nice value) to
+//     hold its heart rate inside the reference range;
+//   - per-cluster threshold controllers with hysteresis steer the shared
+//     V-F level so no task sits below its range, stepping down only when
+//     every task overshoots;
+//   - an outer TDP loop caps power by forcing the hungriest cluster down
+//     and blocking step-ups while the chip exceeds the budget;
+//   - load balancing and task migration are deliberately naive ("the HPM
+//     scheduler uses naive load balancing and task migration strategy",
+//     §5.3): balancing equalizes task counts inside a cluster, and a task
+//     migrates up when it keeps missing its range with the cluster already
+//     at the top rung (resp. down when over-satisfied at the bottom rung),
+//     oblivious to conditions in the target cluster.
+package hpm
+
+import (
+	"math"
+
+	"pricepower/internal/control"
+	"pricepower/internal/hw"
+	"pricepower/internal/platform"
+	"pricepower/internal/sched"
+	"pricepower/internal/sim"
+	"pricepower/internal/task"
+)
+
+// Config tunes the baseline.
+type Config struct {
+	// Period is the control period (default 50 ms, the DAC'13 epoch scale).
+	Period sim.Time
+	// BalanceEvery and MigrateEvery are in control periods (defaults 2, 4).
+	BalanceEvery, MigrateEvery int
+	// Wtdp is the TDP budget; 0 disables power capping.
+	Wtdp float64
+	// MissesBeforeMigrate is how many consecutive missed periods trigger an
+	// up-migration (default 3).
+	MissesBeforeMigrate int
+}
+
+// DefaultConfig returns the baseline tuning for a given TDP (0 = none).
+func DefaultConfig(wtdp float64) Config {
+	return Config{
+		Period:              50 * sim.Millisecond,
+		BalanceEvery:        2,
+		MigrateEvery:        4,
+		Wtdp:                wtdp,
+		MissesBeforeMigrate: 3,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig(c.Wtdp)
+	if c.Period <= 0 {
+		c.Period = d.Period
+	}
+	if c.BalanceEvery <= 0 {
+		c.BalanceEvery = d.BalanceEvery
+	}
+	if c.MigrateEvery <= 0 {
+		c.MigrateEvery = d.MigrateEvery
+	}
+	if c.MissesBeforeMigrate <= 0 {
+		c.MissesBeforeMigrate = d.MissesBeforeMigrate
+	}
+	return c
+}
+
+type taskCtl struct {
+	pid    control.PID
+	weight float64
+	misses int
+	overs  int
+}
+
+// clusterCtl is the per-cluster hysteresis state.
+type clusterCtl struct {
+	up, down int
+}
+
+// Governor implements platform.Governor.
+type Governor struct {
+	cfg Config
+	p   *platform.Platform
+
+	taskCtls    map[*task.Task]*taskCtl
+	clusterCtls []clusterCtl
+
+	next  sim.Time
+	round int
+}
+
+// New builds an HPM governor.
+func New(cfg Config) *Governor {
+	return &Governor{cfg: cfg.withDefaults(), taskCtls: make(map[*task.Task]*taskCtl)}
+}
+
+// Name implements platform.Governor.
+func (g *Governor) Name() string { return "HPM" }
+
+// Attach implements platform.Governor.
+func (g *Governor) Attach(p *platform.Platform) {
+	g.p = p
+	g.clusterCtls = make([]clusterCtl, len(p.Chip.Clusters))
+	g.next = g.cfg.Period
+}
+
+// Tick implements platform.Governor.
+func (g *Governor) Tick(now sim.Time) {
+	if now < g.next {
+		return
+	}
+	g.next += g.cfg.Period
+	g.round++
+	dt := g.cfg.Period.Seconds()
+
+	g.controlTasks(now, dt)
+	g.controlClusters(now, dt)
+	g.capPower()
+
+	if g.round%g.cfg.MigrateEvery == 0 {
+		g.migrate(now)
+	} else if g.round%g.cfg.BalanceEvery == 0 {
+		g.balance()
+	}
+}
+
+// controlTasks runs the per-task heart-rate PIDs onto scheduler weights.
+func (g *Governor) controlTasks(now sim.Time, dt float64) {
+	live := make(map[*task.Task]bool)
+	for _, t := range g.p.Tasks() {
+		live[t] = true
+		tc, ok := g.taskCtls[t]
+		if !ok {
+			tc = &taskCtl{
+				pid:    control.PID{Kp: 0.8, Ki: 0.3, OutMin: -2, OutMax: 2},
+				weight: sched.NiceToWeight(0),
+			}
+			g.taskCtls[t] = tc
+		}
+		hr := t.HeartRate(now)
+		if hr <= 0 {
+			continue
+		}
+		errNorm := (t.TargetHR() - hr) / t.TargetHR()
+		out := tc.pid.Update(errNorm, dt)
+		tc.weight *= 1 + 0.25*out*dt/0.05 // gentle multiplicative update
+		tc.weight = clamp(tc.weight, 16, 1<<17)
+		g.p.SetWeight(t, tc.weight)
+
+		// Migration pressure counters are level-qualified: a miss only
+		// counts when the cluster already runs at its top rung (DVFS cannot
+		// help any more), an overshoot only at the bottom rung.
+		cl := g.p.ClusterOf(t)
+		switch {
+		case hr < t.MinHR && cl.Level() == cl.NumLevels()-1:
+			tc.misses++
+			tc.overs = 0
+		case hr > t.MaxHR && cl.Level() == 0:
+			tc.overs++
+			tc.misses = 0
+		case hr >= t.MinHR && hr <= t.MaxHR:
+			tc.misses, tc.overs = 0, 0
+		}
+	}
+	for t := range g.taskCtls {
+		if !live[t] {
+			delete(g.taskCtls, t)
+		}
+	}
+}
+
+// controlClusters steers each cluster's V-F level from its tasks' heart
+// rates: step up when any task sits below its range, step down only when
+// every task overshoots its range, each after two consecutive observations
+// (hysteresis against HRM measurement lag). Raw utilization would be
+// useless here — a CPU-bound task reads util = 1 at every frequency.
+func (g *Governor) controlClusters(now sim.Time, dt float64) {
+	for i, cl := range g.p.Chip.Clusters {
+		if !cl.On {
+			continue
+		}
+		anyBelow := false
+		busy := false
+		allAbove := true
+		for _, c := range cl.Cores {
+			for _, t := range g.p.TasksOnCore(c.ID) {
+				busy = true
+				hr := t.HeartRate(now)
+				if hr < t.MinHR {
+					anyBelow = true
+				}
+				if hr <= t.MaxHR {
+					allAbove = false
+				}
+			}
+		}
+		st := &g.clusterCtls[i]
+		if !busy {
+			cl.StepDown()
+			st.up, st.down = 0, 0
+			continue
+		}
+		switch {
+		case anyBelow:
+			st.up++
+			st.down = 0
+			if st.up >= 2 {
+				cl.StepUp()
+				st.up = 0
+			}
+		case allAbove:
+			st.down++
+			st.up = 0
+			if st.down >= 2 {
+				cl.StepDown()
+				st.down = 0
+			}
+		default:
+			st.up, st.down = 0, 0
+		}
+	}
+}
+
+// capPower is the outer TDP loop: above budget, push the hungriest cluster
+// down a rung each period.
+func (g *Governor) capPower() {
+	if g.cfg.Wtdp <= 0 || g.p.Power() < g.cfg.Wtdp {
+		return
+	}
+	var worst *hw.Cluster
+	worstP := -1.0
+	for i, cl := range g.p.Chip.Clusters {
+		if !cl.On {
+			continue
+		}
+		if p := g.p.ClusterPower(i); p > worstP {
+			worst, worstP = cl, p
+		}
+	}
+	if worst != nil {
+		worst.StepDown()
+	}
+}
+
+// balance equalizes task counts across the cores of each cluster (the
+// naive strategy).
+func (g *Governor) balance() {
+	for _, cl := range g.p.Chip.Clusters {
+		var maxC, minC *hw.Core
+		maxN, minN := -1, math.MaxInt32
+		for _, c := range cl.Cores {
+			n := len(g.p.TasksOnCore(c.ID))
+			if n > maxN {
+				maxC, maxN = c, n
+			}
+			if n < minN {
+				minC, minN = c, n
+			}
+		}
+		if maxC == nil || minC == nil || maxN-minN < 2 {
+			continue
+		}
+		ts := g.p.TasksOnCore(maxC.ID)
+		for _, t := range ts {
+			if !g.p.Migrating(t) {
+				g.p.Migrate(t, minC.ID)
+				break
+			}
+		}
+	}
+}
+
+// migrate applies the naive cross-cluster policy: persistent misses at the
+// top rung push a task to the big cluster; persistent over-satisfaction at
+// the bottom rung pulls it back to LITTLE. The target core is chosen only
+// by task count (oblivious to utilization there).
+func (g *Governor) migrate(now sim.Time) {
+	for _, t := range g.p.Tasks() {
+		tc := g.taskCtls[t]
+		if tc == nil || g.p.Migrating(t) {
+			continue
+		}
+		cl := g.p.ClusterOf(t)
+		switch {
+		case cl.Spec.Type == hw.Little &&
+			tc.misses >= g.cfg.MissesBeforeMigrate &&
+			cl.Level() == cl.NumLevels()-1:
+			if dst := g.emptiestCore(hw.Big); dst >= 0 {
+				g.p.Migrate(t, dst)
+				tc.misses = 0
+				tc.pid.Reset()
+				return // one migration per invocation
+			}
+		case cl.Spec.Type == hw.Big &&
+			tc.overs >= g.cfg.MissesBeforeMigrate &&
+			cl.Level() == 0:
+			if dst := g.emptiestCore(hw.Little); dst >= 0 {
+				g.p.Migrate(t, dst)
+				tc.overs = 0
+				tc.pid.Reset()
+				return
+			}
+		}
+	}
+}
+
+// emptiestCore returns the core of the given type hosting the fewest tasks,
+// or -1 if the type does not exist on chip.
+func (g *Governor) emptiestCore(ct hw.CoreType) int {
+	best, bestN := -1, math.MaxInt32
+	for _, c := range g.p.Chip.Cores {
+		if c.Type() != ct || !c.Cluster.On {
+			continue
+		}
+		if n := len(g.p.TasksOnCore(c.ID)); n < bestN {
+			best, bestN = c.ID, n
+		}
+	}
+	return best
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+var _ platform.Governor = (*Governor)(nil)

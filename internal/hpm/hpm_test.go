@@ -1,0 +1,129 @@
+package hpm
+
+import (
+	"testing"
+
+	"pricepower/internal/hw"
+	"pricepower/internal/metrics"
+	"pricepower/internal/platform"
+	"pricepower/internal/sim"
+	"pricepower/internal/task"
+)
+
+func spec(name string, demandLittle float64) task.Spec {
+	return task.Spec{
+		Name:     name,
+		Priority: 1,
+		MinHR:    24,
+		MaxHR:    30,
+		Phases:   []task.Phase{{HBCostLittle: demandLittle / 27, SpeedupBig: 2}},
+		Loop:     true,
+	}
+}
+
+func newRig(cfg Config) (*platform.Platform, *Governor) {
+	p := platform.NewTC2()
+	g := New(cfg)
+	p.SetGovernor(g)
+	return p, g
+}
+
+func TestTaskPIDHoldsHeartRate(t *testing.T) {
+	p, _ := newRig(DefaultConfig(0))
+	tk := p.AddTask(spec("a", 540), 2)
+	pr := metrics.NewProbe(p, 5*sim.Second)
+	pr.Attach()
+	p.Run(25 * sim.Second)
+	if got := pr.BelowFrac(tk); got > 0.2 {
+		t.Errorf("below-range fraction = %.3f, want < 0.2", got)
+	}
+}
+
+func TestClusterControlRaisesFrequencyUnderLoad(t *testing.T) {
+	p, _ := newRig(DefaultConfig(0))
+	tk := p.AddTask(spec("a", 900), 2)
+	p.Run(10 * sim.Second)
+	little := p.Chip.Clusters[1]
+	// A 900 PU demand needs the 900 MHz rung (level 6 of the A7 ladder);
+	// the controller must climb there and hold the heart rate in range.
+	if little.Level() < 6 {
+		t.Errorf("LITTLE level = %d for a 900 PU task, want ≥ 6", little.Level())
+	}
+	if !tk.InRange(p.Now()) {
+		t.Errorf("heart rate %.1f outside range at steady state", tk.HeartRate(p.Now()))
+	}
+}
+
+func TestClusterPIDDropsFrequencyWhenIdle(t *testing.T) {
+	p, _ := newRig(DefaultConfig(0))
+	s := spec("v", 200)
+	s.Phases[0].SelfCapHR = 30
+	p.AddTask(s, 2)
+	little := p.Chip.Clusters[1]
+	little.SetLevel(little.NumLevels() - 1)
+	p.Run(10 * sim.Second)
+	if f := little.CurLevel().FreqMHz; f > 500 {
+		t.Errorf("LITTLE frequency = %d MHz for a 200 PU self-paced task", f)
+	}
+}
+
+func TestPersistentMissMigratesToBig(t *testing.T) {
+	p, _ := newRig(DefaultConfig(0))
+	tk := p.AddTask(spec("hungry", 1600), 2)
+	p.Run(20 * sim.Second)
+	if p.ClusterOf(tk).Spec.Type != hw.Big {
+		t.Errorf("starving task still on %v", p.ClusterOf(tk).Spec.Type)
+	}
+}
+
+func TestOverSatisfiedTaskReturnsToLittle(t *testing.T) {
+	p, _ := newRig(DefaultConfig(0))
+	s := spec("tiny", 150)
+	s.Phases[0].SelfCapHR = 45 // overshoots its range when oversupplied
+	tk := p.AddTask(s, 0)      // starts on a big core
+	p.Run(30 * sim.Second)
+	if p.ClusterOf(tk).Spec.Type != hw.Little {
+		t.Errorf("over-satisfied task still on %v", p.ClusterOf(tk).Spec.Type)
+	}
+}
+
+func TestBalanceSpreadsTasksWithinCluster(t *testing.T) {
+	p, _ := newRig(DefaultConfig(0))
+	for i := 0; i < 3; i++ {
+		p.AddTask(spec("t", 300), 2) // all crowded on LITTLE core 2
+	}
+	p.Run(10 * sim.Second)
+	counts := 0
+	for c := 2; c <= 4; c++ {
+		if len(p.TasksOnCore(c)) > 0 {
+			counts++
+		}
+	}
+	if counts < 2 {
+		t.Errorf("tasks still crowded: %d occupied LITTLE cores", counts)
+	}
+}
+
+func TestTDPCapForcesPowerDown(t *testing.T) {
+	cfg := DefaultConfig(3.0)
+	p, _ := newRig(cfg)
+	p.AddTask(spec("a", 1400), 0)
+	p.AddTask(spec("b", 1400), 1)
+	p.AddTask(spec("c", 1400), 2)
+	pr := metrics.NewProbe(p, 10*sim.Second)
+	pr.Attach()
+	p.Run(30 * sim.Second)
+	if avg := pr.AveragePower(); avg > 3.4 {
+		t.Errorf("average power = %.2f W under a 3 W cap", avg)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	g := New(Config{})
+	if g.cfg.Period != 50*sim.Millisecond || g.cfg.MissesBeforeMigrate != 3 {
+		t.Errorf("defaults not applied: %+v", g.cfg)
+	}
+	if g.Name() != "HPM" {
+		t.Errorf("name = %q", g.Name())
+	}
+}

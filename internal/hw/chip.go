@@ -1,0 +1,180 @@
+package hw
+
+import "fmt"
+
+// Core is one processor core. Its utilization is written by the scheduler
+// substrate each tick and read by the power model.
+type Core struct {
+	ID      int
+	Cluster *Cluster
+
+	// Utilization is the fraction of the last tick the core spent executing
+	// task work, in [0,1]. The scheduler sets it; the power model reads it.
+	Utilization float64
+}
+
+// Type reports the core's micro-architecture.
+func (c *Core) Type() CoreType { return c.Cluster.Spec.Type }
+
+// SupplyPU reports the core's current supply in processing units
+// (== its cluster's frequency in MHz), or 0 if the cluster is off.
+func (c *Core) SupplyPU() float64 {
+	if !c.Cluster.On {
+		return 0
+	}
+	return float64(c.Cluster.CurLevel().FreqMHz)
+}
+
+// Cluster is a set of identical cores behind one shared V-F regulator.
+type Cluster struct {
+	ID    int
+	Spec  ClusterSpec
+	Cores []*Core
+
+	// On reports whether the cluster is powered. A powered-down cluster
+	// supplies no PUs and draws only Spec.OffPower.
+	On bool
+
+	level       int // index into Spec.Levels
+	transitions int // count of V-F changes (thermal-cycling proxy)
+}
+
+// CurLevel returns the active V-F rung.
+func (cl *Cluster) CurLevel() VFLevel { return cl.Spec.Levels[cl.level] }
+
+// Level returns the index of the active rung.
+func (cl *Cluster) Level() int { return cl.level }
+
+// NumLevels reports the ladder height.
+func (cl *Cluster) NumLevels() int { return len(cl.Spec.Levels) }
+
+// Transitions reports how many V-F changes the cluster has performed.
+func (cl *Cluster) Transitions() int { return cl.transitions }
+
+// SetLevel jumps directly to ladder rung i (clamped to the valid range) and
+// reports whether the level actually changed.
+func (cl *Cluster) SetLevel(i int) bool {
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(cl.Spec.Levels) {
+		i = len(cl.Spec.Levels) - 1
+	}
+	if i == cl.level {
+		return false
+	}
+	cl.level = i
+	cl.transitions++
+	return true
+}
+
+// StepUp raises the V-F level one rung. It reports false when already at the
+// top of the ladder.
+func (cl *Cluster) StepUp() bool {
+	if cl.level+1 >= len(cl.Spec.Levels) {
+		return false
+	}
+	cl.level++
+	cl.transitions++
+	return true
+}
+
+// StepDown lowers the V-F level one rung. It reports false when already at
+// the bottom.
+func (cl *Cluster) StepDown() bool {
+	if cl.level == 0 {
+		return false
+	}
+	cl.level--
+	cl.transitions++
+	return true
+}
+
+// SupplyPU reports the per-core supply of the cluster in PUs (the paper's
+// S_v: every core in the cluster has the same supply).
+func (cl *Cluster) SupplyPU() float64 {
+	if !cl.On {
+		return 0
+	}
+	return float64(cl.CurLevel().FreqMHz)
+}
+
+// LevelForSupply returns the lowest ladder index whose frequency supplies at
+// least want PUs, implementing the paper's round-up-demand-to-next-supply
+// rule. If want exceeds the ladder it returns the top index.
+func (cl *Cluster) LevelForSupply(want float64) int {
+	for i, l := range cl.Spec.Levels {
+		if float64(l.FreqMHz) >= want {
+			return i
+		}
+	}
+	return len(cl.Spec.Levels) - 1
+}
+
+// PowerOn powers the cluster up at its lowest V-F level.
+func (cl *Cluster) PowerOn() {
+	if !cl.On {
+		cl.On = true
+		cl.level = 0
+	}
+}
+
+// PowerOff gates the cluster.
+func (cl *Cluster) PowerOff() { cl.On = false }
+
+// Chip is the assembled platform: all clusters and cores plus the TDP
+// constraint.
+type Chip struct {
+	Spec     ChipSpec
+	Clusters []*Cluster
+	Cores    []*Core
+}
+
+// NewChip instantiates a chip from its spec. It returns an error if the
+// spec is inconsistent.
+func NewChip(spec ChipSpec) (*Chip, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	chip := &Chip{Spec: spec}
+	coreID := 0
+	for ci, cs := range spec.Clusters {
+		cl := &Cluster{ID: ci, Spec: cs, On: true, level: 0}
+		for i := 0; i < cs.NumCores; i++ {
+			core := &Core{ID: coreID, Cluster: cl}
+			coreID++
+			cl.Cores = append(cl.Cores, core)
+			chip.Cores = append(chip.Cores, core)
+		}
+		chip.Clusters = append(chip.Clusters, cl)
+	}
+	return chip, nil
+}
+
+// MustNewChip is NewChip for specs known-good at compile time; it panics on
+// error.
+func MustNewChip(spec ChipSpec) *Chip {
+	c, err := NewChip(spec)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// TDP reports the thermal design power constraint (Wtdp).
+func (c *Chip) TDP() float64 { return c.Spec.TDP }
+
+// ClusterOf returns the cluster a core belongs to.
+func (c *Chip) ClusterOf(coreID int) *Cluster {
+	return c.Cores[coreID].Cluster
+}
+
+// String summarizes the platform.
+func (c *Chip) String() string {
+	s := c.Spec.Name + ":"
+	for _, cl := range c.Clusters {
+		s += fmt.Sprintf(" %dx%s@%d-%dMHz", cl.Spec.NumCores, cl.Spec.Type,
+			cl.Spec.MinFreqMHz(), cl.Spec.MaxFreqMHz())
+	}
+	return s
+}

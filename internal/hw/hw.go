@@ -1,0 +1,105 @@
+// Package hw models the heterogeneous multi-core hardware the paper runs
+// on: clusters of identical cores sharing one voltage-frequency regulator,
+// an analytic power model, an energy meter, and the measured task-migration
+// cost model of the ARM big.LITTLE TC2 test chip.
+//
+// Supply follows the paper's convention: a core running at F MHz supplies
+// F Processing Units (PU), where 1 PU = one million processor cycles per
+// second. Heterogeneity is expressed by tasks needing fewer PUs on a big
+// core than on a LITTLE core for the same application-level performance.
+package hw
+
+import "fmt"
+
+// CoreType distinguishes the micro-architectures on chip.
+type CoreType int
+
+const (
+	// Little is a simple, in-order, energy-efficient core (Cortex-A7 class).
+	Little CoreType = iota
+	// Big is a complex, out-of-order, high-performance core (Cortex-A15 class).
+	Big
+)
+
+// String returns the conventional big.LITTLE name of the core type.
+func (t CoreType) String() string {
+	switch t {
+	case Little:
+		return "LITTLE"
+	case Big:
+		return "big"
+	default:
+		return fmt.Sprintf("CoreType(%d)", int(t))
+	}
+}
+
+// VFLevel is one rung of a cluster's voltage-frequency ladder.
+type VFLevel struct {
+	FreqMHz int     // clock frequency; also the per-core supply in PUs
+	Voltage float64 // regulator voltage in volts
+}
+
+// ClusterSpec describes one voltage-frequency cluster.
+type ClusterSpec struct {
+	Name     string
+	Type     CoreType
+	NumCores int
+	// Levels is the V-F ladder in strictly ascending frequency order.
+	Levels []VFLevel
+
+	// Power-model coefficients (see PowerModel):
+	CeffDynamic   float64 // W per (GHz · V²) per fully-utilized core
+	StaticPerCore float64 // per-core leakage W at nominal (max-level) voltage
+	StaticBase    float64 // cluster uncore static W at nominal voltage
+	OffPower      float64 // residual W when the cluster is power-gated
+}
+
+// Validate checks internal consistency of the spec.
+func (s *ClusterSpec) Validate() error {
+	if s.NumCores <= 0 {
+		return fmt.Errorf("hw: cluster %q has %d cores", s.Name, s.NumCores)
+	}
+	if len(s.Levels) == 0 {
+		return fmt.Errorf("hw: cluster %q has no V-F levels", s.Name)
+	}
+	for i := 1; i < len(s.Levels); i++ {
+		if s.Levels[i].FreqMHz <= s.Levels[i-1].FreqMHz {
+			return fmt.Errorf("hw: cluster %q V-F ladder not ascending at level %d", s.Name, i)
+		}
+	}
+	for i, l := range s.Levels {
+		if l.FreqMHz <= 0 || l.Voltage <= 0 {
+			return fmt.Errorf("hw: cluster %q level %d has non-positive freq/voltage", s.Name, i)
+		}
+	}
+	return nil
+}
+
+// MaxFreqMHz reports the top rung of the ladder.
+func (s *ClusterSpec) MaxFreqMHz() int { return s.Levels[len(s.Levels)-1].FreqMHz }
+
+// MinFreqMHz reports the bottom rung of the ladder.
+func (s *ClusterSpec) MinFreqMHz() int { return s.Levels[0].FreqMHz }
+
+// ChipSpec describes the whole platform.
+type ChipSpec struct {
+	Name     string
+	Clusters []ClusterSpec
+	TDP      float64 // thermal design power in W (the Wtdp constraint)
+}
+
+// Validate checks the chip spec and all cluster specs.
+func (s *ChipSpec) Validate() error {
+	if len(s.Clusters) == 0 {
+		return fmt.Errorf("hw: chip %q has no clusters", s.Name)
+	}
+	if s.TDP <= 0 {
+		return fmt.Errorf("hw: chip %q has non-positive TDP", s.Name)
+	}
+	for i := range s.Clusters {
+		if err := s.Clusters[i].Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,78 @@
+package hw
+
+import "pricepower/internal/sim"
+
+// Migration cost model
+//
+// The paper measures task-migration penalties on TC2 (§5.1):
+//
+//	within the big cluster:      54–105 µs
+//	within the LITTLE cluster:   71–167 µs
+//	LITTLE → big:             1.88–2.16 ms
+//	big → LITTLE:             3.54–3.83 ms
+//
+// with the spread attributed to the frequency level: migrations cost more at
+// lower clock speeds. We interpolate linearly between the two endpoints on
+// the *source* cluster's position in its ladder (top rung → cheapest).
+
+// costRange holds the [at-max-frequency, at-min-frequency] cost endpoints.
+type costRange struct {
+	fast, slow sim.Time
+}
+
+func (r costRange) at(levelFrac float64) sim.Time {
+	// levelFrac is 1 at the top rung, 0 at the bottom.
+	return r.slow - sim.Time(levelFrac*float64(r.slow-r.fast))
+}
+
+var (
+	intraBig      = costRange{54 * sim.Microsecond, 105 * sim.Microsecond}
+	intraLittle   = costRange{71 * sim.Microsecond, 167 * sim.Microsecond}
+	littleToBig   = costRange{1880 * sim.Microsecond, 2160 * sim.Microsecond}
+	bigToLittle   = costRange{3540 * sim.Microsecond, 3830 * sim.Microsecond}
+	homoUnknown   = costRange{100 * sim.Microsecond, 200 * sim.Microsecond}
+	heteroUnknown = costRange{2 * sim.Millisecond, 4 * sim.Millisecond}
+)
+
+// MigrationCost returns the time a task is unavailable while moving from
+// core src to core dst, given the current V-F levels of their clusters.
+func MigrationCost(src, dst *Core) sim.Time {
+	if src.Cluster == dst.Cluster {
+		if src.Cluster == nil {
+			return 0
+		}
+		return intraCost(src.Cluster)
+	}
+	frac := levelFrac(src.Cluster)
+	switch {
+	case src.Type() == Little && dst.Type() == Big:
+		return littleToBig.at(frac)
+	case src.Type() == Big && dst.Type() == Little:
+		return bigToLittle.at(frac)
+	case src.Type() == dst.Type():
+		// Cross-cluster but same micro-architecture (e.g. a many-cluster
+		// scalability platform): still a cache-warmth penalty.
+		return homoUnknown.at(frac)
+	default:
+		return heteroUnknown.at(frac)
+	}
+}
+
+func intraCost(cl *Cluster) sim.Time {
+	frac := levelFrac(cl)
+	switch cl.Spec.Type {
+	case Big:
+		return intraBig.at(frac)
+	case Little:
+		return intraLittle.at(frac)
+	default:
+		return homoUnknown.at(frac)
+	}
+}
+
+func levelFrac(cl *Cluster) float64 {
+	if cl == nil || len(cl.Spec.Levels) <= 1 {
+		return 1
+	}
+	return float64(cl.Level()) / float64(len(cl.Spec.Levels)-1)
+}

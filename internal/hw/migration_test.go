@@ -1,0 +1,91 @@
+package hw
+
+import (
+	"testing"
+
+	"pricepower/internal/sim"
+)
+
+func TestMigrationCostRangesMatchPaper(t *testing.T) {
+	chip := NewTC2()
+	big := chip.Clusters[0]
+	little := chip.Clusters[1]
+	bigCore0, bigCore1 := big.Cores[0], big.Cores[1]
+	lc0, lc1 := little.Cores[0], little.Cores[1]
+
+	// At max frequency the costs sit at the fast end of the paper's ranges.
+	big.SetLevel(big.NumLevels() - 1)
+	little.SetLevel(little.NumLevels() - 1)
+	checks := []struct {
+		name     string
+		src, dst *Core
+		lo, hi   sim.Time
+	}{
+		{"intra-big fast", bigCore0, bigCore1, 54, 54},
+		{"intra-LITTLE fast", lc0, lc1, 71, 71},
+		{"L→b fast", lc0, bigCore0, 1880, 1880},
+		{"b→L fast", bigCore0, lc0, 3540, 3540},
+	}
+	for _, c := range checks {
+		got := MigrationCost(c.src, c.dst)
+		if got < c.lo*sim.Microsecond || got > c.hi*sim.Microsecond {
+			t.Errorf("%s: cost = %v, want in [%dµs,%dµs]", c.name, got, c.lo, c.hi)
+		}
+	}
+
+	// At min frequency the slow end applies.
+	big.SetLevel(0)
+	little.SetLevel(0)
+	slow := []struct {
+		name     string
+		src, dst *Core
+		want     sim.Time
+	}{
+		{"intra-big slow", bigCore0, bigCore1, 105 * sim.Microsecond},
+		{"intra-LITTLE slow", lc0, lc1, 167 * sim.Microsecond},
+		{"L→b slow", lc0, bigCore0, 2160 * sim.Microsecond},
+		{"b→L slow", bigCore0, lc0, 3830 * sim.Microsecond},
+	}
+	for _, c := range slow {
+		if got := MigrationCost(c.src, c.dst); got != c.want {
+			t.Errorf("%s: cost = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestMigrationCostCrossClusterDominatesIntra(t *testing.T) {
+	chip := NewTC2()
+	intra := MigrationCost(chip.Clusters[1].Cores[0], chip.Clusters[1].Cores[1])
+	cross := MigrationCost(chip.Clusters[1].Cores[0], chip.Clusters[0].Cores[0])
+	if cross <= 5*intra {
+		t.Errorf("cross-cluster cost %v not ≫ intra cost %v", cross, intra)
+	}
+}
+
+func TestMigrationCostHomogeneousClusters(t *testing.T) {
+	chip := MustNewChip(ScaledSpec(4, 2))
+	// Clusters 0 and 2 are both LITTLE-type in the scaled platform.
+	got := MigrationCost(chip.Clusters[0].Cores[0], chip.Clusters[2].Cores[0])
+	if got <= 0 {
+		t.Errorf("homogeneous cross-cluster cost = %v, want > 0", got)
+	}
+	if got > sim.Millisecond {
+		t.Errorf("homogeneous cross-cluster cost = %v, want < 1ms", got)
+	}
+}
+
+func TestMigrationCostInterpolatesWithLevel(t *testing.T) {
+	chip := NewTC2()
+	little := chip.Clusters[1]
+	big := chip.Clusters[0]
+	src, dst := little.Cores[0], big.Cores[0]
+	prev := sim.Time(1 << 62)
+	for l := 0; l < little.NumLevels(); l++ {
+		little.SetLevel(l)
+		c := MigrationCost(src, dst)
+		if c > prev {
+			t.Errorf("cost increased with frequency: level %d cost %v after %v", l, c, prev)
+		}
+		prev = c
+	}
+}

@@ -1,0 +1,98 @@
+package hw
+
+import "fmt"
+
+// TC2Spec returns the platform model of the paper's evaluation board: the
+// Versatile Express TC2 CoreTile with a 2-core Cortex-A15 (big) cluster and
+// a 3-core Cortex-A7 (LITTLE) cluster behind per-cluster V-F regulators.
+//
+// The V-F ladders follow the TC2 operating points; the power coefficients
+// are calibrated so that the observed envelopes of §5.3 hold: the LITTLE
+// cluster peaks at ≈2 W, the big cluster at ≈6 W, and the platform TDP is
+// 8 W (artificially capped to 4 W in the Figure 6 experiment).
+func TC2Spec() ChipSpec {
+	return ChipSpec{
+		Name: "vexpress-tc2",
+		TDP:  8.0,
+		Clusters: []ClusterSpec{
+			{
+				Name:     "a15",
+				Type:     Big,
+				NumCores: 2,
+				Levels: []VFLevel{
+					{500, 0.88}, {600, 0.90}, {700, 0.92}, {800, 0.95},
+					{900, 1.00}, {1000, 1.05}, {1100, 1.10}, {1200, 1.15},
+				},
+				CeffDynamic:   1.717, // → 2.725 W dynamic/core at 1.2 GHz, 1.15 V
+				StaticPerCore: 0.15,
+				StaticBase:    0.25,
+				OffPower:      0.02,
+			},
+			{
+				Name:     "a7",
+				Type:     Little,
+				NumCores: 3,
+				Levels: []VFLevel{
+					{350, 0.85}, {400, 0.875}, {500, 0.90}, {600, 0.925},
+					{700, 0.95}, {800, 1.00}, {900, 1.05}, {1000, 1.10},
+				},
+				CeffDynamic:   0.468, // → 0.566 W dynamic/core at 1 GHz, 1.1 V
+				StaticPerCore: 0.05,
+				StaticBase:    0.15,
+				OffPower:      0.01,
+			},
+		},
+	}
+}
+
+// NewTC2 instantiates the TC2 platform (by convention, cluster 0 is big,
+// cluster 1 is LITTLE, matching Figure 1).
+func NewTC2() *Chip { return MustNewChip(TC2Spec()) }
+
+// ScaledSpec builds a synthetic many-cluster platform for the Table 7
+// scalability experiment: clusters alternate big/LITTLE micro-architectures
+// with maximum supplies spread across [350, 3000] PUs as in §5.5, each with
+// coresPerCluster cores.
+func ScaledSpec(clusters, coresPerCluster int) ChipSpec {
+	if clusters <= 0 || coresPerCluster <= 0 {
+		panic(fmt.Sprintf("hw: ScaledSpec(%d, %d)", clusters, coresPerCluster))
+	}
+	spec := ChipSpec{
+		Name: fmt.Sprintf("scaled-%dx%d", clusters, coresPerCluster),
+		TDP:  float64(clusters) * 4.0,
+	}
+	for i := 0; i < clusters; i++ {
+		// Spread top frequencies over 350–3000 MHz per the paper's setup.
+		maxF := 350
+		if clusters > 1 {
+			maxF = 350 + (3000-350)*i/(clusters-1)
+		}
+		minF := maxF / 3
+		if minF < 100 {
+			minF = 100
+		}
+		nLevels := 6
+		levels := make([]VFLevel, nLevels)
+		for l := 0; l < nLevels; l++ {
+			f := minF + (maxF-minF)*l/(nLevels-1)
+			levels[l] = VFLevel{FreqMHz: f, Voltage: 0.8 + 0.35*float64(l)/float64(nLevels-1)}
+		}
+		typ := Little
+		ceff := 0.468
+		if i%2 == 1 {
+			typ = Big
+			ceff = 1.717
+		}
+		spec.Clusters = append(spec.Clusters, ClusterSpec{
+			Name:          fmt.Sprintf("cl%d", i),
+			Type:          typ,
+			NumCores:      coresPerCluster,
+			Levels:        levels,
+			CeffDynamic:   ceff,
+			StaticPerCore: 0.05,
+			StaticBase:    0.1,
+			OffPower:      0.01,
+		})
+	}
+	return spec
+}

@@ -1,0 +1,15 @@
+package lbt_test
+
+import (
+	"fmt"
+
+	"pricepower/internal/lbt"
+)
+
+// The paper's Eq. 2 example: a $10 price extrapolated three V-F rungs up
+// with δ = 0.02 becomes $10.612.
+func ExamplePriceAtLevel() {
+	fmt.Printf("$%.3f\n", lbt.PriceAtLevel(10, 0.02, 3))
+	// Output:
+	// $10.612
+}

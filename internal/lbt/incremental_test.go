@@ -1,0 +1,97 @@
+package lbt
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"pricepower/internal/core"
+	"pricepower/internal/sim"
+)
+
+// randomMarket builds a market with nClusters clusters of nCores cores and
+// random tasks/demands, mirroring the Table 7 setup.
+func randomMarket(rng *sim.Rand, nClusters, nCores int) (*core.Market, Estimator, []*core.TaskAgent) {
+	controls := make([]core.ClusterControl, nClusters)
+	coresPer := make([]int, nClusters)
+	for i := range controls {
+		maxS := rng.Range(400, 2000)
+		controls[i] = core.NewLadderControl(
+			[]float64{maxS / 4, maxS / 2, 3 * maxS / 4, maxS},
+			[]float64{0.5, 1, 2, 4})
+		coresPer[i] = nCores
+	}
+	m := core.NewMarket(core.Config{InitialAllowance: 100}, controls, coresPer)
+	demands := make(map[int][]float64)
+	var agents []*core.TaskAgent
+	for coreID := 0; coreID < nClusters*nCores; coreID++ {
+		for i := 0; i < 1+rng.Intn(3); i++ {
+			a := m.AddTask(1+rng.Intn(7), coreID)
+			ds := make([]float64, nClusters)
+			for k := range ds {
+				ds[k] = rng.Range(10, 600)
+			}
+			demands[a.ID] = ds
+			agents = append(agents, a)
+		}
+	}
+	est := EstimatorFunc(func(a *core.TaskAgent, cluster int) float64 {
+		return demands[a.ID][cluster]
+	})
+	return m, est, agents
+}
+
+// Property: the incremental candidate evaluation (evalMove) agrees with the
+// full whole-chip evaluation for every randomly chosen single move — the
+// correctness contract of the Table 7 fast path.
+func TestIncrementalEvalMatchesFull(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := sim.NewRand(seed)
+		m, est, agents := randomMarket(rng, 2+rng.Intn(3), 1+rng.Intn(3))
+		p := NewPlanner(m, est)
+		base := p.currentAssignment()
+		baseChip := p.evalChip(base)
+
+		for trial := 0; trial < 10; trial++ {
+			agent := agents[rng.Intn(len(agents))]
+			// Any core on the chip as destination.
+			var cores []int
+			for _, v := range m.Clusters {
+				for _, c := range v.Cores {
+					cores = append(cores, c.ID)
+				}
+			}
+			toCore := cores[rng.Intn(len(cores))]
+			if toCore == base[agent] {
+				continue
+			}
+
+			inc := p.evalMove(baseChip, base, agent, toCore)
+			full := p.evaluate(p.withMove(base, &Move{Agent: agent, ToCore: toCore}))
+
+			if math.Abs(inc.spend-full.spend) > 1e-6*(1+math.Abs(full.spend)) {
+				t.Logf("seed %v: spend %v != %v", seed, inc.spend, full.spend)
+				return false
+			}
+			if inc.unsat != full.unsat {
+				t.Logf("seed %v: unsat %d != %d", seed, inc.unsat, full.unsat)
+				return false
+			}
+			if math.Abs(inc.minRatio-full.minRatio) > 1e-9 {
+				t.Logf("seed %v: minRatio %v != %v", seed, inc.minRatio, full.minRatio)
+				return false
+			}
+			// Affected ratios must match the full evaluation's.
+			for tk, r := range inc.newAffected {
+				if fr, ok := full.ratios[tk]; ok && math.Abs(fr-r) > 1e-9 {
+					t.Logf("seed %v: ratio of task %d %v != %v", seed, tk.ID, r, fr)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,765 @@
+// Package lbt implements the paper's Load-Balancing and Task-migration
+// module (§3.3): finding a task-to-core mapping that is better than the
+// current one in performance and/or power, one task movement at a time.
+//
+// Mappings are compared with two metrics:
+//
+//   - perf(M): a priority-lexicographic comparison of the tasks'
+//     supply/demand ratios — M′ beats M if some task's ratio improves while
+//     no higher-priority task's ratio degrades;
+//   - spend(M): the aggregate steady-state spending Σ b_t, whose reduction
+//     translates to lower V-F levels and hence lower power.
+//
+// Candidate generation follows the paper's overhead-reducing heuristic: only
+// tasks on each cluster's *constrained* core contemplate moving, and the
+// only target considered per cluster is its most over-supplied
+// unconstrained core. Load balancing targets a core in the same cluster;
+// task migration targets cores in other clusters. One movement is approved
+// per invocation, and the module is disabled in the emergency state (the
+// supply-demand module owns that regime).
+//
+// Steady-state estimation (§3.3): the demand of a task on another cluster
+// comes from off-line profiles through the Estimator interface; supply is
+// demand rounded up to the next V-F rung unless the ladder tops out, in
+// which case supply is split across the core's tasks in proportion to
+// priority. The paper estimates spend as Σ steady-state bids with prices
+// extrapolated by Eq. 2 (P_{Z+1} = P_Z·(1+δ), exported here as
+// PriceAtLevel); because a powered-down or empty cluster emits no price
+// signal at all, our estimator instead prices a mapping directly in the
+// units the market's inverse-to-power allowance feedback makes prices track
+// at equilibrium: the cluster's estimated power (idle floor plus
+// utilization-scaled dynamic power at the chosen rung). This keeps spend(M)
+// comparisons meaningful across heterogeneous clusters; see DESIGN.md for
+// the substitution note.
+package lbt
+
+import (
+	"fmt"
+	"math"
+
+	"pricepower/internal/core"
+)
+
+// Estimator supplies profiled steady-state demand of a task agent on a
+// given cluster (the paper's off-line profiling table, §5.2).
+type Estimator interface {
+	DemandOn(agent *core.TaskAgent, cluster int) float64
+}
+
+// EstimatorFunc adapts a function to the Estimator interface.
+type EstimatorFunc func(agent *core.TaskAgent, cluster int) float64
+
+// DemandOn calls f.
+func (f EstimatorFunc) DemandOn(a *core.TaskAgent, cluster int) float64 { return f(a, cluster) }
+
+// Kind distinguishes the two movement flavours.
+type Kind int
+
+const (
+	// Balance moves a task to another core in the same cluster.
+	Balance Kind = iota
+	// Migrate moves a task to a core in another cluster.
+	Migrate
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	if k == Balance {
+		return "balance"
+	}
+	return "migrate"
+}
+
+// Move is one approved task movement.
+type Move struct {
+	Agent    *core.TaskAgent
+	FromCore int
+	ToCore   int
+	Kind     Kind
+	// SpendBefore/SpendAfter are the estimated steady-state aggregate
+	// spends of the old and new mappings.
+	SpendBefore, SpendAfter float64
+	// Reason records which Figure-3 branch proposed the move.
+	Reason string
+}
+
+// String renders the move for logs.
+func (m *Move) String() string {
+	return fmt.Sprintf("%s task %d: core %d → %d (%s, spend %.4f → %.4f)",
+		m.Kind, m.Agent.ID, m.FromCore, m.ToCore, m.Reason, m.SpendBefore, m.SpendAfter)
+}
+
+// PriceAtLevel applies Eq. 2 recursively: the estimated price after moving
+// `steps` V-F rungs up (positive) or down (negative) from a level priced at
+// p, with tolerance δ. The paper's example: PriceAtLevel(10, 0.02, 3) ≈
+// 10.612.
+func PriceAtLevel(p, delta float64, steps int) float64 {
+	for ; steps > 0; steps-- {
+		p += p * delta
+	}
+	for ; steps < 0; steps++ {
+		p -= p * delta
+	}
+	return p
+}
+
+// Planner evaluates candidate mappings over a market.
+type Planner struct {
+	Market *core.Market
+	Est    Estimator
+
+	// Eligible optionally filters which task agents may move this
+	// invocation (governors use it for per-task migration cooldowns so
+	// noisy observations cannot flap a task between clusters). Nil means
+	// every task is eligible.
+	Eligible func(*core.TaskAgent) bool
+
+	// MinSpendGain is the minimum fractional spend reduction a
+	// power-efficiency move must achieve (e.g. 0.03 = 3 %). Movement is not
+	// free — cross-cluster migration costs milliseconds — so marginal wins
+	// are not worth churn. Zero accepts any strict reduction.
+	MinSpendGain float64
+
+	coreToCluster map[int]int
+}
+
+// NewPlanner builds a planner for the market with the given profile
+// estimator.
+func NewPlanner(m *core.Market, est Estimator) *Planner {
+	return &Planner{Market: m, Est: est}
+}
+
+func (p *Planner) eligible(t *core.TaskAgent) bool {
+	return p.Eligible == nil || p.Eligible(t)
+}
+
+const eps = 1e-9
+
+// satisfiedRatio is the supply/demand ratio treated as "demand met". The
+// demand conversion targets the middle of the reference heart-rate range
+// (Table 4), and the range is ±5–10 % wide, so a task at ≥ 96 % of its
+// target still sits inside its range; chasing the last few percent with
+// multi-millisecond migrations would thrash on observation noise.
+const satisfiedRatio = 0.96
+
+// ratioSlack is the tolerated per-task ratio degradation when comparing
+// mappings, and minGain the smallest improvement worth acting on.
+const (
+	ratioSlack = 0.01
+	minGain    = 0.02
+)
+
+// assignment maps every task agent to a core ID.
+type assignment map[*core.TaskAgent]int
+
+// currentAssignment snapshots the market's mapping.
+func (p *Planner) currentAssignment() assignment {
+	a := make(assignment)
+	for _, v := range p.Market.Clusters {
+		for _, c := range v.Cores {
+			for _, t := range c.Tasks {
+				a[t] = c.ID
+			}
+		}
+	}
+	return a
+}
+
+// coreEval is the steady-state estimate for one core under a mapping.
+type coreEval struct {
+	demand   float64 // D_c under the estimator
+	consumed float64 // Σ allocated supply
+	unsat    int
+	minRatio float64
+	ratios   map[*core.TaskAgent]float64
+}
+
+// clusterEval is the steady-state estimate for one cluster under a mapping,
+// with the per-core breakdown candidate moves patch incrementally.
+type clusterEval struct {
+	spend    float64
+	level    int
+	supply   float64
+	unsat    int
+	minRatio float64
+	consumed float64
+	cores    map[int]*coreEval
+	// maxDemand/secondMax/maxCore support O(1) level recomputation when one
+	// core's demand changes.
+	maxDemand, secondMax float64
+	maxCore              int
+}
+
+// ratios flattens the per-core ratio maps (used by the whole-chip paths).
+func (ev *clusterEval) allRatios(into map[*core.TaskAgent]float64) {
+	for _, ce := range ev.cores {
+		for t, r := range ce.ratios {
+			into[t] = r
+		}
+	}
+}
+
+// evalCore estimates one core's steady state at the given per-core supply:
+// satisfied tasks get s = d; an overloaded core splits supply by priority,
+// never giving a task more than its demand (water-filling).
+func (p *Planner) evalCore(cluster int, ts []*core.TaskAgent, supply float64) *coreEval {
+	ce := &coreEval{minRatio: 1, ratios: make(map[*core.TaskAgent]float64, len(ts))}
+	demand := func(t *core.TaskAgent) float64 { return p.Est.DemandOn(t, cluster) }
+	for _, t := range ts {
+		ce.demand += demand(t)
+	}
+	if ce.demand <= supply+eps {
+		for _, t := range ts {
+			ce.ratios[t] = 1
+			ce.consumed += demand(t)
+		}
+		return ce
+	}
+	sup := splitByPriority(ts, demand, supply)
+	for _, t := range ts {
+		d := demand(t)
+		s := sup[t]
+		r := 1.0
+		if d > 0 {
+			r = s / d
+		}
+		ce.ratios[t] = r
+		ce.consumed += s
+		if r < satisfiedRatio {
+			ce.unsat++
+		}
+		if r < ce.minRatio {
+			ce.minRatio = r
+		}
+	}
+	return ce
+}
+
+// evalCluster estimates cluster v's steady state given the tasks mapped to
+// each of its cores, with the V-F level capped at maxLevel (the TDP-aware
+// evaluation pass lowers caps until the mapping's power fits the budget).
+func (p *Planner) evalCluster(v *core.ClusterAgent, tasksOf map[int][]*core.TaskAgent, maxLevel int) clusterEval {
+	ev := clusterEval{minRatio: 1, cores: make(map[int]*coreEval, len(tasksOf))}
+	ctl := v.Control
+
+	// Demands per core (profiled demand on this cluster).
+	var dMax, dSecond float64
+	maxCore := -1
+	occupied := false
+	demands := make(map[int]float64, len(tasksOf))
+	for coreID, ts := range tasksOf {
+		if len(ts) == 0 {
+			continue
+		}
+		occupied = true
+		var dc float64
+		for _, t := range ts {
+			dc += p.Est.DemandOn(t, v.ID)
+		}
+		demands[coreID] = dc
+		switch {
+		case dc > dMax:
+			dSecond, dMax, maxCore = dMax, dc, coreID
+		case dc > dSecond:
+			dSecond = dc
+		}
+	}
+	if !occupied {
+		// Empty cluster: powered down, no spending (§2 "if there are no
+		// active tasks in an entire cluster, then we can power down").
+		return ev
+	}
+	ev.maxDemand, ev.secondMax, ev.maxCore = dMax, dSecond, maxCore
+
+	// Supply: demand of the constrained core rounded up to the next rung,
+	// capped by the TDP pass.
+	level := levelForSupply(ctl, dMax)
+	if level > maxLevel {
+		level = maxLevel
+	}
+	ev.level = level
+	ev.supply = ctl.SupplyAt(level)
+
+	for coreID, ts := range tasksOf {
+		if len(ts) == 0 {
+			continue
+		}
+		ce := p.evalCore(v.ID, ts, ev.supply)
+		ev.cores[coreID] = ce
+		ev.consumed += ce.consumed
+		ev.unsat += ce.unsat
+		if ce.minRatio < ev.minRatio {
+			ev.minRatio = ce.minRatio
+		}
+	}
+	ev.spend = p.clusterSpend(v, ev.level, ev.consumed)
+	return ev
+}
+
+// clusterSpend prices a cluster's operating point: idle floor plus dynamic
+// power scaled by utilization. The paper's spend(M) is Σ bids; at
+// equilibrium the chip agent's inverse-to-power allowance distribution
+// makes aggregate bids track cluster power, and pricing the estimate in
+// power units directly keeps mappings on different cluster types comparable
+// (see package comment and DESIGN.md).
+func (p *Planner) clusterSpend(v *core.ClusterAgent, level int, consumed float64) float64 {
+	ctl := v.Control
+	util := 0.0
+	if cap := ctl.SupplyAt(level) * float64(len(v.Cores)); cap > 0 {
+		util = consumed / cap
+		if util > 1 {
+			util = 1
+		}
+	}
+	idle := ctl.IdlePowerAt(level)
+	busy := ctl.PowerAt(level)
+	return idle + (busy-idle)*util
+}
+
+// splitByPriority water-fills `supply` PUs over the tasks proportionally to
+// priority, capping each task at its demand and redistributing slack.
+func splitByPriority(ts []*core.TaskAgent, demand func(*core.TaskAgent) float64, supply float64) map[*core.TaskAgent]float64 {
+	out := make(map[*core.TaskAgent]float64, len(ts))
+	remainingTasks := append([]*core.TaskAgent(nil), ts...)
+	remaining := supply
+	for len(remainingTasks) > 0 && remaining > eps {
+		var rSum float64
+		for _, t := range remainingTasks {
+			rSum += float64(t.Priority)
+		}
+		if rSum <= 0 {
+			break
+		}
+		var next []*core.TaskAgent
+		progressed := false
+		for _, t := range remainingTasks {
+			share := remaining * float64(t.Priority) / rSum
+			need := demand(t) - out[t]
+			if share >= need-eps {
+				out[t] += need
+				progressed = progressed || need > 0
+			} else {
+				out[t] += share
+				next = append(next, t)
+			}
+		}
+		var given float64
+		for _, t := range ts {
+			given += out[t]
+		}
+		remaining = supply - given
+		if len(next) == len(remainingTasks) && !progressed {
+			break
+		}
+		if len(next) == len(remainingTasks) {
+			// Nobody capped: proportional split is final.
+			break
+		}
+		remainingTasks = next
+	}
+	return out
+}
+
+// levelForSupply returns the lowest rung supplying at least `want` PUs
+// (the top rung if the ladder cannot cover it).
+func levelForSupply(ctl core.ClusterControl, want float64) int {
+	n := ctl.NumLevels()
+	for i := 0; i < n; i++ {
+		if ctl.SupplyAt(i) >= want-eps {
+			return i
+		}
+	}
+	return n - 1
+}
+
+// evalResult is the whole-chip estimate for a mapping.
+type evalResult struct {
+	spend  float64
+	ratios map[*core.TaskAgent]float64
+	allSat bool
+	// unsat counts tasks below satisfiedRatio. The performance branch never
+	// accepts a movement that increases it: with equal task priorities the
+	// paper's perf order alone admits two-cycles (improve A hurting B, then
+	// improve B hurting A); keeping the count of missing tasks monotone
+	// breaks them and matches the evaluation's any-task-below-range metric.
+	unsat int
+	// minRatio is the worst supply/demand ratio in the mapping. At equal
+	// unsat counts the performance branch additionally requires the
+	// worst-off task not to end up worse than before (a maximin floor) —
+	// otherwise "who suffers" rotates forever.
+	minRatio float64
+}
+
+// chipEval caches the per-cluster evaluations of a base mapping so that
+// single-move candidates can be evaluated incrementally: without a TDP
+// budget only the source and destination clusters of a move change, which
+// turns candidate evaluation from O(all tasks) into O(two clusters) and
+// keeps the Table 7 scalability sweep (256 clusters, 131k tasks) tractable.
+type chipEval struct {
+	evs []clusterEval
+	// grouped caches each cluster's coreID → tasks mapping so candidate
+	// moves copy only the two affected clusters' groups.
+	grouped []map[int][]*core.TaskAgent
+	res     evalResult
+}
+
+// evalChip evaluates a full mapping and keeps the per-cluster breakdown.
+// It also warms the core→cluster cache so the (possibly concurrent)
+// candidate evaluations never write shared planner state.
+func (p *Planner) evalChip(a assignment) chipEval {
+	p.clusterIndexOfCore(0)
+	clusters := p.Market.Clusters
+	ce := chipEval{
+		evs:     make([]clusterEval, len(clusters)),
+		grouped: p.groupAll(a),
+	}
+	if p.Market.Config().Wtdp > 0 {
+		// TDP couples the clusters; use the capped whole-chip pass.
+		ce.res = p.evaluate(a)
+		for i, v := range clusters {
+			ce.evs[i] = p.evalCluster(v, ce.grouped[i], v.Control.NumLevels()-1)
+		}
+		return ce
+	}
+	ce.res = evalResult{ratios: make(map[*core.TaskAgent]float64), allSat: true, minRatio: 1}
+	for i, v := range clusters {
+		ev := p.evalCluster(v, ce.grouped[i], v.Control.NumLevels()-1)
+		ce.evs[i] = ev
+		ce.res.spend += ev.spend
+		ce.res.unsat += ev.unsat
+		if ev.minRatio < ce.res.minRatio {
+			ce.res.minRatio = ev.minRatio
+		}
+		ev.allRatios(ce.res.ratios)
+	}
+	ce.res.allSat = ce.res.unsat == 0
+	return ce
+}
+
+// candEval is the incremental evaluation of one candidate move: global
+// aggregates plus the ratio maps restricted to the affected clusters (all
+// other tasks' ratios are unchanged by construction).
+type candEval struct {
+	spend    float64
+	unsat    int
+	minRatio float64
+	// oldAffected/newAffected hold ratios of tasks in the move's source and
+	// destination clusters, before and after.
+	oldAffected, newAffected map[*core.TaskAgent]float64
+}
+
+// evalMove evaluates base + (agent → toCore) incrementally.
+func (p *Planner) evalMove(base chipEval, baseAssign assignment, agent *core.TaskAgent, toCore int) candEval {
+	clusters := p.Market.Clusters
+	srcCluster := p.clusterIndexOfCore(baseAssign[agent])
+	dstCluster := p.clusterIndexOfCore(toCore)
+
+	if p.Market.Config().Wtdp > 0 {
+		// Coupled evaluation: recompute the whole chip under the cap.
+		res := p.evaluate(p.withMove(baseAssign, &Move{Agent: agent, ToCore: toCore}))
+		return candEval{
+			spend: res.spend, unsat: res.unsat, minRatio: res.minRatio,
+			oldAffected: base.res.ratios, newAffected: res.ratios,
+		}
+	}
+
+	cand := candEval{
+		spend:       base.res.spend,
+		unsat:       base.res.unsat,
+		minRatio:    math.Inf(1),
+		oldAffected: make(map[*core.TaskAgent]float64),
+		newAffected: make(map[*core.TaskAgent]float64),
+	}
+	fromCore := baseAssign[agent]
+	affected := []int{srcCluster}
+	if dstCluster != srcCluster {
+		affected = append(affected, dstCluster)
+	}
+	minFromCluster := make(map[int]float64, 2)
+	for _, ci := range affected {
+		v := clusters[ci]
+		old := &base.evs[ci]
+
+		// Incremental per-core patch: one core's task set changes; the
+		// cluster's V-F level changes only when its constrained demand
+		// does. Compute the new constrained demand in O(1) from the cached
+		// max/second-max.
+		changedCore := fromCore
+		var changedTasks []*core.TaskAgent
+		var dDelta float64
+		d := p.Est.DemandOn(agent, ci)
+		if ci == srcCluster {
+			for _, t := range base.grouped[ci][fromCore] {
+				if t != agent {
+					changedTasks = append(changedTasks, t)
+				}
+			}
+			dDelta = -d
+		} else {
+			changedCore = toCore
+			changedTasks = append(changedTasks, base.grouped[ci][toCore]...)
+			changedTasks = append(changedTasks, agent)
+			dDelta = +d
+		}
+		if srcCluster == dstCluster {
+			// Intra-cluster move touches two cores; fall back to the full
+			// cluster recompute (load balancing is O(one cluster) anyway).
+			nev := p.reEvalClusterWithMove(v, base.grouped[ci], agent, fromCore, toCore)
+			p.applyClusterDelta(&cand, old, &nev, minFromCluster, ci)
+			continue
+		}
+
+		oldCore := old.cores[changedCore]
+		var oldCoreDemand float64
+		if oldCore != nil {
+			oldCoreDemand = oldCore.demand
+		}
+		newCoreDemand := oldCoreDemand + dDelta
+
+		// New constrained demand of the cluster.
+		newMax := old.maxDemand
+		if changedCore == old.maxCore {
+			newMax = math.Max(old.secondMax, newCoreDemand)
+		} else {
+			newMax = math.Max(old.maxDemand, newCoreDemand)
+		}
+		newLevel := levelForSupply(v.Control, newMax)
+		if len(changedTasks) == 0 && len(old.cores) == 1 && ci == srcCluster {
+			// Cluster empties: powers down, spends nothing.
+			cand.spend -= old.spend
+			cand.unsat -= old.unsat
+			if oldCore != nil {
+				for t, r := range oldCore.ratios {
+					cand.oldAffected[t] = r
+				}
+			}
+			minFromCluster[ci] = math.Inf(1)
+			continue
+		}
+		if newLevel != old.level {
+			// Level change affects every core: full cluster recompute.
+			nev := p.reEvalClusterWithMove(v, base.grouped[ci], agent, fromCore, toCore)
+			p.applyClusterDelta(&cand, old, &nev, minFromCluster, ci)
+			continue
+		}
+
+		// Fast path: same level — only the changed core's allocation moves.
+		newCore := p.evalCore(ci, changedTasks, old.supply)
+		if oldCore != nil {
+			cand.unsat -= oldCore.unsat
+			for t, r := range oldCore.ratios {
+				cand.oldAffected[t] = r
+			}
+		}
+		cand.unsat += newCore.unsat
+		for t, r := range newCore.ratios {
+			cand.newAffected[t] = r
+		}
+		var oldConsumed float64
+		if oldCore != nil {
+			oldConsumed = oldCore.consumed
+		}
+		newSpend := p.clusterSpend(v, old.level, old.consumed-oldConsumed+newCore.consumed)
+		cand.spend += newSpend - old.spend
+		// Cluster minimum: the other cores' cached minima plus the new core.
+		m := newCore.minRatio
+		for coreID, ce := range old.cores {
+			if coreID == changedCore {
+				continue
+			}
+			if ce.minRatio < m {
+				m = ce.minRatio
+			}
+		}
+		minFromCluster[ci] = m
+	}
+
+	// Global minRatio: affected clusters' new minima vs every other
+	// cluster's cached minimum.
+	for ci := range clusters {
+		m, ok := minFromCluster[ci]
+		if !ok {
+			m = base.evs[ci].minRatio
+		}
+		if m < cand.minRatio {
+			cand.minRatio = m
+		}
+	}
+	return cand
+}
+
+// reEvalClusterWithMove fully re-evaluates one cluster with the move
+// applied to its grouping (slow path: level changes or intra-cluster move).
+func (p *Planner) reEvalClusterWithMove(v *core.ClusterAgent, grouped map[int][]*core.TaskAgent, agent *core.TaskAgent, fromCore, toCore int) clusterEval {
+	group := make(map[int][]*core.TaskAgent, len(grouped)+1)
+	for coreID, ts := range grouped {
+		if coreID == fromCore {
+			kept := make([]*core.TaskAgent, 0, len(ts))
+			for _, x := range ts {
+				if x != agent {
+					kept = append(kept, x)
+				}
+			}
+			if len(kept) > 0 {
+				group[coreID] = kept
+			}
+			continue
+		}
+		group[coreID] = ts
+	}
+	if p.clusterIndexOfCore(toCore) == v.ID {
+		ts := group[toCore]
+		withAgent := make([]*core.TaskAgent, 0, len(ts)+1)
+		withAgent = append(withAgent, ts...)
+		group[toCore] = append(withAgent, agent)
+	}
+	return p.evalCluster(v, group, v.Control.NumLevels()-1)
+}
+
+// applyClusterDelta folds a fully recomputed cluster eval into a candidate.
+func (p *Planner) applyClusterDelta(cand *candEval, old, nev *clusterEval, minFromCluster map[int]float64, ci int) {
+	cand.spend += nev.spend - old.spend
+	cand.unsat += nev.unsat - old.unsat
+	old.allRatios(cand.oldAffected)
+	nev.allRatios(cand.newAffected)
+	minFromCluster[ci] = nev.minRatio
+}
+
+// clusterIndexOfCore maps a global core ID to its cluster index (cached).
+func (p *Planner) clusterIndexOfCore(coreID int) int {
+	if p.coreToCluster == nil {
+		p.coreToCluster = make(map[int]int)
+		for i, v := range p.Market.Clusters {
+			for _, c := range v.Cores {
+				p.coreToCluster[c.ID] = i
+			}
+		}
+	}
+	return p.coreToCluster[coreID]
+}
+
+// evaluate estimates the steady state of a full mapping. When the market
+// carries a TDP budget, supply is additionally constrained ("the
+// steady-state supply of a cluster is ... the steady-state demand, unless
+// the supply is constrained by the TDP constraint", §3.3): cluster levels
+// are capped, hungriest first, until the estimated chip power fits under
+// Wtdp.
+func (p *Planner) evaluate(a assignment) evalResult {
+	clusters := p.Market.Clusters
+	evs := make([]clusterEval, len(clusters))
+	caps := make([]int, len(clusters))
+	grouped := make([]map[int][]*core.TaskAgent, len(clusters))
+	for i, v := range clusters {
+		caps[i] = v.Control.NumLevels() - 1
+		grouped[i] = p.tasksOfCluster(v, a)
+		evs[i] = p.evalCluster(v, grouped[i], caps[i])
+	}
+
+	if budget := p.Market.Config().Wtdp; budget > 0 {
+		for iter := 0; iter < 64; iter++ {
+			total := 0.0
+			for _, ev := range evs {
+				total += ev.spend
+			}
+			if total <= budget {
+				break
+			}
+			// Lower the hungriest cluster that still has headroom.
+			worst := -1
+			for i := range evs {
+				if evs[i].level > 0 && evs[i].level <= caps[i] &&
+					(worst < 0 || evs[i].spend > evs[worst].spend) {
+					if len(grouped[i]) > 0 {
+						worst = i
+					}
+				}
+			}
+			if worst < 0 {
+				break
+			}
+			caps[worst] = evs[worst].level - 1
+			evs[worst] = p.evalCluster(clusters[worst], grouped[worst], caps[worst])
+		}
+	}
+
+	res := evalResult{ratios: make(map[*core.TaskAgent]float64), allSat: true, minRatio: 1}
+	for i := range evs {
+		res.spend += evs[i].spend
+		res.unsat += evs[i].unsat
+		if evs[i].minRatio < res.minRatio {
+			res.minRatio = evs[i].minRatio
+		}
+		evs[i].allRatios(res.ratios)
+	}
+	res.allSat = res.unsat == 0
+	return res
+}
+
+// tasksOfCluster groups the agents assigned to cluster v's cores.
+func (p *Planner) tasksOfCluster(v *core.ClusterAgent, a assignment) map[int][]*core.TaskAgent {
+	ids := make(map[int]bool, len(v.Cores))
+	for _, c := range v.Cores {
+		ids[c.ID] = true
+	}
+	out := make(map[int][]*core.TaskAgent)
+	for t, coreID := range a {
+		if ids[coreID] {
+			out[coreID] = append(out[coreID], t)
+		}
+	}
+	return out
+}
+
+// groupAll groups the whole assignment per cluster in one pass.
+func (p *Planner) groupAll(a assignment) []map[int][]*core.TaskAgent {
+	out := make([]map[int][]*core.TaskAgent, len(p.Market.Clusters))
+	for i := range out {
+		out[i] = make(map[int][]*core.TaskAgent)
+	}
+	for t, coreID := range a {
+		ci := p.clusterIndexOfCore(coreID)
+		out[ci][coreID] = append(out[ci][coreID], t)
+	}
+	return out
+}
+
+// perfNotWorse reports whether no task's ratio meaningfully degrades from
+// old to new (the perf(M′) ≥ perf(M) requirement of the power-efficiency
+// branch). A satisfied task staying satisfied does not count as
+// degradation.
+func perfNotWorse(newR, oldR map[*core.TaskAgent]float64) bool {
+	for t, o := range oldR {
+		n, ok := newR[t]
+		if !ok {
+			continue
+		}
+		if n >= satisfiedRatio && o >= satisfiedRatio {
+			continue
+		}
+		if n < o-ratioSlack {
+			return false
+		}
+	}
+	return true
+}
+
+// noHigherPriorityHurt reports whether every task with priority strictly
+// above `prio` keeps its ratio (the performance branch's constraint).
+func noHigherPriorityHurt(newR, oldR map[*core.TaskAgent]float64, prio int) bool {
+	for t, o := range oldR {
+		if t.Priority <= prio {
+			continue
+		}
+		n, ok := newR[t]
+		if !ok {
+			continue
+		}
+		if n >= satisfiedRatio && o >= satisfiedRatio {
+			continue
+		}
+		if n < o-ratioSlack {
+			return false
+		}
+	}
+	return true
+}

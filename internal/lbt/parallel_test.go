@@ -1,0 +1,37 @@
+package lbt
+
+import (
+	"testing"
+
+	"pricepower/internal/sim"
+)
+
+// Parallel planning must propose exactly the move sequential planning
+// proposes (the reduction is deterministic), and must be race-free.
+func TestParallelPlanEquivalence(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		rng := sim.NewRand(seed)
+		m, est, _ := randomMarket(rng, 4+rng.Intn(4), 2)
+		p := NewPlanner(m, est)
+
+		m.SetParallel(false)
+		seqMove := p.PlanMigrate()
+		seqBal := p.PlanBalance()
+
+		m.SetParallel(true)
+		parMove := p.PlanMigrate()
+		parBal := p.PlanBalance()
+
+		check := func(kind string, a, b *Move) {
+			switch {
+			case a == nil && b == nil:
+			case a == nil || b == nil:
+				t.Fatalf("seed %d %s: %v vs %v", seed, kind, a, b)
+			case a.Agent != b.Agent || a.ToCore != b.ToCore || a.Kind != b.Kind:
+				t.Fatalf("seed %d %s: %v vs %v", seed, kind, a, b)
+			}
+		}
+		check("migrate", seqMove, parMove)
+		check("balance", seqBal, parBal)
+	}
+}

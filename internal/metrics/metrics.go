@@ -1,0 +1,223 @@
+// Package metrics collects the measurements the paper's evaluation reports:
+// the fraction of time tasks miss their reference heart-rate range
+// (Figures 4, 6, 7, 8), average power (Figure 5), energy, and time series
+// for the behaviour plots.
+package metrics
+
+import (
+	"math"
+
+	"pricepower/internal/platform"
+	"pricepower/internal/sim"
+	"pricepower/internal/task"
+)
+
+// Series is a time series of (time, value) samples.
+type Series struct {
+	Times  []sim.Time
+	Values []float64
+}
+
+// Add appends a sample.
+func (s *Series) Add(t sim.Time, v float64) {
+	s.Times = append(s.Times, t)
+	s.Values = append(s.Values, v)
+}
+
+// Len reports the number of samples.
+func (s *Series) Len() int { return len(s.Values) }
+
+// Mean reports the arithmetic mean of the values (0 when empty).
+func (s *Series) Mean() float64 {
+	if len(s.Values) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range s.Values {
+		sum += v
+	}
+	return sum / float64(len(s.Values))
+}
+
+// Max reports the maximum value (-Inf when empty).
+func (s *Series) Max() float64 {
+	max := math.Inf(-1)
+	for _, v := range s.Values {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// Min reports the minimum value (+Inf when empty).
+func (s *Series) Min() float64 {
+	min := math.Inf(1)
+	for _, v := range s.Values {
+		if v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// Probe samples a running platform and accumulates the evaluation metrics.
+// Attach it with Attach after the governor is set; it observes every tick
+// after the warm-up period.
+type Probe struct {
+	p      *platform.Platform
+	warmup sim.Time
+
+	samples       int
+	anyBelow      int
+	belowByTask   map[*task.Task]int
+	outsideByTask map[*task.Task]int
+	taskSamples   map[*task.Task]int
+
+	powerSum   float64
+	powerPeak  float64
+	energyJ    float64
+	lastEnergy float64
+	hbBase     map[*task.Task]float64
+	hbLast     map[*task.Task]float64
+
+	// PowerSeries and HRSeries are optional high-resolution traces enabled
+	// by EnableSeries (Figures 7/8 need per-task normalized heart rates).
+	PowerSeries *Series
+	HRSeries    map[*task.Task]*Series
+	seriesEvery sim.Time
+	nextSeries  sim.Time
+}
+
+// NewProbe builds a probe for the platform that starts measuring after
+// warmup (letting HRM windows fill and the market settle, as the paper's
+// measurements do after boot).
+func NewProbe(p *platform.Platform, warmup sim.Time) *Probe {
+	return &Probe{
+		p:             p,
+		warmup:        warmup,
+		belowByTask:   make(map[*task.Task]int),
+		outsideByTask: make(map[*task.Task]int),
+		taskSamples:   make(map[*task.Task]int),
+		hbBase:        make(map[*task.Task]float64),
+		hbLast:        make(map[*task.Task]float64),
+	}
+}
+
+// EnableSeries turns on time-series capture with the given sampling period.
+func (pr *Probe) EnableSeries(every sim.Time) {
+	pr.PowerSeries = &Series{}
+	pr.HRSeries = make(map[*task.Task]*Series)
+	pr.seriesEvery = every
+	pr.nextSeries = pr.warmup
+}
+
+// Attach registers the probe on the platform's engine (after the platform's
+// own tick hook, so it observes post-governor state).
+func (pr *Probe) Attach() {
+	pr.p.Engine.AddHook(sim.TickFunc(pr.tick))
+	pr.lastEnergy = pr.p.Meter().Joules()
+}
+
+func (pr *Probe) tick(now sim.Time) {
+	if now <= pr.warmup {
+		pr.lastEnergy = pr.p.Meter().Joules()
+		return
+	}
+	pr.samples++
+	below := false
+	for _, t := range pr.p.Tasks() {
+		pr.taskSamples[t]++
+		if _, ok := pr.hbBase[t]; !ok {
+			pr.hbBase[t] = t.Heartbeats()
+		}
+		pr.hbLast[t] = t.Heartbeats()
+		hr := t.HeartRate(now)
+		if hr < t.MinHR {
+			below = true
+			pr.belowByTask[t]++
+			pr.outsideByTask[t]++
+		} else if hr > t.MaxHR {
+			pr.outsideByTask[t]++
+		}
+	}
+	if below {
+		pr.anyBelow++
+	}
+	w := pr.p.Power()
+	pr.powerSum += w
+	if w > pr.powerPeak {
+		pr.powerPeak = w
+	}
+	pr.energyJ = pr.p.Meter().Joules() - pr.lastEnergy
+
+	if pr.PowerSeries != nil && now >= pr.nextSeries {
+		pr.nextSeries += pr.seriesEvery
+		pr.PowerSeries.Add(now, w)
+		for _, t := range pr.p.Tasks() {
+			s, ok := pr.HRSeries[t]
+			if !ok {
+				s = &Series{}
+				pr.HRSeries[t] = s
+			}
+			s.Add(now, t.HeartRate(now)/t.TargetHR())
+		}
+	}
+}
+
+// AnyBelowFrac reports the fraction of measured time during which at least
+// one task's heart rate was below its minimum — the miss metric of
+// Figures 4 and 6.
+func (pr *Probe) AnyBelowFrac() float64 {
+	if pr.samples == 0 {
+		return 0
+	}
+	return float64(pr.anyBelow) / float64(pr.samples)
+}
+
+// BelowFrac reports the fraction of time one task spent below its minimum.
+func (pr *Probe) BelowFrac(t *task.Task) float64 {
+	n := pr.taskSamples[t]
+	if n == 0 {
+		return 0
+	}
+	return float64(pr.belowByTask[t]) / float64(n)
+}
+
+// OutsideFrac reports the fraction of time one task spent outside its
+// reference range (below min or above max) — the Figure 7 metric.
+func (pr *Probe) OutsideFrac(t *task.Task) float64 {
+	n := pr.taskSamples[t]
+	if n == 0 {
+		return 0
+	}
+	return float64(pr.outsideByTask[t]) / float64(n)
+}
+
+// AveragePower reports the mean chip power over the measured interval.
+func (pr *Probe) AveragePower() float64 {
+	if pr.samples == 0 {
+		return 0
+	}
+	return pr.powerSum / float64(pr.samples)
+}
+
+// PeakPower reports the highest sampled chip power.
+func (pr *Probe) PeakPower() float64 { return pr.powerPeak }
+
+// Energy reports joules consumed during the measured interval.
+func (pr *Probe) Energy() float64 { return pr.energyJ }
+
+// Samples reports how many ticks were measured.
+func (pr *Probe) Samples() int { return pr.samples }
+
+// HeartbeatsDelivered reports the total application progress (heartbeats
+// across all tasks) during the measured interval — the numerator of the
+// energy-efficiency view "joules per unit of delivered work".
+func (pr *Probe) HeartbeatsDelivered() float64 {
+	var total float64
+	for t, last := range pr.hbLast {
+		total += last - pr.hbBase[t]
+	}
+	return total
+}

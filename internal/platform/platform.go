@@ -1,0 +1,297 @@
+// Package platform composes the hardware model, the fair-scheduler
+// substrate, and the task model into one simulated machine that a power-
+// management governor can drive — the moral equivalent of the paper's
+// Linux-on-TC2 test bed.
+//
+// Each engine tick the platform:
+//
+//  1. runs every core's run queue for the tick, delivering work to tasks
+//     (heartbeats, phase progression) and computing core utilizations;
+//  2. samples the power model and accumulates energy;
+//  3. calls the attached governor's Tick, which may re-weight tasks
+//     (nice-value manipulation), migrate them (affinity), change cluster
+//     V-F levels (cpufreq), or power clusters up/down.
+package platform
+
+import (
+	"fmt"
+
+	"pricepower/internal/hw"
+	"pricepower/internal/sched"
+	"pricepower/internal/sim"
+	"pricepower/internal/task"
+)
+
+// Governor is a power-management policy driving the platform. Attach is
+// called once before the simulation starts; Tick every platform tick (the
+// governor decides its own internal cadence, e.g. PPM's 31.7 ms bid rounds).
+type Governor interface {
+	Name() string
+	Attach(p *Platform)
+	Tick(now sim.Time)
+}
+
+// taskState is the platform-side bookkeeping for one task.
+type taskState struct {
+	task   *task.Task
+	entity *sched.Entity
+	core   int
+	frozen bool // mid-migration: not runnable
+	total  float64
+	lastPU float64 // PUs consumed over the last tick (work/dt)
+}
+
+// Platform is the simulated machine.
+type Platform struct {
+	Engine *sim.Engine
+	Chip   *hw.Chip
+
+	queues []*sched.Queue
+	states map[*task.Task]*taskState
+	tasks  []*task.Task
+
+	gov Governor
+
+	meter         hw.EnergyMeter
+	clusterMeters []hw.EnergyMeter
+	lastPower     float64
+	lastUtil      []float64
+
+	migrations      int
+	crossMigrations int
+	nextEntityID    int
+}
+
+// New builds a platform around the given chip with the given tick size.
+func New(chip *hw.Chip, step sim.Time) *Platform {
+	p := &Platform{
+		Engine:        sim.NewEngine(step),
+		Chip:          chip,
+		states:        make(map[*task.Task]*taskState),
+		clusterMeters: make([]hw.EnergyMeter, len(chip.Clusters)),
+		lastUtil:      make([]float64, len(chip.Cores)),
+	}
+	for range chip.Cores {
+		p.queues = append(p.queues, sched.NewQueue())
+	}
+	p.Engine.AddHook(sim.TickFunc(p.tick))
+	return p
+}
+
+// NewTC2 is the common case: the TC2 platform at a 1 ms tick.
+func NewTC2() *Platform { return New(hw.NewTC2(), sim.Millisecond) }
+
+// SetGovernor attaches the governor. It must be called before running.
+func (p *Platform) SetGovernor(g Governor) {
+	p.gov = g
+	g.Attach(p)
+}
+
+// SetSchedGranularity switches every core's run queue to the discrete
+// pick-next scheduling model with the given slice length (0 restores the
+// fluid model). Discrete scheduling is bursty at the tick scale — the
+// realistic regime governors must tolerate; see internal/sched.
+func (p *Platform) SetSchedGranularity(g sim.Time) {
+	for _, q := range p.queues {
+		q.Granularity = g
+	}
+}
+
+// AddTask instantiates spec on the given core and returns the task. The
+// scheduler weight starts at the fair default (nice 0).
+func (p *Platform) AddTask(spec task.Spec, core int) *task.Task {
+	if core < 0 || core >= len(p.queues) {
+		panic(fmt.Sprintf("platform: AddTask on core %d of %d", core, len(p.queues)))
+	}
+	t := task.New(p.nextEntityID, spec)
+	e := &sched.Entity{ID: p.nextEntityID, Weight: sched.NiceToWeight(0)}
+	p.nextEntityID++
+	st := &taskState{task: t, entity: e, core: core}
+	p.states[t] = st
+	p.tasks = append(p.tasks, t)
+	p.queues[core].Add(e)
+	return t
+}
+
+// RemoveTask detaches a task from the platform (task exit).
+func (p *Platform) RemoveTask(t *task.Task) {
+	st, ok := p.states[t]
+	if !ok {
+		return
+	}
+	if !st.frozen {
+		p.queues[st.core].Remove(st.entity)
+	}
+	delete(p.states, t)
+	for i, x := range p.tasks {
+		if x == t {
+			p.tasks = append(p.tasks[:i], p.tasks[i+1:]...)
+			break
+		}
+	}
+}
+
+// Tasks returns the live tasks in creation order (shared slice; do not
+// mutate).
+func (p *Platform) Tasks() []*task.Task { return p.tasks }
+
+// CoreOf reports which core a task is currently mapped to.
+func (p *Platform) CoreOf(t *task.Task) int { return p.mustState(t).core }
+
+// ClusterOf reports the cluster a task's core belongs to.
+func (p *Platform) ClusterOf(t *task.Task) *hw.Cluster {
+	return p.Chip.Cores[p.CoreOf(t)].Cluster
+}
+
+// SetWeight sets a task's scheduler share (the core agents' nice-value
+// manipulation). Weights are relative within one core's queue.
+func (p *Platform) SetWeight(t *task.Task, w float64) {
+	if w <= 0 {
+		w = 1
+	}
+	p.mustState(t).entity.Weight = w
+}
+
+// Weight reports a task's current scheduler share.
+func (p *Platform) Weight(t *task.Task) float64 { return p.mustState(t).entity.Weight }
+
+// ConsumedPU reports the supply the task consumed over the last tick, in
+// PUs — the observation the paper's s_t is built from.
+func (p *Platform) ConsumedPU(t *task.Task) float64 { return p.mustState(t).lastPU }
+
+// TotalWork reports the cumulative work delivered to a task in PU·s.
+func (p *Platform) TotalWork(t *task.Task) float64 { return p.mustState(t).total }
+
+// Load reports the task's PELT load-average (runnable fraction).
+func (p *Platform) Load(t *task.Task) float64 { return p.mustState(t).entity.Load.Value() }
+
+// Migrating reports whether the task is frozen mid-migration.
+func (p *Platform) Migrating(t *task.Task) bool { return p.mustState(t).frozen }
+
+// Migrate moves a task to the destination core, charging the hardware
+// migration penalty: the task is frozen (not runnable anywhere) for the
+// modeled cost, then enqueued on the destination. Re-entrant calls while
+// frozen and no-op moves are ignored; it reports whether a migration
+// started.
+func (p *Platform) Migrate(t *task.Task, dstCore int) bool {
+	st := p.mustState(t)
+	if st.frozen || dstCore == st.core || dstCore < 0 || dstCore >= len(p.queues) {
+		return false
+	}
+	src := p.Chip.Cores[st.core]
+	dst := p.Chip.Cores[dstCore]
+	cost := hw.MigrationCost(src, dst)
+	p.queues[st.core].Remove(st.entity)
+	// The task belongs to the destination from the moment affinity is set —
+	// concurrent placement decisions must see it there, or several tasks
+	// would pile onto the same "empty" core while migrations are in flight.
+	st.core = dstCore
+	st.frozen = true
+	p.migrations++
+	if src.Cluster != dst.Cluster {
+		p.crossMigrations++
+	}
+	p.Engine.After(cost, func(now sim.Time) {
+		st.frozen = false
+		st.entity.Load.Reset()
+		p.queues[dstCore].Add(st.entity)
+	})
+	return true
+}
+
+// Migrations reports (total, cross-cluster) migration counts.
+func (p *Platform) Migrations() (total, cross int) { return p.migrations, p.crossMigrations }
+
+// TasksOnCore returns the live tasks currently mapped (or migrating) to the
+// given core.
+func (p *Platform) TasksOnCore(core int) []*task.Task {
+	var out []*task.Task
+	for _, t := range p.tasks {
+		if p.states[t].core == core {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Power reports the chip power sampled at the end of the last tick (W).
+func (p *Platform) Power() float64 { return p.lastPower }
+
+// ClusterPower reports one cluster's power sampled at the end of the last
+// tick.
+func (p *Platform) ClusterPower(cluster int) float64 {
+	return hw.ClusterPower(p.Chip.Clusters[cluster])
+}
+
+// Utilization reports a core's utilization over the last tick.
+func (p *Platform) Utilization(core int) float64 { return p.lastUtil[core] }
+
+// Meter exposes the chip energy meter.
+func (p *Platform) Meter() *hw.EnergyMeter { return &p.meter }
+
+// ClusterMeter exposes one cluster's energy meter.
+func (p *Platform) ClusterMeter(cluster int) *hw.EnergyMeter {
+	return &p.clusterMeters[cluster]
+}
+
+// Run advances the simulation by d.
+func (p *Platform) Run(d sim.Time) { p.Engine.RunFor(d) }
+
+// Now reports the current virtual time.
+func (p *Platform) Now() sim.Time { return p.Engine.Now() }
+
+func (p *Platform) mustState(t *task.Task) *taskState {
+	st, ok := p.states[t]
+	if !ok {
+		panic(fmt.Sprintf("platform: unknown task %q", t.Name))
+	}
+	return st
+}
+
+// tick is the per-tick platform work (registered as the first engine hook).
+func (p *Platform) tick(now sim.Time) {
+	dt := p.Engine.Step()
+	seconds := dt.Seconds()
+
+	// 1. Scheduling: deliver work per core.
+	received := make(map[*sched.Entity]float64)
+	for coreID, q := range p.queues {
+		core := p.Chip.Cores[coreID]
+		ct := core.Type()
+		for _, t := range p.TasksOnCore(coreID) {
+			st := p.states[t]
+			if st.frozen {
+				continue
+			}
+			st.entity.WantPU = t.WantPU(ct)
+		}
+		allocs, util := q.RunTick(core.SupplyPU(), dt)
+		core.Utilization = util
+		p.lastUtil[coreID] = util
+		for _, a := range allocs {
+			received[a.Entity] = a.WorkPU
+		}
+	}
+
+	// 2. Task progression (all tasks advance, including idle/frozen ones).
+	for _, t := range p.tasks {
+		st := p.states[t]
+		work := received[st.entity]
+		ct := p.Chip.Cores[st.core].Type()
+		t.Advance(work, ct, dt, now)
+		st.total += work
+		st.lastPU = work / seconds
+	}
+
+	// 3. Power accounting.
+	p.lastPower = hw.ChipPower(p.Chip)
+	p.meter.Accumulate(p.lastPower, dt)
+	for i, cl := range p.Chip.Clusters {
+		p.clusterMeters[i].Accumulate(hw.ClusterPower(cl), dt)
+	}
+
+	// 4. Governor.
+	if p.gov != nil {
+		p.gov.Tick(now)
+	}
+}

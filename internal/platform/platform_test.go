@@ -1,0 +1,237 @@
+package platform
+
+import (
+	"math"
+	"testing"
+
+	"pricepower/internal/hw"
+	"pricepower/internal/sim"
+	"pricepower/internal/task"
+)
+
+func cpuBoundSpec(name string, demand float64) task.Spec {
+	return task.Spec{
+		Name:     name,
+		Priority: 1,
+		MinHR:    24,
+		MaxHR:    30,
+		Phases:   []task.Phase{{HBCostLittle: demand / 27, SpeedupBig: 2}},
+		Loop:     true,
+	}
+}
+
+func cappedSpec(name string, demand, capHR float64) task.Spec {
+	s := cpuBoundSpec(name, demand)
+	s.Phases[0].SelfCapHR = capHR
+	return s
+}
+
+func TestAddAndRemoveTask(t *testing.T) {
+	p := NewTC2()
+	tk := p.AddTask(cpuBoundSpec("a", 500), 2)
+	if len(p.Tasks()) != 1 || p.CoreOf(tk) != 2 {
+		t.Fatalf("task not added on core 2")
+	}
+	p.RemoveTask(tk)
+	if len(p.Tasks()) != 0 {
+		t.Fatal("task not removed")
+	}
+	p.RemoveTask(tk) // idempotent
+}
+
+func TestTaskReceivesWorkAndBeats(t *testing.T) {
+	p := NewTC2()
+	little := p.Chip.Clusters[1]
+	little.SetLevel(little.NumLevels() - 1)    // 1000 PU
+	tk := p.AddTask(cpuBoundSpec("a", 540), 2) // core 2 = first LITTLE core
+	p.Run(sim.Second)
+	// CPU-bound task alone on a 1000 PU core gets 1000 PU·s of work.
+	if got := p.TotalWork(tk); math.Abs(got-1000) > 1 {
+		t.Errorf("total work = %v, want ≈1000", got)
+	}
+	// 1000 PU·s at 20 PU·s/hb = 50 hb over 1 s.
+	if hb := tk.Heartbeats(); math.Abs(hb-50) > 1 {
+		t.Errorf("heartbeats = %v, want ≈50", hb)
+	}
+	if pu := p.ConsumedPU(tk); math.Abs(pu-1000) > 1 {
+		t.Errorf("ConsumedPU = %v, want ≈1000", pu)
+	}
+	if u := p.Utilization(2); math.Abs(u-1) > 1e-9 {
+		t.Errorf("core util = %v, want 1", u)
+	}
+}
+
+func TestSelfCappedTaskIdles(t *testing.T) {
+	p := NewTC2()
+	little := p.Chip.Clusters[1]
+	little.SetLevel(little.NumLevels() - 1)
+	tk := p.AddTask(cappedSpec("a", 540, 30), 2) // cap 30 hb/s = 600 PU
+	p.Run(sim.Second)
+	if got := p.TotalWork(tk); math.Abs(got-600) > 1 {
+		t.Errorf("capped task work = %v, want ≈600", got)
+	}
+	if u := p.Utilization(2); math.Abs(u-0.6) > 0.01 {
+		t.Errorf("core util = %v, want ≈0.6", u)
+	}
+}
+
+func TestWeightsShareCore(t *testing.T) {
+	p := NewTC2()
+	little := p.Chip.Clusters[1]
+	little.SetLevel(little.NumLevels() - 1)
+	a := p.AddTask(cpuBoundSpec("a", 900), 2)
+	b := p.AddTask(cpuBoundSpec("b", 900), 2)
+	p.SetWeight(a, 3000)
+	p.SetWeight(b, 1000)
+	if p.Weight(a) != 3000 {
+		t.Fatalf("Weight(a) = %v", p.Weight(a))
+	}
+	p.Run(sim.Second)
+	ratio := p.TotalWork(a) / p.TotalWork(b)
+	if math.Abs(ratio-3) > 0.05 {
+		t.Errorf("work ratio = %v, want 3", ratio)
+	}
+}
+
+func TestMigrationChargesCostAndMoves(t *testing.T) {
+	p := NewTC2()
+	tk := p.AddTask(cpuBoundSpec("a", 500), 2) // LITTLE core
+	p.Run(100 * sim.Millisecond)
+	before := p.TotalWork(tk)
+	if !p.Migrate(tk, 0) { // to big core
+		t.Fatal("Migrate returned false")
+	}
+	if !p.Migrating(tk) {
+		t.Error("task not frozen during migration")
+	}
+	if p.Migrate(tk, 1) {
+		t.Error("re-entrant migration allowed")
+	}
+	// LITTLE→big at min freq costs 2.16 ms; during ~2 ticks the task gets
+	// nothing.
+	p.Run(2 * sim.Millisecond)
+	if got := p.TotalWork(tk); got != before {
+		t.Errorf("frozen task received work: %v vs %v", got, before)
+	}
+	p.Run(10 * sim.Millisecond)
+	if p.Migrating(tk) {
+		t.Error("task still frozen after cost elapsed")
+	}
+	if p.CoreOf(tk) != 0 {
+		t.Errorf("task on core %d, want 0", p.CoreOf(tk))
+	}
+	if p.TotalWork(tk) <= before {
+		t.Error("task received no work after migration")
+	}
+	total, cross := p.Migrations()
+	if total != 1 || cross != 1 {
+		t.Errorf("migrations = %d/%d, want 1/1", total, cross)
+	}
+}
+
+func TestMigrateNoopCases(t *testing.T) {
+	p := NewTC2()
+	tk := p.AddTask(cpuBoundSpec("a", 500), 2)
+	if p.Migrate(tk, 2) {
+		t.Error("same-core migration reported started")
+	}
+	if p.Migrate(tk, 99) {
+		t.Error("out-of-range migration reported started")
+	}
+}
+
+func TestPowerAccountingAccumulates(t *testing.T) {
+	p := NewTC2()
+	p.AddTask(cpuBoundSpec("a", 2000), 0) // big core, CPU bound
+	p.Run(sim.Second)
+	if p.Power() <= 0 {
+		t.Error("Power() not positive")
+	}
+	m := p.Meter()
+	if m.Joules() <= 0 || m.Elapsed() != sim.Second {
+		t.Errorf("meter = %v J over %v", m.Joules(), m.Elapsed())
+	}
+	if math.Abs(m.AveragePower()-p.Power()) > 0.5 {
+		t.Errorf("avg power %v far from instantaneous %v in steady state",
+			m.AveragePower(), p.Power())
+	}
+	// Cluster meters sum to the chip meter.
+	sum := p.ClusterMeter(0).Joules() + p.ClusterMeter(1).Joules()
+	if math.Abs(sum-m.Joules()) > 1e-6 {
+		t.Errorf("cluster energy %v != chip energy %v", sum, m.Joules())
+	}
+	if p.ClusterPower(0) <= 0 || p.ClusterPower(1) <= 0 {
+		t.Error("cluster power not positive")
+	}
+}
+
+type recordingGov struct {
+	attached *Platform
+	ticks    int
+}
+
+func (g *recordingGov) Name() string       { return "recording" }
+func (g *recordingGov) Attach(p *Platform) { g.attached = p }
+func (g *recordingGov) Tick(now sim.Time)  { g.ticks++ }
+
+func TestGovernorDrivenEveryTick(t *testing.T) {
+	p := NewTC2()
+	g := &recordingGov{}
+	p.SetGovernor(g)
+	if g.attached != p {
+		t.Fatal("Attach not called with platform")
+	}
+	p.Run(50 * sim.Millisecond)
+	if g.ticks != 50 {
+		t.Errorf("governor ticked %d times over 50 ms, want 50", g.ticks)
+	}
+}
+
+func TestTasksOnCore(t *testing.T) {
+	p := NewTC2()
+	a := p.AddTask(cpuBoundSpec("a", 500), 2)
+	b := p.AddTask(cpuBoundSpec("b", 500), 2)
+	c := p.AddTask(cpuBoundSpec("c", 500), 0)
+	on2 := p.TasksOnCore(2)
+	if len(on2) != 2 || on2[0] != a || on2[1] != b {
+		t.Errorf("TasksOnCore(2) = %v", on2)
+	}
+	if got := p.TasksOnCore(0); len(got) != 1 || got[0] != c {
+		t.Errorf("TasksOnCore(0) wrong")
+	}
+	if got := p.TasksOnCore(1); len(got) != 0 {
+		t.Errorf("TasksOnCore(1) = %v, want empty", got)
+	}
+}
+
+func TestLoadTrackingVisible(t *testing.T) {
+	p := NewTC2()
+	tk := p.AddTask(cpuBoundSpec("a", 5000), 2) // starved at any freq
+	p.Run(200 * sim.Millisecond)
+	if p.Load(tk) < 0.9 {
+		t.Errorf("starved task load = %v, want ≈1", p.Load(tk))
+	}
+}
+
+func TestPoweredDownClusterDeliversNothing(t *testing.T) {
+	p := NewTC2()
+	tk := p.AddTask(cpuBoundSpec("a", 500), 0)
+	p.Chip.Clusters[0].PowerOff()
+	p.Run(100 * sim.Millisecond)
+	if p.TotalWork(tk) != 0 {
+		t.Errorf("task on powered-down cluster got %v work", p.TotalWork(tk))
+	}
+	if hw.ClusterPower(p.Chip.Clusters[0]) != p.Chip.Clusters[0].Spec.OffPower {
+		t.Error("powered-down cluster drawing more than OffPower")
+	}
+}
+
+func TestAddTaskPanicsOnBadCore(t *testing.T) {
+	p := NewTC2()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddTask on invalid core did not panic")
+		}
+	}()
+	p.AddTask(cpuBoundSpec("a", 500), 17)
+}

@@ -1,0 +1,143 @@
+package ppm
+
+import (
+	"sync"
+
+	"pricepower/internal/hw"
+)
+
+// Online profiling — the paper's stated future work.
+//
+// §3.3/§5.2: "we plan to include the power-performance estimation model for
+// big.LITTLE [27] within our price theory based power management framework
+// to eliminate the off-line profiling step in the future." The LBT module
+// needs exactly one cross-architecture quantity per task: the ratio of its
+// demand on a big core to its demand on a LITTLE core (the inverse of the
+// task's big-core speedup).
+//
+// OnlineProfiler learns that ratio from the framework's own observations,
+// with no instrumentation beyond what the governor already collects:
+//
+//   - whenever a task migrates across cluster types, the demand observed
+//     shortly before the move and the demand observed once the HRM window
+//     has drained after the move form one ratio sample;
+//   - samples fold into a per-task EWMA, seeded with a conservative prior
+//     (ratio 1: no speculation) so an unobserved task is never assumed to
+//     speed up on a big core.
+//
+// The profiler composes with a static table: Lookup falls back to the
+// prior until the first cross-type migration provides evidence. It is safe
+// for concurrent use.
+type OnlineProfiler struct {
+	mu sync.Mutex
+	// ratio maps task name → learned demand(big)/demand(LITTLE).
+	ratio map[string]float64
+	// weight is the EWMA weight of a new sample (default 0.5: two or three
+	// migrations dominate the prior).
+	weight float64
+	// pending holds the demand observed on the source side of an in-flight
+	// cross-type migration, keyed by task name.
+	pending map[string]pendingSample
+}
+
+type pendingSample struct {
+	demand float64
+	from   hw.CoreType
+}
+
+// NewOnlineProfiler returns an empty profiler.
+func NewOnlineProfiler() *OnlineProfiler {
+	return &OnlineProfiler{
+		ratio:   make(map[string]float64),
+		weight:  0.5,
+		pending: make(map[string]pendingSample),
+	}
+}
+
+// Ratio reports the learned demand(big)/demand(LITTLE) ratio for a task
+// and whether any evidence has been observed.
+func (o *OnlineProfiler) Ratio(name string) (float64, bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	r, ok := o.ratio[name]
+	return r, ok
+}
+
+// BeginMigration records the demand observed on the source cluster type at
+// the moment a cross-type migration starts.
+func (o *OnlineProfiler) BeginMigration(name string, from hw.CoreType, demand float64) {
+	if demand <= 0 {
+		return
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.pending[name] = pendingSample{demand: demand, from: from}
+}
+
+// Settle records the first trustworthy demand observation on the
+// destination cluster type, completing one ratio sample.
+func (o *OnlineProfiler) Settle(name string, to hw.CoreType, demand float64) {
+	if demand <= 0 {
+		return
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	ps, ok := o.pending[name]
+	if !ok || ps.from == to {
+		return
+	}
+	delete(o.pending, name)
+	// Normalize the sample to demand(big)/demand(LITTLE).
+	var sample float64
+	if ps.from == hw.Little && to == hw.Big {
+		sample = demand / ps.demand
+	} else if ps.from == hw.Big && to == hw.Little {
+		sample = ps.demand / demand
+	} else {
+		return
+	}
+	// Discard absurd samples (migration glitches): real big.LITTLE
+	// speedups live in roughly [1, 4].
+	if sample < 0.2 || sample > 1.2 {
+		return
+	}
+	if prev, ok := o.ratio[name]; ok {
+		o.ratio[name] = o.weight*sample + (1-o.weight)*prev
+	} else {
+		o.ratio[name] = sample
+	}
+}
+
+// Profiles adapts the profiler to the governor's ProfileFunc interface:
+// it reports relative demands (LITTLE = 1, big = learned ratio). Because
+// the governor's estimator only ever uses profile *ratios* to translate
+// observed demands across cluster types, relative values suffice.
+func (o *OnlineProfiler) Profiles(name string, ct hw.CoreType) (float64, bool) {
+	r, ok := o.Ratio(name)
+	if !ok {
+		return 0, false // no evidence yet: the governor won't speculate
+	}
+	if ct == hw.Big {
+		return r, true
+	}
+	return 1, true
+}
+
+// ChainProfiles composes profile sources: the first source reporting
+// evidence for (name, coreType) wins. Use it to overlay an OnlineProfiler
+// on a static table, or to fall back from measured to static data:
+//
+//	cfg.Profiles = ppm.ChainProfiles(online.Profiles, exp.WorkloadProfiles)
+func ChainProfiles(sources ...ProfileFunc) ProfileFunc {
+	return func(name string, ct hw.CoreType) (float64, bool) {
+		for _, src := range sources {
+			if src == nil {
+				continue
+			}
+			if d, ok := src(name, ct); ok {
+				return d, ok
+			}
+		}
+		return 0, false
+	}
+}

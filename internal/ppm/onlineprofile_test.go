@@ -1,0 +1,129 @@
+package ppm
+
+import (
+	"math"
+	"testing"
+
+	"pricepower/internal/hw"
+	"pricepower/internal/metrics"
+	"pricepower/internal/platform"
+	"pricepower/internal/sim"
+)
+
+func TestOnlineProfilerLearnsRatio(t *testing.T) {
+	o := NewOnlineProfiler()
+	if _, ok := o.Ratio("t"); ok {
+		t.Fatal("fresh profiler has evidence")
+	}
+	// LITTLE → big migration: demand 1000 on LITTLE, 500 on big → ratio 0.5.
+	o.BeginMigration("t", hw.Little, 1000)
+	o.Settle("t", hw.Big, 500)
+	r, ok := o.Ratio("t")
+	if !ok || math.Abs(r-0.5) > 1e-9 {
+		t.Fatalf("ratio = %v (%v), want 0.5", r, ok)
+	}
+	// A second sample folds in with weight 0.5.
+	o.BeginMigration("t", hw.Big, 600)
+	o.Settle("t", hw.Little, 1000) // ratio sample 0.6
+	r, _ = o.Ratio("t")
+	if math.Abs(r-0.55) > 1e-9 {
+		t.Errorf("ratio after second sample = %v, want 0.55", r)
+	}
+}
+
+func TestOnlineProfilerIgnoresGarbage(t *testing.T) {
+	o := NewOnlineProfiler()
+	// No pending migration: Settle does nothing.
+	o.Settle("t", hw.Big, 500)
+	if _, ok := o.Ratio("t"); ok {
+		t.Error("settle without begin produced evidence")
+	}
+	// Same-type "migration": no sample.
+	o.BeginMigration("t", hw.Little, 1000)
+	o.Settle("t", hw.Little, 900)
+	if _, ok := o.Ratio("t"); ok {
+		t.Error("same-type settle produced evidence")
+	}
+	// Absurd ratio (implies 10× speedup): rejected.
+	o.BeginMigration("t", hw.Little, 1000)
+	o.Settle("t", hw.Big, 100)
+	if _, ok := o.Ratio("t"); ok {
+		t.Error("absurd sample accepted")
+	}
+	// Non-positive demands: ignored.
+	o.BeginMigration("t", hw.Little, 0)
+	o.Settle("t", hw.Big, -5)
+	if _, ok := o.Ratio("t"); ok {
+		t.Error("non-positive sample accepted")
+	}
+}
+
+func TestOnlineProfilerProfilesInterface(t *testing.T) {
+	o := NewOnlineProfiler()
+	if _, ok := o.Profiles("t", hw.Big); ok {
+		t.Fatal("profile reported without evidence")
+	}
+	o.BeginMigration("t", hw.Little, 1000)
+	o.Settle("t", hw.Big, 500)
+	big, ok1 := o.Profiles("t", hw.Big)
+	little, ok2 := o.Profiles("t", hw.Little)
+	if !ok1 || !ok2 {
+		t.Fatal("profiles missing after evidence")
+	}
+	// Only the ratio matters: big/little must equal the learned ratio.
+	if math.Abs(big/little-0.5) > 1e-9 {
+		t.Errorf("profile ratio = %v, want 0.5", big/little)
+	}
+}
+
+func TestChainProfiles(t *testing.T) {
+	a := func(name string, ct hw.CoreType) (float64, bool) {
+		if name == "x" {
+			return 1, true
+		}
+		return 0, false
+	}
+	b := func(name string, ct hw.CoreType) (float64, bool) { return 2, true }
+	chained := ChainProfiles(nil, a, b)
+	if d, ok := chained("x", hw.Big); !ok || d != 1 {
+		t.Errorf("chain(x) = %v %v, want 1 true (first source wins)", d, ok)
+	}
+	if d, ok := chained("y", hw.Big); !ok || d != 2 {
+		t.Errorf("chain(y) = %v %v, want 2 true (fallback)", d, ok)
+	}
+	empty := ChainProfiles()
+	if _, ok := empty("x", hw.Big); ok {
+		t.Error("empty chain reported evidence")
+	}
+}
+
+// End to end: a profile-free governor with online learning migrates a
+// starving task to the big cluster and learns its demand ratio from the
+// move itself.
+func TestGovernorLearnsOnline(t *testing.T) {
+	online := NewOnlineProfiler()
+	cfg := DefaultConfig(0)
+	cfg.Profiles = online.Profiles // no static table at all
+	cfg.Online = online
+	p := platform.NewTC2()
+	p.SetGovernor(New(cfg))
+	tk := p.AddTask(spec("hungry", 1600, 1), 2) // 1600 PU on LITTLE, 800 on big
+	pr := metrics.NewProbe(p, 5*sim.Second)
+	pr.Attach()
+	p.Run(30 * sim.Second)
+
+	if p.ClusterOf(tk).Spec.Type != hw.Big {
+		t.Fatalf("task still on %v", p.ClusterOf(tk).Spec.Type)
+	}
+	r, ok := online.Ratio("hungry")
+	if !ok {
+		t.Fatal("no ratio learned from the migration")
+	}
+	// True ratio is 0.5 (SpeedupBig 2); accept generous measurement noise.
+	if r < 0.3 || r > 0.8 {
+		t.Errorf("learned ratio = %v, want ≈0.5", r)
+	}
+	if got := pr.BelowFrac(tk); got > 0.6 {
+		t.Errorf("below-range fraction = %v after online migration", got)
+	}
+}

@@ -1,0 +1,497 @@
+// Package ppm is the paper's complete power-management governor: the
+// price-theory market (internal/core) plus the load-balancing/task-migration
+// module (internal/lbt) wired onto a simulated platform
+// (internal/platform).
+//
+// Cadences follow §3.4: bid rounds every 31.7 ms (the shortest task period),
+// load balancing every 3 bid rounds (95.1 ms), task migration every 6
+// (190.2 ms). The LBT module is disabled while the chip agent is in the
+// emergency state.
+package ppm
+
+import (
+	"math"
+
+	"pricepower/internal/core"
+	"pricepower/internal/hw"
+	"pricepower/internal/lbt"
+	"pricepower/internal/platform"
+	"pricepower/internal/sim"
+	"pricepower/internal/task"
+)
+
+// ProfileFunc supplies the off-line profiled demand of a task (by spec
+// name) on a core type, in PUs at the target heart rate. The second result
+// reports whether a profile exists; without one the governor falls back to
+// the task's currently observed demand (no heterogeneity speculation).
+type ProfileFunc func(taskName string, ct hw.CoreType) (float64, bool)
+
+// Config tunes the governor.
+type Config struct {
+	// Market carries the price-theory tunables (δ, savings cap, TDP…).
+	Market core.Config
+	// BidPeriod is the bidding-round period (§3.4; default 31.7 ms).
+	BidPeriod sim.Time
+	// BalanceEvery and MigrateEvery are in bid rounds (defaults 3 and 6).
+	BalanceEvery, MigrateEvery int
+	// DisableLBT turns off load balancing and migration (the Figure 7/8
+	// single-core studies).
+	DisableLBT bool
+	// Profiles supplies off-line profiling data to the LBT estimator.
+	Profiles ProfileFunc
+	// MigrationCooldown is the per-task quiet period after a movement
+	// during which the LBT module will not move the same task again
+	// (default 3 s, the scale of the workloads' program phases) —
+	// migration is expensive (§5.1: up to ~4 ms) and the demand
+	// observations right after one are unreliable.
+	MigrationCooldown sim.Time
+	// DemandSmoothing is the EWMA weight of the newest demand observation
+	// (default 0.35); heart-rate-window noise otherwise flaps the planner.
+	DemandSmoothing float64
+	// MinSpendGain is the minimal fractional spend reduction for a
+	// power-efficiency movement (default 0.03).
+	MinSpendGain float64
+	// Trace, when set, receives one line per noteworthy governor decision
+	// (movements, state changes) — a debugging aid.
+	Trace func(format string, args ...interface{})
+	// Online, when set, learns cross-architecture demand ratios from the
+	// governor's own migrations (the paper's future-work replacement for
+	// off-line profiling). Compose it with a static table via
+	// ChainProfiles, or use it alone to run fully profile-free.
+	Online *OnlineProfiler
+}
+
+// BidPeriodFor derives the bidding-round period from a workload per §3.4:
+// the maximum of the Linux scheduling epoch (10 ms) and the shortest task
+// period (one over the highest target heart rate). The paper's 31.7 ms is
+// exactly this rule applied to its workloads, whose fastest tasks beat at
+// 31.5 hb/s.
+func BidPeriodFor(specs []task.Spec) sim.Time {
+	const linuxEpoch = 10 * sim.Millisecond
+	shortest := sim.Time(0)
+	for _, s := range specs {
+		if hr := s.TargetHR(); hr > 0 {
+			period := sim.FromSeconds(1 / hr)
+			if shortest == 0 || period < shortest {
+				shortest = period
+			}
+		}
+	}
+	if shortest < linuxEpoch {
+		return linuxEpoch
+	}
+	return shortest
+}
+
+// DefaultConfig returns the paper's cadences with the default market
+// tunables for the given TDP (0 = unconstrained).
+func DefaultConfig(wtdp float64) Config {
+	return Config{
+		Market:            core.DefaultConfig(wtdp),
+		BidPeriod:         sim.FromMillis(31.7),
+		BalanceEvery:      3,
+		MigrateEvery:      6,
+		MigrationCooldown: 3 * sim.Second,
+		DemandSmoothing:   0.35,
+		MinSpendGain:      0.03,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig(c.Market.Wtdp)
+	if c.BidPeriod <= 0 {
+		c.BidPeriod = d.BidPeriod
+	}
+	if c.BalanceEvery <= 0 {
+		c.BalanceEvery = d.BalanceEvery
+	}
+	if c.MigrateEvery <= 0 {
+		c.MigrateEvery = d.MigrateEvery
+	}
+	if c.MigrationCooldown <= 0 {
+		c.MigrationCooldown = d.MigrationCooldown
+	}
+	if c.DemandSmoothing <= 0 {
+		c.DemandSmoothing = d.DemandSmoothing
+	}
+	if c.MinSpendGain <= 0 {
+		c.MinSpendGain = d.MinSpendGain
+	}
+	return c
+}
+
+// Governor implements platform.Governor.
+type Governor struct {
+	cfg     Config
+	p       *platform.Platform
+	market  *core.Market
+	planner *lbt.Planner
+
+	agents  map[*task.Task]*core.TaskAgent
+	byAgent map[*core.TaskAgent]*task.Task
+
+	lastTotal  map[*task.Task]float64
+	lastDemand map[*task.Task]float64
+	lbtDemand  map[*task.Task]*demandWindow // windowed peak demand for LBT
+	holdUntil  map[*task.Task]sim.Time      // observation hold after a migration
+	movedAt    map[*task.Task]sim.Time      // migration cooldown bookkeeping
+
+	nextBid sim.Time
+	now     sim.Time
+	round   int
+
+	balances, migrations int
+}
+
+// New builds a PPM governor with the given configuration.
+func New(cfg Config) *Governor {
+	return &Governor{
+		cfg:        cfg.withDefaults(),
+		agents:     make(map[*task.Task]*core.TaskAgent),
+		byAgent:    make(map[*core.TaskAgent]*task.Task),
+		lastTotal:  make(map[*task.Task]float64),
+		lastDemand: make(map[*task.Task]float64),
+		lbtDemand:  make(map[*task.Task]*demandWindow),
+		holdUntil:  make(map[*task.Task]sim.Time),
+		movedAt:    make(map[*task.Task]sim.Time),
+	}
+}
+
+// Name implements platform.Governor.
+func (g *Governor) Name() string { return "PPM" }
+
+// Market exposes the underlying market (read-only use: experiments inspect
+// state, savings, allowances).
+func (g *Governor) Market() *core.Market { return g.market }
+
+// AgentOf returns the market agent representing a task.
+func (g *Governor) AgentOf(t *task.Task) *core.TaskAgent { return g.agents[t] }
+
+// Moves reports how many load-balancing and migration movements the
+// governor has performed.
+func (g *Governor) Moves() (balances, migrations int) { return g.balances, g.migrations }
+
+// Attach implements platform.Governor: it builds the market over the
+// platform's clusters and registers agents for the existing tasks.
+func (g *Governor) Attach(p *platform.Platform) {
+	g.p = p
+	controls := make([]core.ClusterControl, len(p.Chip.Clusters))
+	cores := make([]int, len(p.Chip.Clusters))
+	for i, cl := range p.Chip.Clusters {
+		controls[i] = &clusterControl{cl: cl}
+		cores[i] = cl.Spec.NumCores
+	}
+	g.market = core.NewMarket(g.cfg.Market, controls, cores)
+	g.planner = lbt.NewPlanner(g.market, lbt.EstimatorFunc(g.estimateDemandOn))
+	g.planner.MinSpendGain = g.cfg.MinSpendGain
+	g.planner.Eligible = func(a *core.TaskAgent) bool {
+		t := g.byAgent[a]
+		if t == nil {
+			return false
+		}
+		last, moved := g.movedAt[t]
+		return !moved || g.now-last >= g.cfg.MigrationCooldown
+	}
+	g.syncTasks()
+	g.nextBid = g.cfg.BidPeriod
+}
+
+// Tick implements platform.Governor.
+func (g *Governor) Tick(now sim.Time) {
+	if now < g.nextBid {
+		return
+	}
+	g.nextBid += g.cfg.BidPeriod
+	g.now = now
+	g.round++
+	g.syncTasks()
+	g.observe(now)
+	g.market.StepOnce()
+	g.applyPurchases()
+	g.powerGateEmptyClusters()
+
+	if g.cfg.DisableLBT || g.market.State() == core.Emergency {
+		return
+	}
+	if g.round%g.cfg.MigrateEvery == 0 {
+		if mv := g.planner.PlanMigrate(); mv != nil {
+			g.applyMove(mv)
+			g.migrations++
+			return
+		}
+	}
+	if g.round%g.cfg.BalanceEvery == 0 {
+		if mv := g.planner.PlanBalance(); mv != nil {
+			g.applyMove(mv)
+			g.balances++
+		}
+	}
+}
+
+// syncTasks reconciles market agents with the platform's live tasks.
+func (g *Governor) syncTasks() {
+	live := make(map[*task.Task]bool)
+	for _, t := range g.p.Tasks() {
+		live[t] = true
+		if _, ok := g.agents[t]; !ok {
+			a := g.market.AddTask(t.Priority, g.p.CoreOf(t))
+			g.agents[t] = a
+			g.byAgent[a] = t
+			g.lastTotal[t] = g.p.TotalWork(t)
+		}
+	}
+	for t, a := range g.agents {
+		if !live[t] {
+			g.market.RemoveTask(a)
+			delete(g.byAgent, a)
+			delete(g.agents, t)
+			delete(g.lastTotal, t)
+			delete(g.lastDemand, t)
+		}
+	}
+}
+
+// observe feeds each agent the demand and supply observations for the round
+// that just elapsed (Table 4's conversion).
+func (g *Governor) observe(now sim.Time) {
+	period := g.cfg.BidPeriod.Seconds()
+	for t, a := range g.agents {
+		total := g.p.TotalWork(t)
+		consumed := (total - g.lastTotal[t]) / period
+		g.lastTotal[t] = total
+		a.Observed = consumed
+
+		if t.Finished() {
+			a.Demand = 0
+			continue
+		}
+		settling := false
+		if hold, ok := g.holdUntil[t]; ok {
+			if now < hold {
+				// Right after a migration the HRM window mixes rates from
+				// two core types; hold the profile-seeded demand until it
+				// drains.
+				continue
+			}
+			delete(g.holdUntil, t)
+			settling = true
+		}
+		hr := t.HeartRate(now)
+		d := task.EstimateDemand(t.TargetHR(), consumed, hr)
+		if settling && d > 0 && g.cfg.Online != nil {
+			// First trustworthy post-migration observation: one online
+			// profiling sample.
+			g.cfg.Online.Settle(t.Name, g.p.ClusterOf(t).Spec.Type, d)
+		}
+		if d <= 0 {
+			// No observation yet (cold start or frozen mid-migration): keep
+			// the last known demand, or seed from the profile.
+			d = g.lastDemand[t]
+			if d <= 0 {
+				if g.cfg.Profiles != nil {
+					if pd, ok := g.cfg.Profiles(t.Name, g.p.ClusterOf(t).Spec.Type); ok {
+						d = pd
+					}
+				}
+				if d <= 0 {
+					d = 100
+				}
+			}
+		} else if prev := g.lastDemand[t]; prev > 0 {
+			// Smooth against heart-rate-window noise.
+			d = g.cfg.DemandSmoothing*d + (1-g.cfg.DemandSmoothing)*prev
+		}
+		g.lastDemand[t] = d
+		a.Demand = d
+		// The LBT planner sees the *windowed peak* demand: a placement is
+		// only worth a multi-millisecond migration if it survives the
+		// task's program phases, so feasibility is judged against the worst
+		// demand of the recent past, not an instantaneous (or averaged)
+		// observation.
+		w, ok := g.lbtDemand[t]
+		if !ok {
+			w = &demandWindow{}
+			g.lbtDemand[t] = w
+		}
+		w.add(now, d)
+	}
+}
+
+// demandWindow tracks a robust phase-peak demand: each one-second bucket
+// keeps the *minimum* demand observed in that second (filtering sub-second
+// transients — heart-rate-window lag after weight changes and migrations
+// overshoots upward), and the window reports the *maximum* across buckets
+// (capturing multi-second program phases).
+type demandWindow struct {
+	buckets [demandWindowBuckets]float64
+	seconds [demandWindowBuckets]int64
+}
+
+// demandWindowBuckets × 1 s covers the workloads' longest phase loops.
+const demandWindowBuckets = 10
+
+func (w *demandWindow) add(now sim.Time, d float64) {
+	sec := int64(now / sim.Second)
+	i := sec % demandWindowBuckets
+	if w.seconds[i] != sec {
+		w.seconds[i] = sec
+		w.buckets[i] = d
+		return
+	}
+	if d < w.buckets[i] {
+		w.buckets[i] = d
+	}
+}
+
+func (w *demandWindow) peak(now sim.Time) float64 {
+	sec := int64(now / sim.Second)
+	var max float64
+	for i := range w.buckets {
+		if sec-w.seconds[i] < demandWindowBuckets && w.buckets[i] > max {
+			max = w.buckets[i]
+		}
+	}
+	return max
+}
+
+// scale multiplies every bucket (used when a migration translates demand to
+// another core type).
+func (w *demandWindow) scale(f float64) {
+	for i := range w.buckets {
+		w.buckets[i] *= f
+	}
+}
+
+// applyPurchases turns each agent's purchased supply into a scheduler share
+// (the paper's nice-value manipulation).
+func (g *Governor) applyPurchases() {
+	for t, a := range g.agents {
+		w := a.Purchased()
+		if w <= 0 || math.IsNaN(w) {
+			w = 1
+		}
+		g.p.SetWeight(t, w)
+	}
+}
+
+// applyMove performs an approved LBT movement on both the market and the
+// platform.
+func (g *Governor) applyMove(mv *lbt.Move) {
+	t := g.byAgent[mv.Agent]
+	if t == nil {
+		return
+	}
+	wasCluster := g.p.ClusterOf(t)
+	if !g.p.Migrate(t, mv.ToCore) {
+		return
+	}
+	if g.cfg.Trace != nil {
+		g.cfg.Trace("t=%v %s (task %s, lbtPeak=%.0f)", g.now, mv, t.Name, g.lbtDemand[t].peak(g.now))
+	}
+	g.market.MoveTask(mv.Agent, mv.ToCore)
+	g.movedAt[t] = g.now
+	// Demand on the new core type: translate the current observation by the
+	// profiled ratio (falling back to the raw profile), and hold it until
+	// the HRM window has drained the pre-migration rates.
+	newType := g.p.Chip.Cores[mv.ToCore].Cluster.Spec.Type
+	if newType != wasCluster.Spec.Type {
+		if g.cfg.Online != nil {
+			g.cfg.Online.BeginMigration(t.Name, wasCluster.Spec.Type, mv.Agent.Demand)
+		}
+		d := g.estimateDemandOnType(t, mv.Agent.Demand, wasCluster.Spec.Type, newType)
+		g.lastDemand[t] = d
+		if w, ok := g.lbtDemand[t]; ok && mv.Agent.Demand > 0 {
+			w.scale(d / mv.Agent.Demand)
+		}
+		mv.Agent.Demand = d
+		g.holdUntil[t] = g.now + task.DefaultHRMWindow
+	}
+}
+
+// estimateDemandOnType translates a demand observed on core type `from`
+// into core type `to` using the profiled ratio.
+func (g *Governor) estimateDemandOnType(t *task.Task, d float64, from, to hw.CoreType) float64 {
+	if g.cfg.Profiles == nil {
+		return d
+	}
+	dTo, ok1 := g.cfg.Profiles(t.Name, to)
+	dFrom, ok2 := g.cfg.Profiles(t.Name, from)
+	if !ok1 || !ok2 || dFrom <= 0 {
+		return d
+	}
+	return d * dTo / dFrom
+}
+
+// powerGateEmptyClusters powers clusters down when they host no tasks and
+// back up when they do (§2: "if there are no active tasks in an entire
+// cluster, then we can power down that cluster").
+func (g *Governor) powerGateEmptyClusters() {
+	counts := make([]int, len(g.p.Chip.Clusters))
+	for _, t := range g.p.Tasks() {
+		counts[g.p.ClusterOf(t).ID]++
+	}
+	for i, cl := range g.p.Chip.Clusters {
+		switch {
+		case counts[i] == 0 && cl.On:
+			cl.PowerOff()
+		case counts[i] > 0 && !cl.On:
+			cl.PowerOn()
+		}
+	}
+}
+
+// estimateDemandOn is the LBT estimator. Per §3.3, the steady-state demand
+// on the task's *current* cluster is the currently observed demand (which
+// tracks program phases); for a *different* cluster type the observed
+// demand is translated by the profiled demand ratio between the two core
+// types (the off-line profiling step). Without a profile the observed
+// demand is used as-is — no heterogeneity speculation.
+func (g *Governor) estimateDemandOn(a *core.TaskAgent, cluster int) float64 {
+	t := g.byAgent[a]
+	if t == nil {
+		return a.Demand
+	}
+	d := a.Demand
+	if w, ok := g.lbtDemand[t]; ok {
+		if peak := w.peak(g.now); peak > 0 {
+			d = peak
+		}
+	}
+	cur := g.p.ClusterOf(t)
+	target := g.p.Chip.Clusters[cluster]
+	if target == cur || g.cfg.Profiles == nil {
+		return d
+	}
+	dTarget, ok1 := g.cfg.Profiles(t.Name, target.Spec.Type)
+	dCur, ok2 := g.cfg.Profiles(t.Name, cur.Spec.Type)
+	if !ok1 || !ok2 || dCur <= 0 {
+		return d
+	}
+	return d * dTarget / dCur
+}
+
+// clusterControl adapts hw.Cluster to the market's ClusterControl.
+type clusterControl struct {
+	cl *hw.Cluster
+}
+
+func (c *clusterControl) SupplyPU() float64 { return c.cl.SupplyPU() }
+func (c *clusterControl) SupplyAt(i int) float64 {
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(c.cl.Spec.Levels) {
+		i = len(c.cl.Spec.Levels) - 1
+	}
+	return float64(c.cl.Spec.Levels[i].FreqMHz)
+}
+func (c *clusterControl) Level() int                    { return c.cl.Level() }
+func (c *clusterControl) NumLevels() int                { return c.cl.NumLevels() }
+func (c *clusterControl) StepUp() bool                  { return c.cl.On && c.cl.StepUp() }
+func (c *clusterControl) StepDown() bool                { return c.cl.On && c.cl.StepDown() }
+func (c *clusterControl) Power() float64                { return hw.ClusterPower(c.cl) }
+func (c *clusterControl) PowerAt(level int) float64     { return hw.ClusterPowerAt(c.cl, level, 1) }
+func (c *clusterControl) IdlePowerAt(level int) float64 { return hw.ClusterPowerAt(c.cl, level, 0) }
+
+var _ core.ClusterControl = (*clusterControl)(nil)
+var _ platform.Governor = (*Governor)(nil)

@@ -1,0 +1,290 @@
+package ppm
+
+import (
+	"testing"
+
+	"pricepower/internal/core"
+	"pricepower/internal/hw"
+	"pricepower/internal/metrics"
+	"pricepower/internal/platform"
+	"pricepower/internal/sim"
+	"pricepower/internal/task"
+)
+
+// spec builds a CPU-bound looping task with the given LITTLE demand at
+// target heart rate 27 (range 24–30) and big-core speedup 2.
+func spec(name string, demandLittle float64, prio int) task.Spec {
+	return task.Spec{
+		Name:     name,
+		Priority: prio,
+		MinHR:    24,
+		MaxHR:    30,
+		Phases:   []task.Phase{{HBCostLittle: demandLittle / 27, SpeedupBig: 2}},
+		Loop:     true,
+	}
+}
+
+// profiles builds a ProfileFunc from name → little-demand (big demand is
+// half, matching SpeedupBig 2).
+func profiles(m map[string]float64) ProfileFunc {
+	return func(name string, ct hw.CoreType) (float64, bool) {
+		d, ok := m[name]
+		if !ok {
+			return 0, false
+		}
+		if ct == hw.Big {
+			return d / 2, true
+		}
+		return d, true
+	}
+}
+
+func newRig(cfg Config) (*platform.Platform, *Governor) {
+	p := platform.NewTC2()
+	g := New(cfg)
+	p.SetGovernor(g)
+	return p, g
+}
+
+// A single modest task on a LITTLE core: the market must find a V-F level
+// that keeps the heart rate in range without burning the big cluster.
+func TestSingleTaskSettlesInRange(t *testing.T) {
+	cfg := DefaultConfig(0)
+	cfg.Profiles = profiles(map[string]float64{"a": 540})
+	p, g := newRig(cfg)
+	tk := p.AddTask(spec("a", 540, 1), 2) // LITTLE core
+	pr := metrics.NewProbe(p, 3*sim.Second)
+	pr.Attach()
+	p.Run(15 * sim.Second)
+
+	if got := pr.BelowFrac(tk); got > 0.05 {
+		t.Errorf("below-range fraction = %.3f, want < 0.05", got)
+	}
+	// The LITTLE cluster should sit at the 600 PU rung (demand 540 rounded
+	// up), not the top.
+	little := p.Chip.Clusters[1]
+	if tk2 := p.ClusterOf(tk); tk2 != little {
+		t.Fatalf("task migrated off the LITTLE cluster to %v", tk2.Spec.Name)
+	}
+	if f := little.CurLevel().FreqMHz; f != 600 {
+		t.Errorf("LITTLE frequency = %d MHz, want 600 (demand rounded up)", f)
+	}
+	// The big cluster hosts nothing and must be power-gated.
+	if p.Chip.Clusters[0].On {
+		t.Error("empty big cluster not powered down")
+	}
+	if g.Market().State() != core.Normal {
+		t.Errorf("market state = %v, want normal", g.Market().State())
+	}
+}
+
+// A task whose demand exceeds the whole LITTLE ladder must be migrated to
+// the big cluster by the LBT module.
+func TestStarvingTaskMigratesToBig(t *testing.T) {
+	cfg := DefaultConfig(0)
+	cfg.Profiles = profiles(map[string]float64{"hungry": 1600})
+	p, g := newRig(cfg)
+	tk := p.AddTask(spec("hungry", 1600, 1), 2)
+	pr := metrics.NewProbe(p, 5*sim.Second)
+	pr.Attach()
+	p.Run(20 * sim.Second)
+
+	if p.ClusterOf(tk).Spec.Type != hw.Big {
+		t.Fatalf("task still on %v cluster", p.ClusterOf(tk).Spec.Type)
+	}
+	_, migs := g.Moves()
+	if migs == 0 {
+		t.Error("no migrations recorded")
+	}
+	if got := pr.BelowFrac(tk); got > 0.5 {
+		t.Errorf("below-range fraction after migration = %.3f", got)
+	}
+	// The vacated LITTLE cluster powers down.
+	if p.Chip.Clusters[1].On {
+		t.Error("empty LITTLE cluster not powered down")
+	}
+}
+
+// Under a 4 W cap with demand needing more, the chip agent must keep power
+// near (below or around) the budget via the threshold state.
+func TestTDPCapHolds(t *testing.T) {
+	cfg := DefaultConfig(4.0)
+	cfg.Profiles = profiles(map[string]float64{"h1": 1400, "h2": 1400, "h3": 1400})
+	p, g := newRig(cfg)
+	p.AddTask(spec("h1", 1400, 1), 0) // big
+	p.AddTask(spec("h2", 1400, 1), 1) // big
+	p.AddTask(spec("h3", 1400, 1), 2) // LITTLE
+	pr := metrics.NewProbe(p, 10*sim.Second)
+	pr.Attach()
+	p.Run(40 * sim.Second)
+
+	if avg := pr.AveragePower(); avg > 4.3 {
+		t.Errorf("average power = %.2f W under a 4 W cap", avg)
+	}
+	// The overloaded system may oscillate around the TDP (the paper's
+	// small-buffer regime) but must not sit in the emergency state: over a
+	// trailing window, emergency rounds must be a minority.
+	emergency := 0
+	const rounds = 100
+	for i := 0; i < rounds; i++ {
+		p.Run(100 * sim.Millisecond)
+		if g.Market().State() == core.Emergency {
+			emergency++
+		}
+	}
+	if emergency > rounds/2 {
+		t.Errorf("emergency state in %d/%d samples at steady state", emergency, rounds)
+	}
+}
+
+// Priorities shape allocation on a shared core: the priority-7 task must
+// spend far less time outside its range than its priority-1 sibling
+// (the Figure 7 mechanism).
+func TestPrioritiesShareOneCore(t *testing.T) {
+	cfg := DefaultConfig(0)
+	cfg.DisableLBT = true // paper disables LBT for this study
+	p, _ := newRig(cfg)
+	// Two tasks whose combined demand exceeds one LITTLE core at fmax.
+	hi := p.AddTask(spec("hi", 700, 7), 2)
+	lo := p.AddTask(spec("lo", 700, 1), 2)
+	pr := metrics.NewProbe(p, 5*sim.Second)
+	pr.Attach()
+	p.Run(30 * sim.Second)
+
+	hiMiss := pr.OutsideFrac(hi)
+	loMiss := pr.OutsideFrac(lo)
+	if hiMiss >= loMiss {
+		t.Errorf("high-priority outside %.3f not below low-priority %.3f", hiMiss, loMiss)
+	}
+	if hiMiss > 0.3 {
+		t.Errorf("high-priority outside fraction = %.3f, want small", hiMiss)
+	}
+	if loMiss < 0.3 {
+		t.Errorf("low-priority outside fraction = %.3f, want large (suffering)", loMiss)
+	}
+}
+
+// The governor translates purchases into scheduler weights each round.
+func TestPurchasesBecomeWeights(t *testing.T) {
+	cfg := DefaultConfig(0)
+	cfg.DisableLBT = true
+	p, g := newRig(cfg)
+	hi := p.AddTask(spec("hi", 800, 4), 2)
+	lo := p.AddTask(spec("lo", 800, 1), 2)
+	p.Run(10 * sim.Second)
+	ahi, alo := g.AgentOf(hi), g.AgentOf(lo)
+	if ahi == nil || alo == nil {
+		t.Fatal("agents not registered")
+	}
+	if p.Weight(hi) != ahi.Purchased() && p.Weight(hi) != 1 {
+		t.Errorf("weight(hi) = %v, purchased %v", p.Weight(hi), ahi.Purchased())
+	}
+	if ahi.Purchased() <= alo.Purchased() {
+		t.Errorf("purchases %v/%v do not favour the high-priority task",
+			ahi.Purchased(), alo.Purchased())
+	}
+}
+
+// Demand estimation drives the market: an idle-ish (self-capped) task must
+// not push the cluster to high frequency.
+func TestSelfPacedTaskKeepsFrequencyLow(t *testing.T) {
+	cfg := DefaultConfig(0)
+	p, _ := newRig(cfg)
+	s := spec("video", 400, 1)
+	s.Phases[0].SelfCapHR = 33 // paces itself slightly above range
+	p.AddTask(s, 2)
+	p.Run(15 * sim.Second)
+	little := p.Chip.Clusters[1]
+	if f := little.CurLevel().FreqMHz; f > 500 {
+		t.Errorf("LITTLE frequency = %d MHz for a 400 PU task, want ≤ 500", f)
+	}
+}
+
+// Finished tasks stop demanding and the cluster drifts down.
+func TestFinishedTaskReleasesSupply(t *testing.T) {
+	cfg := DefaultConfig(0)
+	p, _ := newRig(cfg)
+	s := spec("oneshot", 900, 1)
+	s.Loop = false
+	s.Phases[0].Duration = 5 * sim.Second
+	p.AddTask(s, 2)
+	p.Run(20 * sim.Second)
+	little := p.Chip.Clusters[1]
+	if little.Level() != 0 && little.On {
+		t.Errorf("LITTLE still at level %d after task finished", little.Level())
+	}
+}
+
+// The governor must keep working when tasks appear mid-run.
+func TestDynamicTaskArrival(t *testing.T) {
+	cfg := DefaultConfig(0)
+	cfg.Profiles = profiles(map[string]float64{"a": 500, "late": 700})
+	p, g := newRig(cfg)
+	p.AddTask(spec("a", 500, 1), 2)
+	p.Run(5 * sim.Second)
+	late := p.AddTask(spec("late", 700, 2), 3)
+	p.Run(10 * sim.Second)
+	if g.AgentOf(late) == nil {
+		t.Fatal("late task has no agent")
+	}
+	if got := late.HeartRate(p.Now()); got <= 0 {
+		t.Error("late task received no supply")
+	}
+}
+
+func TestConfigDefaultsFilled(t *testing.T) {
+	g := New(Config{})
+	if g.cfg.BidPeriod != sim.FromMillis(31.7) {
+		t.Errorf("bid period = %v", g.cfg.BidPeriod)
+	}
+	if g.cfg.BalanceEvery != 3 || g.cfg.MigrateEvery != 6 {
+		t.Errorf("cadences = %d/%d", g.cfg.BalanceEvery, g.cfg.MigrateEvery)
+	}
+	if g.Name() != "PPM" {
+		t.Errorf("name = %q", g.Name())
+	}
+}
+
+// BidPeriodFor reproduces the paper's §3.4 rule: 31.7 ms for workloads whose
+// fastest task beats at 31.5 hb/s, clamped at the 10 ms scheduling epoch.
+func TestBidPeriodFor(t *testing.T) {
+	specs := []task.Spec{
+		spec("slow", 500, 1), // target 27 hb/s → 37 ms
+		{Name: "fast", Priority: 1, MinHR: 30, MaxHR: 33, Loop: true,
+			Phases: []task.Phase{{HBCostLittle: 10, SpeedupBig: 2}}}, // 31.5 hb/s
+	}
+	got := BidPeriodFor(specs)
+	if got < sim.FromMillis(31.7)-sim.Millisecond || got > sim.FromMillis(31.7)+sim.Millisecond {
+		t.Errorf("BidPeriodFor = %v, want ≈31.7ms", got)
+	}
+	// A 200 hb/s task would imply 5 ms — clamped to the scheduling epoch.
+	fast := []task.Spec{{Name: "vfast", Priority: 1, MinHR: 190, MaxHR: 210,
+		Loop: true, Phases: []task.Phase{{HBCostLittle: 1, SpeedupBig: 2}}}}
+	if got := BidPeriodFor(fast); got != 10*sim.Millisecond {
+		t.Errorf("BidPeriodFor(fast) = %v, want 10ms", got)
+	}
+	if got := BidPeriodFor(nil); got != 10*sim.Millisecond {
+		t.Errorf("BidPeriodFor(nil) = %v, want 10ms", got)
+	}
+}
+
+// The governor must stay functional under the discrete (bursty) scheduling
+// model: heart rates are noisier, but the market still lands the workload
+// in range.
+func TestGovernorUnderDiscreteScheduling(t *testing.T) {
+	cfg := DefaultConfig(0)
+	cfg.Profiles = profiles(map[string]float64{"a": 500, "b": 400})
+	p, _ := newRig(cfg)
+	p.SetSchedGranularity(sim.Millisecond)
+	a := p.AddTask(spec("a", 500, 1), 2)
+	b := p.AddTask(spec("b", 400, 1), 2)
+	pr := metrics.NewProbe(p, 5*sim.Second)
+	pr.Attach()
+	p.Run(25 * sim.Second)
+	if got := pr.BelowFrac(a); got > 0.15 {
+		t.Errorf("task a below range %.3f under discrete scheduling", got)
+	}
+	if got := pr.BelowFrac(b); got > 0.15 {
+		t.Errorf("task b below range %.3f under discrete scheduling", got)
+	}
+}

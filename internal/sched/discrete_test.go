@@ -1,0 +1,108 @@
+package sched
+
+import (
+	"math"
+	"testing"
+
+	"pricepower/internal/sim"
+)
+
+func TestDiscreteBurstyWithinTickProportionalOverall(t *testing.T) {
+	q := NewQueue()
+	q.Granularity = sim.Millisecond
+	a := &Entity{ID: 1, Weight: 2048, WantPU: -1}
+	b := &Entity{ID: 2, Weight: 1024, WantPU: -1}
+	q.Add(a)
+	q.Add(b)
+
+	// Within a single 1 ms tick at 1 ms granularity, only one entity runs:
+	// the discrete model is bursty.
+	allocs, util := q.RunTick(900, tick)
+	if len(allocs) != 1 {
+		t.Errorf("discrete tick ran %d entities, want 1 (bursty)", len(allocs))
+	}
+	if math.Abs(util-1) > 1e-9 {
+		t.Errorf("util = %v", util)
+	}
+
+	// Over many ticks, allocation converges to weight proportion.
+	total := map[int]float64{1: allocs[0].WorkPU}
+	if allocs[0].Entity.ID == 2 {
+		total = map[int]float64{2: allocs[0].WorkPU}
+	}
+	for i := 0; i < 2999; i++ {
+		as, _ := q.RunTick(900, tick)
+		for _, al := range as {
+			total[al.Entity.ID] += al.WorkPU
+		}
+	}
+	ratio := total[1] / total[2]
+	if math.Abs(ratio-2) > 0.05 {
+		t.Errorf("long-run work ratio = %v, want 2", ratio)
+	}
+	sum := total[1] + total[2]
+	if math.Abs(sum-900*3) > 1 {
+		t.Errorf("total work = %v, want %v (work conservation)", sum, 900*3)
+	}
+}
+
+func TestDiscreteRespectsWantCaps(t *testing.T) {
+	q := NewQueue()
+	q.Granularity = sim.Millisecond
+	a := &Entity{ID: 1, Weight: 1024, WantPU: 100}
+	b := &Entity{ID: 2, Weight: 1024, WantPU: -1}
+	q.Add(a)
+	q.Add(b)
+	total := runTicks(q, 1000, 1000)
+	// a self-caps at 100 PU; b absorbs the slack.
+	if math.Abs(total[1]-100) > 2 {
+		t.Errorf("capped entity got %v PU·s over 1 s, want ≈100", total[1])
+	}
+	if math.Abs(total[2]-900) > 2 {
+		t.Errorf("unbounded entity got %v PU·s, want ≈900", total[2])
+	}
+}
+
+func TestDiscreteSubSliceGranularity(t *testing.T) {
+	q := NewQueue()
+	q.Granularity = 250 * sim.Microsecond // four slices per 1 ms tick
+	a := &Entity{ID: 1, Weight: 1024, WantPU: -1}
+	b := &Entity{ID: 2, Weight: 1024, WantPU: -1}
+	q.Add(a)
+	q.Add(b)
+	allocs, _ := q.RunTick(1000, tick)
+	// With four slices and equal weights both entities run within one tick.
+	if len(allocs) != 2 {
+		t.Errorf("sub-slice tick ran %d entities, want 2", len(allocs))
+	}
+}
+
+func TestDiscreteIdleWhenNobodyWants(t *testing.T) {
+	q := NewQueue()
+	q.Granularity = sim.Millisecond
+	q.Add(&Entity{ID: 1, Weight: 1024, WantPU: 0})
+	allocs, util := q.RunTick(1000, tick)
+	if len(allocs) != 0 || util != 0 {
+		t.Errorf("idle discrete tick: %v util %v", allocs, util)
+	}
+}
+
+// The fluid and discrete models must agree on long-run shares for any
+// weight mix (they are the same scheduler at different granularities).
+func TestDiscreteMatchesFluidLongRun(t *testing.T) {
+	weights := []float64{3000, 1500, 500}
+	fluid := NewQueue()
+	discrete := NewQueue()
+	discrete.Granularity = sim.Millisecond
+	for i, w := range weights {
+		fluid.Add(&Entity{ID: i, Weight: w, WantPU: -1})
+		discrete.Add(&Entity{ID: i, Weight: w, WantPU: -1})
+	}
+	ft := runTicks(fluid, 1000, 5000)
+	dt := runTicks(discrete, 1000, 5000)
+	for i := range weights {
+		if math.Abs(ft[i]-dt[i]) > 0.02*ft[i] {
+			t.Errorf("entity %d: fluid %v vs discrete %v", i, ft[i], dt[i])
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package sched
+
+import (
+	"math"
+
+	"pricepower/internal/sim"
+)
+
+// LoadTracker is a PELT-style (per-entity load tracking, Turner 2012)
+// geometrically-decayed average of an entity's runnable fraction. The Linux
+// series decays by y per millisecond with y³² = 0.5 (32 ms half-life);
+// we use the continuous-time equivalent so arbitrary tick sizes work.
+//
+// The HL baseline uses this signal for its big/LITTLE migration thresholds
+// ("the amount of time spent in the active task run-queue"), and governors
+// can use it as a demand proxy when a task exposes no heartbeats (§5.2's
+// per-entity-load-tracking fallback).
+type LoadTracker struct {
+	avg         float64
+	initialized bool
+}
+
+// peltHalfLife is the decay half-life of the tracked average.
+const peltHalfLife = 32 * sim.Millisecond
+
+// Update folds one tick's runnable fraction (in [0,1]) into the average.
+func (l *LoadTracker) Update(runnable float64, dt sim.Time) {
+	if runnable < 0 {
+		runnable = 0
+	}
+	if runnable > 1 {
+		runnable = 1
+	}
+	if !l.initialized {
+		l.avg = runnable
+		l.initialized = true
+		return
+	}
+	decay := math.Exp2(-float64(dt) / float64(peltHalfLife))
+	l.avg = l.avg*decay + runnable*(1-decay)
+}
+
+// Value reports the current load average in [0,1].
+func (l *LoadTracker) Value() float64 { return l.avg }
+
+// Reset clears the tracker (used after migrations, when history on the old
+// core is no longer representative).
+func (l *LoadTracker) Reset() { *l = LoadTracker{} }

@@ -1,0 +1,113 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// TickHook is a component that wants to be driven once per engine tick.
+// Hooks run in registration order; now is the time at the *end* of the tick,
+// i.e. the state they observe covers (now-step, now].
+type TickHook interface {
+	Tick(now Time)
+}
+
+// TickFunc adapts a plain function to the TickHook interface.
+type TickFunc func(now Time)
+
+// Tick calls f(now).
+func (f TickFunc) Tick(now Time) { f(now) }
+
+// event is a one-shot callback scheduled at a specific virtual time.
+type event struct {
+	at  Time
+	seq int64 // tie-break so equal-time events fire FIFO
+	fn  func(now Time)
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Engine advances a virtual clock in fixed steps, firing scheduled one-shot
+// events and per-tick hooks. The zero value is not usable; call NewEngine.
+type Engine struct {
+	now    Time
+	step   Time
+	hooks  []TickHook
+	events eventQueue
+	seq    int64
+}
+
+// NewEngine returns an engine whose clock starts at zero and advances in
+// steps of the given size. Step must be positive.
+func NewEngine(step Time) *Engine {
+	if step <= 0 {
+		panic(fmt.Sprintf("sim: non-positive engine step %d", step))
+	}
+	return &Engine{step: step}
+}
+
+// Now reports the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Step reports the tick size.
+func (e *Engine) Step() Time { return e.step }
+
+// AddHook registers a hook to run every tick, after all hooks registered
+// before it.
+func (e *Engine) AddHook(h TickHook) { e.hooks = append(e.hooks, h) }
+
+// At schedules fn to run at virtual time at. Events scheduled in the past
+// (or at the current time) fire at the start of the next tick. Events at the
+// same time fire in scheduling order, always before that tick's hooks.
+func (e *Engine) At(at Time, fn func(now Time)) {
+	e.seq++
+	heap.Push(&e.events, &event{at: at, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d after the current time.
+func (e *Engine) After(d Time, fn func(now Time)) { e.At(e.now+d, fn) }
+
+// RunUntil advances the clock tick by tick until it reaches (at least) end.
+// Each tick fires, in order: due one-shot events, then every hook.
+func (e *Engine) RunUntil(end Time) {
+	for e.now < end {
+		e.StepOnce()
+	}
+}
+
+// RunFor advances the clock by d from the current time.
+func (e *Engine) RunFor(d Time) { e.RunUntil(e.now + d) }
+
+// StepOnce advances the clock by exactly one step and fires due events and
+// all hooks.
+func (e *Engine) StepOnce() {
+	e.now += e.step
+	for len(e.events) > 0 && e.events[0].at <= e.now {
+		ev := heap.Pop(&e.events).(*event)
+		ev.fn(e.now)
+	}
+	for _, h := range e.hooks {
+		h.Tick(e.now)
+	}
+}
+
+// Pending reports the number of scheduled one-shot events not yet fired.
+func (e *Engine) Pending() int { return len(e.events) }

@@ -1,0 +1,210 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeUnits(t *testing.T) {
+	if Second != 1000*Millisecond || Millisecond != 1000*Microsecond {
+		t.Fatalf("unit ratios wrong: s=%d ms=%d", Second, Millisecond)
+	}
+	if got := FromSeconds(1.5); got != 1500*Millisecond {
+		t.Errorf("FromSeconds(1.5) = %d, want %d", got, 1500*Millisecond)
+	}
+	if got := FromMillis(31.7); got != 31700 {
+		t.Errorf("FromMillis(31.7) = %d, want 31700", got)
+	}
+	if got := (2 * Second).Seconds(); got != 2.0 {
+		t.Errorf("Seconds() = %v, want 2", got)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{500 * Microsecond, "500µs"},
+		{2500 * Microsecond, "2.500ms"},
+		{1500 * Millisecond, "1.500s"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(c.t), got, c.want)
+		}
+	}
+}
+
+func TestEngineAdvancesClock(t *testing.T) {
+	e := NewEngine(Millisecond)
+	if e.Now() != 0 {
+		t.Fatalf("fresh engine Now() = %v", e.Now())
+	}
+	e.RunFor(10 * Millisecond)
+	if e.Now() != 10*Millisecond {
+		t.Errorf("after RunFor(10ms) Now() = %v", e.Now())
+	}
+	e.RunUntil(10 * Millisecond) // already there; must not move
+	if e.Now() != 10*Millisecond {
+		t.Errorf("RunUntil(now) moved clock to %v", e.Now())
+	}
+}
+
+func TestEngineHooksFireEveryTickInOrder(t *testing.T) {
+	e := NewEngine(Millisecond)
+	var order []int
+	e.AddHook(TickFunc(func(now Time) { order = append(order, 1) }))
+	e.AddHook(TickFunc(func(now Time) { order = append(order, 2) }))
+	e.RunFor(3 * Millisecond)
+	want := []int{1, 2, 1, 2, 1, 2}
+	if len(order) != len(want) {
+		t.Fatalf("hook firings = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("hook firings = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestEngineEventsFireOnceAtTheRightTick(t *testing.T) {
+	e := NewEngine(Millisecond)
+	var fired []Time
+	e.At(2500*Microsecond, func(now Time) { fired = append(fired, now) })
+	e.At(Millisecond, func(now Time) { fired = append(fired, now) })
+	e.RunFor(5 * Millisecond)
+	if len(fired) != 2 {
+		t.Fatalf("fired %d events, want 2", len(fired))
+	}
+	if fired[0] != Millisecond {
+		t.Errorf("first event fired at %v, want 1ms", fired[0])
+	}
+	// 2.5ms event fires at the end of the tick that covers it (3ms).
+	if fired[1] != 3*Millisecond {
+		t.Errorf("second event fired at %v, want 3ms", fired[1])
+	}
+	if e.Pending() != 0 {
+		t.Errorf("Pending() = %d after run, want 0", e.Pending())
+	}
+}
+
+func TestEngineEqualTimeEventsFIFO(t *testing.T) {
+	e := NewEngine(Millisecond)
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		e.At(Millisecond, func(now Time) { order = append(order, i) })
+	}
+	e.RunFor(Millisecond)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("equal-time events fired out of order: %v", order)
+		}
+	}
+}
+
+func TestEngineEventsBeforeHooks(t *testing.T) {
+	e := NewEngine(Millisecond)
+	var order []string
+	e.AddHook(TickFunc(func(now Time) { order = append(order, "hook") }))
+	e.At(Millisecond, func(now Time) { order = append(order, "event") })
+	e.RunFor(Millisecond)
+	if len(order) != 2 || order[0] != "event" || order[1] != "hook" {
+		t.Fatalf("order = %v, want [event hook]", order)
+	}
+}
+
+func TestEngineAfterSchedulesRelative(t *testing.T) {
+	e := NewEngine(Millisecond)
+	e.RunFor(5 * Millisecond)
+	var at Time
+	e.After(2*Millisecond, func(now Time) { at = now })
+	e.RunFor(5 * Millisecond)
+	if at != 7*Millisecond {
+		t.Errorf("After(2ms) from t=5ms fired at %v, want 7ms", at)
+	}
+}
+
+func TestEnginePastEventFiresNextTick(t *testing.T) {
+	e := NewEngine(Millisecond)
+	e.RunFor(5 * Millisecond)
+	var at Time
+	e.At(Millisecond, func(now Time) { at = now }) // in the past
+	e.StepOnce()
+	if at != 6*Millisecond {
+		t.Errorf("past event fired at %v, want 6ms", at)
+	}
+}
+
+func TestEngineRejectsBadStep(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewEngine(0) did not panic")
+		}
+	}()
+	NewEngine(0)
+}
+
+func TestRandDeterministicAndDistinct(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same-seed generators diverged")
+		}
+	}
+	c := NewRand(43)
+	same := 0
+	a = NewRand(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds produced %d/100 equal values", same)
+	}
+}
+
+func TestRandFloat64InRange(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRand(seed)
+		for i := 0; i < 50; i++ {
+			v := r.Float64()
+			if v < 0 || v >= 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandIntnAndRange(t *testing.T) {
+	r := NewRand(7)
+	for i := 0; i < 1000; i++ {
+		if v := r.Intn(13); v < 0 || v >= 13 {
+			t.Fatalf("Intn(13) = %d", v)
+		}
+		if v := r.Range(2, 5); v < 2 || v >= 5 {
+			t.Fatalf("Range(2,5) = %v", v)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestRandForkIndependent(t *testing.T) {
+	r := NewRand(1)
+	f1 := r.Fork()
+	f2 := r.Fork()
+	if f1.Uint64() == f2.Uint64() {
+		t.Error("forked generators produced identical first values")
+	}
+}

@@ -1,0 +1,47 @@
+package sim
+
+// Rand is a small deterministic pseudo-random source (SplitMix64) used
+// wherever the simulator needs randomness: workload jitter, Table 7's random
+// supply/demand generation, property-test corpora.
+//
+// math/rand would also do, but a self-contained generator keeps streams
+// stable across Go releases and lets every component own an independent,
+// seedable stream cheaply.
+type Rand struct {
+	state uint64
+}
+
+// NewRand returns a generator seeded with seed. Distinct seeds give
+// independent-looking streams; the zero seed is valid.
+func NewRand(seed uint64) *Rand { return &Rand{state: seed} }
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *Rand) Uint64() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Range returns a uniform float64 in [lo, hi).
+func (r *Rand) Range(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// Fork derives an independent generator from this one, so components can be
+// given their own streams without sharing state.
+func (r *Rand) Fork() *Rand { return NewRand(r.Uint64()) }

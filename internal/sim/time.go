@@ -1,0 +1,48 @@
+// Package sim provides the simulation kernel used by the pricepower
+// platform model: a microsecond-resolution virtual clock, a fixed-tick
+// engine with pluggable hooks, a one-shot event queue, and a seeded
+// deterministic random source.
+//
+// Everything above this package (hardware, scheduler, governors) is driven
+// from the engine's tick loop, so a whole experiment is a pure function of
+// its configuration and seed.
+package sim
+
+import "fmt"
+
+// Time is a point on (or a span of) the virtual timeline, in microseconds.
+//
+// A dedicated type (rather than time.Duration) keeps virtual time visibly
+// distinct from host time and makes arithmetic on it explicit.
+type Time int64
+
+// Convenient units for building Time values.
+const (
+	Microsecond Time = 1
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Seconds converts t to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Milliseconds converts t to floating-point milliseconds.
+func (t Time) Milliseconds() float64 { return float64(t) / float64(Millisecond) }
+
+// String renders the time in a human-friendly unit.
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", t.Seconds())
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", t.Milliseconds())
+	default:
+		return fmt.Sprintf("%dµs", int64(t))
+	}
+}
+
+// FromSeconds builds a Time from floating-point seconds.
+func FromSeconds(s float64) Time { return Time(s * float64(Second)) }
+
+// FromMillis builds a Time from floating-point milliseconds.
+func FromMillis(ms float64) Time { return Time(ms * float64(Millisecond)) }

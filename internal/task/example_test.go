@@ -1,0 +1,16 @@
+package task_test
+
+import (
+	"fmt"
+
+	"pricepower/internal/task"
+)
+
+// The paper's Table 4 conversion: observing 15 hb/s while consuming 500 PU
+// against a 27 hb/s target means the task needs 900 PU.
+func ExampleEstimateDemand() {
+	d := task.EstimateDemand(27, 500, 15)
+	fmt.Printf("demand %.0f PU\n", d)
+	// Output:
+	// demand 900 PU
+}

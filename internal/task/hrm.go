@@ -1,0 +1,81 @@
+package task
+
+import "pricepower/internal/sim"
+
+// DefaultHRMWindow is the sliding window over which the Heart Rate Monitor
+// reports a task's heart rate. Ten bid rounds (§3.4: 31.7 ms each) smooth
+// the burstiness of fair scheduling without making the control loop
+// sluggish.
+const DefaultHRMWindow = 317 * sim.Millisecond
+
+// Window measures an event rate over a sliding time window from cumulative
+// counter samples, like the HRM infrastructure's heartbeats-per-second
+// reading.
+type Window struct {
+	span   sim.Time
+	times  []sim.Time
+	counts []float64
+	head   int // index of oldest sample
+	n      int // number of valid samples
+}
+
+// NewWindow returns a rate window of the given span.
+func NewWindow(span sim.Time) Window {
+	if span <= 0 {
+		span = DefaultHRMWindow
+	}
+	return Window{span: span}
+}
+
+// Sample records that the cumulative counter had value count at time now.
+// Samples must arrive in non-decreasing time order.
+func (w *Window) Sample(now sim.Time, count float64) {
+	if cap(w.times) == 0 {
+		// Size the ring generously: one sample per ~1ms tick across the span.
+		size := int(w.span/sim.Millisecond) + 2
+		if size < 8 {
+			size = 8
+		}
+		w.times = make([]sim.Time, size)
+		w.counts = make([]float64, size)
+	}
+	// Drop samples that have slid out of the window.
+	w.evict(now)
+	if w.n == len(w.times) {
+		// Ring full (caller sampling faster than once per ms): drop oldest.
+		w.head = (w.head + 1) % len(w.times)
+		w.n--
+	}
+	i := (w.head + w.n) % len(w.times)
+	w.times[i] = now
+	w.counts[i] = count
+	w.n++
+}
+
+func (w *Window) evict(now sim.Time) {
+	for w.n > 1 {
+		next := (w.head + 1) % len(w.times)
+		// Keep one sample at or before the window edge so the rate spans the
+		// full window.
+		if w.times[next] > now-w.span {
+			return
+		}
+		w.head = next
+		w.n--
+	}
+}
+
+// Rate reports the average event rate per second over the window ending at
+// now. With fewer than two samples the rate is zero.
+func (w *Window) Rate(now sim.Time) float64 {
+	if w.n < 2 {
+		return 0
+	}
+	oldest := w.head
+	newest := (w.head + w.n - 1) % len(w.times)
+	dt := w.times[newest] - w.times[oldest]
+	if dt <= 0 {
+		return 0
+	}
+	return (w.counts[newest] - w.counts[oldest]) / dt.Seconds()
+}

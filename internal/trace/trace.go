@@ -1,0 +1,124 @@
+// Package trace records full time-series of a simulated run — per-cluster
+// frequency/power/temperature, per-task heart rate/supply, chip power — and
+// writes them as CSV for plotting. It is the library's observability layer:
+// cmd/ppmsim -trace uses it, and the behaviour figures (7/8) can be
+// re-plotted from its output.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"pricepower/internal/hw"
+	"pricepower/internal/platform"
+	"pricepower/internal/sim"
+)
+
+// Recorder samples a platform at a fixed period and accumulates rows.
+type Recorder struct {
+	p       *platform.Platform
+	thermal *hw.ThermalModel
+	period  sim.Time
+	next    sim.Time
+
+	header []string
+	rows   [][]float64
+}
+
+// New builds a recorder sampling every period (thermal may be nil).
+// Attach it with Attach after tasks exist so the column set is complete;
+// tasks added later are ignored (their columns would be ragged).
+func New(p *platform.Platform, thermal *hw.ThermalModel, period sim.Time) *Recorder {
+	if period <= 0 {
+		period = 100 * sim.Millisecond
+	}
+	return &Recorder{p: p, thermal: thermal, period: period}
+}
+
+// Attach registers the recorder on the platform's engine and freezes the
+// column layout from the platform's current tasks and clusters.
+func (r *Recorder) Attach() {
+	r.header = []string{"t_s", "chip_W"}
+	for _, cl := range r.p.Chip.Clusters {
+		r.header = append(r.header,
+			cl.Spec.Name+"_MHz", cl.Spec.Name+"_W", cl.Spec.Name+"_on")
+		if r.thermal != nil {
+			r.header = append(r.header, cl.Spec.Name+"_C")
+		}
+	}
+	names := make([]string, 0, len(r.p.Tasks()))
+	for _, t := range r.p.Tasks() {
+		names = append(names, t.Name)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		r.header = append(r.header, n+"_hr_norm", n+"_core")
+	}
+	r.p.Engine.AddHook(sim.TickFunc(r.tick))
+}
+
+func (r *Recorder) tick(now sim.Time) {
+	if r.thermal != nil {
+		r.thermal.Update(r.p.Engine.Step())
+	}
+	if now < r.next {
+		return
+	}
+	r.next = now + r.period
+
+	row := []float64{now.Seconds(), r.p.Power()}
+	for i, cl := range r.p.Chip.Clusters {
+		on := 0.0
+		if cl.On {
+			on = 1
+		}
+		row = append(row, float64(cl.CurLevel().FreqMHz), r.p.ClusterPower(i), on)
+		if r.thermal != nil {
+			row = append(row, r.thermal.Temp(i))
+		}
+	}
+	// Tasks in the frozen (sorted-by-name) order of the header.
+	byName := make(map[string][2]float64)
+	for _, t := range r.p.Tasks() {
+		byName[t.Name] = [2]float64{
+			t.HeartRate(now) / t.TargetHR(),
+			float64(r.p.CoreOf(t)),
+		}
+	}
+	for _, h := range r.header[len(row):] {
+		name := strings.TrimSuffix(strings.TrimSuffix(h, "_hr_norm"), "_core")
+		v, ok := byName[name]
+		if !ok {
+			row = append(row, 0)
+			continue
+		}
+		if strings.HasSuffix(h, "_hr_norm") {
+			row = append(row, v[0])
+		} else {
+			row = append(row, v[1])
+		}
+	}
+	r.rows = append(r.rows, row)
+}
+
+// Rows reports how many samples were recorded.
+func (r *Recorder) Rows() int { return len(r.rows) }
+
+// WriteCSV dumps the recorded series.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, strings.Join(r.header, ",")); err != nil {
+		return err
+	}
+	for _, row := range r.rows {
+		parts := make([]string, len(row))
+		for i, v := range row {
+			parts[i] = fmt.Sprintf("%.4f", v)
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(parts, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}

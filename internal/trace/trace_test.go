@@ -1,0 +1,117 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"pricepower/internal/hw"
+	"pricepower/internal/platform"
+	"pricepower/internal/ppm"
+	"pricepower/internal/sim"
+	"pricepower/internal/task"
+)
+
+func rig() (*platform.Platform, *Recorder) {
+	p := platform.NewTC2()
+	p.SetGovernor(ppm.New(ppm.DefaultConfig(0)))
+	p.AddTask(task.Spec{
+		Name: "alpha", Priority: 1, MinHR: 24, MaxHR: 30, Loop: true,
+		Phases: []task.Phase{{HBCostLittle: 20, SpeedupBig: 2}},
+	}, 2)
+	p.AddTask(task.Spec{
+		Name: "beta", Priority: 1, MinHR: 24, MaxHR: 30, Loop: true,
+		Phases: []task.Phase{{HBCostLittle: 10, SpeedupBig: 2}},
+	}, 3)
+	thermal := hw.NewThermalModel(p.Chip, nil, 25)
+	r := New(p, thermal, 100*sim.Millisecond)
+	r.Attach()
+	return p, r
+}
+
+func TestRecorderSamplesAtPeriod(t *testing.T) {
+	p, r := rig()
+	p.Run(2 * sim.Second)
+	// ~20 samples at 100 ms over 2 s (first sample at t≈0).
+	if r.Rows() < 19 || r.Rows() > 22 {
+		t.Errorf("rows = %d, want ≈20", r.Rows())
+	}
+}
+
+func TestRecorderCSVShape(t *testing.T) {
+	p, r := rig()
+	p.Run(sim.Second)
+	var sb strings.Builder
+	if err := r.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("CSV has %d lines", len(lines))
+	}
+	header := strings.Split(lines[0], ",")
+	for _, want := range []string{"t_s", "chip_W", "a15_MHz", "a7_W", "a7_C",
+		"alpha_hr_norm", "beta_core"} {
+		found := false
+		for _, h := range header {
+			if h == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("header missing %q: %v", want, header)
+		}
+	}
+	// Every row has exactly the header's width.
+	for i, line := range lines[1:] {
+		if got := len(strings.Split(line, ",")); got != len(header) {
+			t.Fatalf("row %d has %d cells, header has %d", i, got, len(header))
+		}
+	}
+}
+
+func TestRecorderValuesPlausible(t *testing.T) {
+	p, r := rig()
+	p.Run(3 * sim.Second)
+	var sb strings.Builder
+	if err := r.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	header := strings.Split(lines[0], ",")
+	last := strings.Split(lines[len(lines)-1], ",")
+	col := func(name string) string {
+		for i, h := range header {
+			if h == name {
+				return last[i]
+			}
+		}
+		t.Fatalf("column %s missing", name)
+		return ""
+	}
+	if col("chip_W") == "0.0000" {
+		t.Error("chip power recorded as zero")
+	}
+	// alpha (demand 540, self-unbounded) normalized heart rate > 0.
+	if col("alpha_hr_norm") == "0.0000" {
+		t.Error("alpha heart rate recorded as zero")
+	}
+	// Cores are LITTLE-cluster IDs (2-4).
+	if c := col("beta_core"); c != "2.0000" && c != "3.0000" && c != "4.0000" {
+		t.Errorf("beta on core %s, want a LITTLE core", c)
+	}
+}
+
+func TestRecorderWithoutThermal(t *testing.T) {
+	p := platform.NewTC2()
+	r := New(p, nil, 0) // default period
+	r.Attach()
+	p.Run(500 * sim.Millisecond)
+	var sb strings.Builder
+	if err := r.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "_C,") {
+		t.Error("thermal columns present without a thermal model")
+	}
+}

@@ -1,0 +1,164 @@
+// Package workload defines the evaluation workloads: the eight benchmarks of
+// Table 5 (PARSEC, Vision, SPEC2006) with their inputs, the nine
+// multiprogrammed workload sets of Table 6, the intensity metric that
+// classifies them, and the off-line profiles the LBT module speculates with.
+//
+// We cannot run the original binaries, so each benchmark×input is a
+// synthetic phase-structured task calibrated to (a) the paper's intensity
+// classes and (b) plausible per-benchmark heart-rate semantics (frames/s for
+// the video codecs, swaptions/s for the Monte-Carlo pricer, …). What the
+// framework observes — heartbeats as a function of supplied cycles, demand
+// that differs across core types, phase behaviour — is preserved.
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"pricepower/internal/hw"
+	"pricepower/internal/sim"
+	"pricepower/internal/task"
+)
+
+// Input is one benchmark input configuration (Table 5's "Inputs" column),
+// calibrated for the simulator.
+type Input struct {
+	// BaseDemandA7 is the duration-weighted average demand on a LITTLE core
+	// in PUs at the target heart rate (the d_t^A7 used by the intensity
+	// metric).
+	BaseDemandA7 float64
+	// SpeedupBig is how much less work the task needs per heartbeat on a
+	// big core.
+	SpeedupBig float64
+	// TargetHR is the midpoint of the reference heart-rate range in hb/s.
+	TargetHR float64
+	// RangeFrac half-width of the reference range as a fraction of
+	// TargetHR: MinHR = (1-RangeFrac)·Target, MaxHR = (1+RangeFrac)·Target.
+	RangeFrac float64
+	// SelfCapFactor bounds consumption at SelfCapFactor·TargetHR (0 =
+	// CPU-bound, unbounded).
+	SelfCapFactor float64
+	// PhaseMults scale BaseDemandA7 per phase; PhaseDur is each phase's
+	// length. Phases loop. Multipliers are normalized so their
+	// duration-weighted mean is 1 (keeping BaseDemandA7 the true average).
+	PhaseMults []float64
+	PhaseDur   sim.Time
+}
+
+// Benchmark is one row of Table 5.
+type Benchmark struct {
+	Name        string
+	Suite       string
+	Description string
+	InputsDesc  string
+	HeartbeatAt string
+	Inputs      map[string]Input
+}
+
+// Spec builds the task.Spec for this benchmark with the given input key and
+// priority.
+func (b *Benchmark) Spec(input string, priority int) (task.Spec, error) {
+	in, ok := b.Inputs[input]
+	if !ok {
+		return task.Spec{}, fmt.Errorf("workload: benchmark %s has no input %q", b.Name, input)
+	}
+	// Normalize multipliers to a mean of exactly 1.
+	mults := in.PhaseMults
+	if len(mults) == 0 {
+		mults = []float64{1}
+	}
+	var sum float64
+	for _, m := range mults {
+		sum += m
+	}
+	mean := sum / float64(len(mults))
+	spec := task.Spec{
+		Name:     b.Name + "_" + input,
+		Priority: priority,
+		MinHR:    in.TargetHR * (1 - in.RangeFrac),
+		MaxHR:    in.TargetHR * (1 + in.RangeFrac),
+		Loop:     true,
+	}
+	for _, m := range mults {
+		demand := in.BaseDemandA7 * m / mean
+		spec.Phases = append(spec.Phases, task.Phase{
+			Duration:     in.PhaseDur,
+			HBCostLittle: demand / in.TargetHR,
+			SpeedupBig:   in.SpeedupBig,
+			SelfCapHR:    in.SelfCapFactor * in.TargetHR,
+		})
+	}
+	return spec, nil
+}
+
+// MustSpec is Spec for registry-known inputs; it panics on error.
+func (b *Benchmark) MustSpec(input string, priority int) task.Spec {
+	s, err := b.Spec(input, priority)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Profile is the off-line profiling data the LBT module uses to speculate
+// about a task's behaviour on the other cluster type (§3.3, §5.2): average
+// demand per core type. As in the paper, averages do not capture dynamic
+// phases; the supply-demand module corrects mispredictions.
+type Profile struct {
+	DemandLittle float64 // avg PUs at target heart rate on a LITTLE core
+	DemandBig    float64 // avg PUs at target heart rate on a big core
+}
+
+// Demand returns the profiled demand on the given core type.
+func (p Profile) Demand(ct hw.CoreType) float64 {
+	if ct == hw.Big {
+		return p.DemandBig
+	}
+	return p.DemandLittle
+}
+
+// ProfileOf derives the off-line profile for a benchmark input.
+func (b *Benchmark) ProfileOf(input string) (Profile, error) {
+	in, ok := b.Inputs[input]
+	if !ok {
+		return Profile{}, fmt.Errorf("workload: benchmark %s has no input %q", b.Name, input)
+	}
+	return Profile{
+		DemandLittle: in.BaseDemandA7,
+		DemandBig:    in.BaseDemandA7 / in.SpeedupBig,
+	}, nil
+}
+
+// ProfileFor looks a profile up by full task name ("bench_input"). It is the
+// registry-wide profiling table handed to the LBT module.
+func ProfileFor(taskName string) (Profile, bool) {
+	for _, b := range Benchmarks {
+		for input := range b.Inputs {
+			if b.Name+"_"+input == taskName {
+				p, err := b.ProfileOf(input)
+				return p, err == nil
+			}
+		}
+	}
+	return Profile{}, false
+}
+
+// ByName returns the registered benchmark with the given name.
+func ByName(name string) (*Benchmark, bool) {
+	for _, b := range Benchmarks {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	return nil, false
+}
+
+// Names lists all registered benchmark names, sorted.
+func Names() []string {
+	names := make([]string, 0, len(Benchmarks))
+	for _, b := range Benchmarks {
+		names = append(names, b.Name)
+	}
+	sort.Strings(names)
+	return names
+}

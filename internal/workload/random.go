@@ -1,0 +1,82 @@
+package workload
+
+import (
+	"fmt"
+
+	"pricepower/internal/sim"
+	"pricepower/internal/task"
+)
+
+// RandomConfig bounds the random workload generator.
+type RandomConfig struct {
+	// Tasks is how many specs to generate.
+	Tasks int
+	// DemandMin/DemandMax bound each task's average LITTLE-core demand in
+	// PUs at its target heart rate.
+	DemandMin, DemandMax float64
+	// SpeedupMin/SpeedupMax bound the big-core speedups.
+	SpeedupMin, SpeedupMax float64
+	// MaxPhases bounds the number of program phases per task (≥1).
+	MaxPhases int
+	// PriorityMax bounds the user priorities (≥1).
+	PriorityMax int
+}
+
+// DefaultRandomConfig mirrors the §5.5 robustness setup scaled to the TC2
+// platform: demands across the whole ladder, big speedups in the measured
+// band, a handful of phases.
+func DefaultRandomConfig(tasks int) RandomConfig {
+	return RandomConfig{
+		Tasks:       tasks,
+		DemandMin:   50,
+		DemandMax:   1800,
+		SpeedupMin:  1.5,
+		SpeedupMax:  2.5,
+		MaxPhases:   4,
+		PriorityMax: 7,
+	}
+}
+
+// Random generates task specs from the generator's bounds — the fuel for
+// robustness and fuzz tests (the governors must survive any demand mix
+// without panicking or breaking their budget).
+func Random(rng *sim.Rand, cfg RandomConfig) []task.Spec {
+	if cfg.Tasks <= 0 {
+		return nil
+	}
+	if cfg.MaxPhases < 1 {
+		cfg.MaxPhases = 1
+	}
+	if cfg.PriorityMax < 1 {
+		cfg.PriorityMax = 1
+	}
+	specs := make([]task.Spec, 0, cfg.Tasks)
+	for i := 0; i < cfg.Tasks; i++ {
+		target := rng.Range(10, 100)
+		spec := task.Spec{
+			Name:     fmt.Sprintf("rand%d", i),
+			Priority: 1 + rng.Intn(cfg.PriorityMax),
+			MinHR:    target * 0.9,
+			MaxHR:    target * 1.1,
+			Loop:     true,
+		}
+		base := rng.Range(cfg.DemandMin, cfg.DemandMax)
+		speedup := rng.Range(cfg.SpeedupMin, cfg.SpeedupMax)
+		phases := 1 + rng.Intn(cfg.MaxPhases)
+		for ph := 0; ph < phases; ph++ {
+			mult := rng.Range(0.7, 1.3)
+			cap := 0.0
+			if rng.Intn(2) == 0 {
+				cap = target * rng.Range(1.1, 1.5)
+			}
+			spec.Phases = append(spec.Phases, task.Phase{
+				Duration:     sim.FromSeconds(rng.Range(2, 12)),
+				HBCostLittle: base * mult / target,
+				SpeedupBig:   speedup,
+				SelfCapHR:    cap,
+			})
+		}
+		specs = append(specs, spec)
+	}
+	return specs
+}

@@ -1,0 +1,126 @@
+package workload
+
+import "pricepower/internal/sim"
+
+// Benchmarks is the registry of Table 5: the eight applications of the
+// evaluation, with the calibrated inputs used by the nine workload sets.
+//
+// Input-key conventions follow the paper's footnote: v = vga, f = fullhd,
+// n = native, l = large; for h264 the keys are the video sequences
+// s = soccer, b = bluesky, fo = foreman.
+//
+// Calibration: BaseDemandA7 values are chosen so the Table 6 sets fall into
+// the paper's intensity classes on the TC2 model (LITTLE cluster capacity
+// 3×1000 PU); SpeedupBig values sit in the 1.7–2.2× band reported for
+// A15-vs-A7 on these suites; video-type tasks pace themselves slightly above
+// their frame-rate goal while the compute kernels are closer to CPU-bound.
+var Benchmarks = []*Benchmark{
+	{
+		Name:        "swaptions",
+		Suite:       "PARSEC",
+		Description: "Monte Carlo (MC) simulation to compute swaption prices",
+		InputsDesc:  "native and large",
+		HeartbeatAt: "every swaption",
+		Inputs: map[string]Input{
+			"l": {BaseDemandA7: 700, SpeedupBig: 2.0, TargetHR: 90, RangeFrac: 0.05,
+				SelfCapFactor: 1.6, PhaseMults: []float64{0.9, 1.1, 1.0}, PhaseDur: 8 * sim.Second},
+			// The native Monte-Carlo run prices a fixed portfolio at steady
+			// throughput: no phase behaviour.
+			"n": {BaseDemandA7: 1000, SpeedupBig: 2.0, TargetHR: 60, RangeFrac: 0.05,
+				SelfCapFactor: 1.6, PhaseMults: []float64{1.0}, PhaseDur: 0},
+		},
+	},
+	{
+		Name:        "bodytrack",
+		Suite:       "PARSEC",
+		Description: "Tracks a human body through an image sequence",
+		InputsDesc:  "native and large",
+		HeartbeatAt: "every frame",
+		Inputs: map[string]Input{
+			"l": {BaseDemandA7: 800, SpeedupBig: 1.9, TargetHR: 27, RangeFrac: 0.1,
+				SelfCapFactor: 1.3, PhaseMults: []float64{0.8, 1.2, 1.0, 1.0}, PhaseDur: 6 * sim.Second},
+			"n": {BaseDemandA7: 1200, SpeedupBig: 1.9, TargetHR: 27, RangeFrac: 0.1,
+				SelfCapFactor: 1.3, PhaseMults: []float64{0.85, 1.15, 1.0}, PhaseDur: 7 * sim.Second},
+		},
+	},
+	{
+		Name:        "x264",
+		Suite:       "PARSEC",
+		Description: "H.264/AVC video encoder",
+		InputsDesc:  "native and large",
+		HeartbeatAt: "every frame",
+		Inputs: map[string]Input{
+			"l": {BaseDemandA7: 900, SpeedupBig: 2.1, TargetHR: 30, RangeFrac: 0.1,
+				SelfCapFactor: 1.3, PhaseMults: []float64{0.7, 1.3, 1.0}, PhaseDur: 5 * sim.Second},
+			"n": {BaseDemandA7: 1100, SpeedupBig: 2.1, TargetHR: 30, RangeFrac: 0.1,
+				SelfCapFactor: 1.3, PhaseMults: []float64{0.75, 1.25, 1.0}, PhaseDur: 6 * sim.Second},
+		},
+	},
+	{
+		Name:        "blackscholes",
+		Suite:       "PARSEC",
+		Description: "Solves the Black-Scholes PDE to price a portfolio of options",
+		InputsDesc:  "native and large",
+		HeartbeatAt: "every 50000 options",
+		Inputs: map[string]Input{
+			"l": {BaseDemandA7: 600, SpeedupBig: 2.0, TargetHR: 50, RangeFrac: 0.05,
+				SelfCapFactor: 1.6, PhaseMults: []float64{1.0}, PhaseDur: 0},
+			"n": {BaseDemandA7: 1300, SpeedupBig: 2.0, TargetHR: 40, RangeFrac: 0.05,
+				SelfCapFactor: 1.6, PhaseMults: []float64{0.95, 1.05}, PhaseDur: 12 * sim.Second},
+		},
+	},
+	{
+		Name:        "h264",
+		Suite:       "SPEC2006",
+		Description: "H.264 reference video encoder",
+		InputsDesc:  "foreman, soccer and bluesky",
+		HeartbeatAt: "every frame",
+		Inputs: map[string]Input{
+			"s": {BaseDemandA7: 1000, SpeedupBig: 2.2, TargetHR: 25, RangeFrac: 0.1,
+				SelfCapFactor: 1.3, PhaseMults: []float64{0.8, 1.2}, PhaseDur: 8 * sim.Second},
+			"b": {BaseDemandA7: 1300, SpeedupBig: 2.2, TargetHR: 25, RangeFrac: 0.1,
+				SelfCapFactor: 1.3, PhaseMults: []float64{0.9, 1.1, 1.0}, PhaseDur: 9 * sim.Second},
+			"fo": {BaseDemandA7: 900, SpeedupBig: 2.2, TargetHR: 25, RangeFrac: 0.1,
+				SelfCapFactor: 1.3, PhaseMults: []float64{0.7, 1.3}, PhaseDur: 7 * sim.Second},
+		},
+	},
+	{
+		Name:        "texture",
+		Suite:       "Vision",
+		Description: "Texture synthesis (motion, tracking and stereo vision)",
+		InputsDesc:  "vga and fullhd",
+		HeartbeatAt: "every frame",
+		Inputs: map[string]Input{
+			"v": {BaseDemandA7: 800, SpeedupBig: 2.0, TargetHR: 31.5, RangeFrac: 0.1,
+				SelfCapFactor: 1.3, PhaseMults: []float64{0.9, 1.1}, PhaseDur: 5 * sim.Second},
+			"f": {BaseDemandA7: 1600, SpeedupBig: 2.05, TargetHR: 20, RangeFrac: 0.1,
+				SelfCapFactor: 1.3, PhaseMults: []float64{0.85, 1.15, 1.0}, PhaseDur: 8 * sim.Second},
+		},
+	},
+	{
+		Name:        "multicnt",
+		Suite:       "Vision",
+		Description: "Image analysis (multiple object counting)",
+		InputsDesc:  "vga and fullhd",
+		HeartbeatAt: "every frame",
+		Inputs: map[string]Input{
+			"v": {BaseDemandA7: 900, SpeedupBig: 2.0, TargetHR: 30, RangeFrac: 0.1,
+				SelfCapFactor: 1.3, PhaseMults: []float64{1.1, 0.9}, PhaseDur: 6 * sim.Second},
+			"f": {BaseDemandA7: 1700, SpeedupBig: 2.0, TargetHR: 18, RangeFrac: 0.1,
+				SelfCapFactor: 1.3, PhaseMults: []float64{1.0, 1.2, 0.8}, PhaseDur: 9 * sim.Second},
+		},
+	},
+	{
+		Name:        "tracking",
+		Suite:       "Vision",
+		Description: "Feature tracking (motion, tracking and stereo vision)",
+		InputsDesc:  "vga and fullhd",
+		HeartbeatAt: "every frame",
+		Inputs: map[string]Input{
+			"v": {BaseDemandA7: 1000, SpeedupBig: 2.05, TargetHR: 31.5, RangeFrac: 0.1,
+				SelfCapFactor: 1.3, PhaseMults: []float64{0.8, 1.2, 1.0}, PhaseDur: 7 * sim.Second},
+			"f": {BaseDemandA7: 1800, SpeedupBig: 2.05, TargetHR: 15, RangeFrac: 0.1,
+				SelfCapFactor: 1.3, PhaseMults: []float64{0.9, 1.1}, PhaseDur: 10 * sim.Second},
+		},
+	},
+}

@@ -1,0 +1,270 @@
+package workload
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"pricepower/internal/hw"
+	"pricepower/internal/sim"
+)
+
+func TestRegistryHasAllTable5Benchmarks(t *testing.T) {
+	want := map[string]string{
+		"swaptions":    "PARSEC",
+		"bodytrack":    "PARSEC",
+		"x264":         "PARSEC",
+		"blackscholes": "PARSEC",
+		"h264":         "SPEC2006",
+		"texture":      "Vision",
+		"multicnt":     "Vision",
+		"tracking":     "Vision",
+	}
+	if len(Benchmarks) != len(want) {
+		t.Fatalf("registry has %d benchmarks, want %d", len(Benchmarks), len(want))
+	}
+	for name, suite := range want {
+		b, ok := ByName(name)
+		if !ok {
+			t.Errorf("benchmark %s missing", name)
+			continue
+		}
+		if b.Suite != suite {
+			t.Errorf("%s suite = %s, want %s", name, b.Suite, suite)
+		}
+		if len(b.Inputs) == 0 {
+			t.Errorf("%s has no inputs", name)
+		}
+		if b.Description == "" || b.HeartbeatAt == "" {
+			t.Errorf("%s missing Table 5 metadata", name)
+		}
+	}
+}
+
+func TestAllSpecsValidate(t *testing.T) {
+	for _, b := range Benchmarks {
+		for input := range b.Inputs {
+			spec, err := b.Spec(input, 1)
+			if err != nil {
+				t.Errorf("%s_%s: %v", b.Name, input, err)
+				continue
+			}
+			if err := spec.Validate(); err != nil {
+				t.Errorf("%s_%s spec invalid: %v", b.Name, input, err)
+			}
+			if !spec.Loop {
+				t.Errorf("%s_%s not looping", b.Name, input)
+			}
+		}
+	}
+}
+
+func TestSpecUnknownInput(t *testing.T) {
+	b, _ := ByName("swaptions")
+	if _, err := b.Spec("nonexistent", 1); err == nil {
+		t.Error("Spec with unknown input did not error")
+	}
+}
+
+func TestPhaseMultipliersPreserveAverageDemand(t *testing.T) {
+	for _, b := range Benchmarks {
+		for input, in := range b.Inputs {
+			spec := b.MustSpec(input, 1)
+			var sum float64
+			for _, p := range spec.Phases {
+				sum += p.HBCostLittle * spec.TargetHR()
+			}
+			avg := sum / float64(len(spec.Phases))
+			if math.Abs(avg-in.BaseDemandA7) > 1e-6*in.BaseDemandA7 {
+				t.Errorf("%s_%s: mean phase demand %v, want %v", b.Name, input, avg, in.BaseDemandA7)
+			}
+		}
+	}
+}
+
+func TestProfileMatchesSpec(t *testing.T) {
+	for _, b := range Benchmarks {
+		for input, in := range b.Inputs {
+			p, err := b.ProfileOf(input)
+			if err != nil {
+				t.Fatalf("%s_%s: %v", b.Name, input, err)
+			}
+			if p.DemandLittle != in.BaseDemandA7 {
+				t.Errorf("%s_%s little demand = %v, want %v", b.Name, input, p.DemandLittle, in.BaseDemandA7)
+			}
+			wantBig := in.BaseDemandA7 / in.SpeedupBig
+			if math.Abs(p.DemandBig-wantBig) > 1e-9 {
+				t.Errorf("%s_%s big demand = %v, want %v", b.Name, input, p.DemandBig, wantBig)
+			}
+			if p.Demand(hw.Big) >= p.Demand(hw.Little) {
+				t.Errorf("%s_%s: big demand not below little demand", b.Name, input)
+			}
+		}
+	}
+}
+
+func TestProfileForByTaskName(t *testing.T) {
+	p, ok := ProfileFor("tracking_f")
+	if !ok {
+		t.Fatal("ProfileFor(tracking_f) not found")
+	}
+	if p.DemandLittle != 1800 {
+		t.Errorf("tracking_f little demand = %v, want 1800", p.DemandLittle)
+	}
+	if _, ok := ProfileFor("nosuch_x"); ok {
+		t.Error("ProfileFor accepted unknown task")
+	}
+}
+
+// TestWorkloadIntensityClasses pins Table 6: every set must land in its
+// published intensity class.
+func TestWorkloadIntensityClasses(t *testing.T) {
+	wantClass := map[string]Class{
+		"l1": Light, "l2": Light, "l3": Light,
+		"m1": Medium, "m2": Medium, "m3": Medium,
+		"h1": Heavy, "h2": Heavy, "h3": Heavy,
+	}
+	if len(Sets) != 9 {
+		t.Fatalf("have %d sets, want 9", len(Sets))
+	}
+	for _, s := range Sets {
+		in, err := s.Intensity(TC2LittleCapacity)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		if got := ClassOf(in); got != wantClass[s.Name] {
+			t.Errorf("set %s intensity %.3f class %v, want %v", s.Name, in, got, wantClass[s.Name])
+		}
+		if len(s.Members) != 3 {
+			t.Errorf("set %s has %d members, want 3", s.Name, len(s.Members))
+		}
+	}
+}
+
+func TestSetSpecsInstantiable(t *testing.T) {
+	for _, s := range Sets {
+		specs, err := s.Specs(1)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		if len(specs) != len(s.Members) {
+			t.Errorf("%s produced %d specs", s.Name, len(specs))
+		}
+		for _, sp := range specs {
+			if sp.Priority != 1 {
+				t.Errorf("%s task %s priority = %d", s.Name, sp.Name, sp.Priority)
+			}
+		}
+	}
+}
+
+func TestSetByName(t *testing.T) {
+	if _, ok := SetByName("h2"); !ok {
+		t.Error("SetByName(h2) not found")
+	}
+	if _, ok := SetByName("zz"); ok {
+		t.Error("SetByName(zz) found")
+	}
+}
+
+// Every heavy set must still be feasible with ideal placement (otherwise the
+// paper's ≲40 % PPM miss rates would be unreachable): the two most demanding
+// tasks must fit on the two big cores, and the rest within LITTLE capacity.
+func TestHeavySetsFeasibleWithIdealPlacement(t *testing.T) {
+	const bigCore = 1200.0
+	for _, s := range Sets {
+		if s.Class() != Heavy {
+			continue
+		}
+		type td struct{ little, big float64 }
+		var ds []td
+		for _, m := range s.Members {
+			b, _ := ByName(m.Benchmark)
+			p, _ := b.ProfileOf(m.Input)
+			ds = append(ds, td{p.DemandLittle, p.DemandBig})
+		}
+		// Greedy: the two biggest little-demands go to the big cores.
+		order := []int{0, 1, 2}
+		sort.Slice(order, func(a, b int) bool { return ds[order[a]].little > ds[order[b]].little })
+		bi, bj := order[0], order[1]
+		slack := 0.10 // tolerate mild overload: heavy sets are allowed to miss a little
+		var littleSum float64
+		for k, d := range ds {
+			if k == bi || k == bj {
+				if d.big > bigCore*(1+slack) {
+					t.Errorf("%s: task %d big demand %.0f > big core %.0f", s.Name, k, d.big, bigCore)
+				}
+				continue
+			}
+			littleSum += d.little
+		}
+		if littleSum > 1000*(1+slack) {
+			t.Errorf("%s: residual little demand %.0f overloads one LITTLE core", s.Name, littleSum)
+		}
+	}
+}
+
+func TestNamesSorted(t *testing.T) {
+	names := Names()
+	if len(names) != 8 {
+		t.Fatalf("Names() returned %d entries", len(names))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i] < names[i-1] {
+			t.Fatalf("Names() unsorted: %v", names)
+		}
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if Light.String() != "light" || Medium.String() != "medium" || Heavy.String() != "heavy" {
+		t.Error("class names wrong")
+	}
+}
+
+func TestMustSpecsAndPeakDemand(t *testing.T) {
+	set, _ := SetByName("l2")
+	specs := set.MustSpecs(2)
+	if len(specs) != 3 || specs[0].Priority != 2 {
+		t.Fatalf("MustSpecs wrong: %d specs", len(specs))
+	}
+	little := set.PeakClusterDemand(hw.Little)
+	big := set.PeakClusterDemand(hw.Big)
+	if little != 2200 {
+		t.Errorf("l2 little aggregate = %v, want 2200", little)
+	}
+	if big >= little {
+		t.Error("big aggregate not below little aggregate")
+	}
+}
+
+func TestMemberTaskName(t *testing.T) {
+	m := Member{Benchmark: "x264", Input: "n"}
+	if m.TaskName() != "x264_n" {
+		t.Errorf("TaskName = %q", m.TaskName())
+	}
+}
+
+func TestRandomSpecsValidateHere(t *testing.T) {
+	rng := sim.NewRand(5)
+	specs := Random(rng, DefaultRandomConfig(10))
+	if len(specs) != 10 {
+		t.Fatalf("generated %d", len(specs))
+	}
+	for _, s := range specs {
+		if err := s.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Degenerate config values are clamped.
+	weird := Random(rng, RandomConfig{Tasks: 2, DemandMin: 100, DemandMax: 200,
+		SpeedupMin: 1.5, SpeedupMax: 2, MaxPhases: 0, PriorityMax: 0})
+	for _, s := range weird {
+		if err := s.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if s.Priority != 1 {
+			t.Errorf("priority = %d with PriorityMax 0", s.Priority)
+		}
+	}
+}

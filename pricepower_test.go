@@ -1,0 +1,140 @@
+package pricepower_test
+
+import (
+	"math"
+	"testing"
+
+	"pricepower"
+)
+
+// The facade must support the documented quickstart end to end.
+func TestFacadeQuickstart(t *testing.T) {
+	p := pricepower.NewTC2Platform()
+	cfg := pricepower.PPMDefaults(4.0)
+	cfg.Profiles = pricepower.WorkloadProfiles
+	p.SetGovernor(pricepower.NewPPM(cfg))
+
+	set, ok := pricepower.WorkloadSetByName("m2")
+	if !ok {
+		t.Fatal("workload set m2 missing")
+	}
+	specs, err := set.Specs(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range specs {
+		p.AddTask(s, 2+i%3)
+	}
+
+	probe := pricepower.NewProbe(p, 5*pricepower.Second)
+	probe.Attach()
+	p.Run(35 * pricepower.Second)
+
+	if miss := probe.AnyBelowFrac(); miss > 0.5 {
+		t.Errorf("miss fraction = %.3f through the facade", miss)
+	}
+	if w := probe.AveragePower(); w <= 0 || w > 4.5 {
+		t.Errorf("average power = %.2f W under a 4 W cap", w)
+	}
+}
+
+// The standalone-market path of the quickstart example.
+func TestFacadeStandaloneMarket(t *testing.T) {
+	ctl := pricepower.NewLadderControl([]float64{300, 400, 500, 600}, nil)
+	cfg := pricepower.MarketConfig{InitialAllowance: 1000, InitialBid: 1, Tolerance: 0.2}
+	m := pricepower.NewMarket(cfg, []pricepower.ClusterControl{ctl}, []int{1})
+	ta := m.AddTask(1, 0)
+	tb := m.AddTask(1, 0)
+	ta.Demand, tb.Demand = 200, 100
+	for i := 0; i < 10; i++ {
+		m.StepOnce()
+		ta.Observed, tb.Observed = ta.Purchased(), tb.Purchased()
+	}
+	if !ta.Satisfied() || !tb.Satisfied() {
+		t.Error("market did not satisfy both demands")
+	}
+	if math.Abs(ta.Purchased()-200) > 5 {
+		t.Errorf("task a purchased %v, want ≈200", ta.Purchased())
+	}
+}
+
+func TestFacadeHardwareTypes(t *testing.T) {
+	spec := pricepower.TC2Spec()
+	chip, err := pricepower.NewChip(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chip.Cores) != 5 {
+		t.Errorf("TC2 has %d cores", len(chip.Cores))
+	}
+	if chip.Clusters[0].Spec.Type != pricepower.Big ||
+		chip.Clusters[1].Spec.Type != pricepower.Little {
+		t.Error("cluster types wrong through the facade")
+	}
+	p := pricepower.NewPlatform(chip, pricepower.Millisecond)
+	p.Run(10 * pricepower.Millisecond)
+	if p.Now() != 10*pricepower.Millisecond {
+		t.Errorf("platform time = %v", p.Now())
+	}
+}
+
+func TestFacadeBaselines(t *testing.T) {
+	for _, build := range []func() pricepower.Governor{
+		func() pricepower.Governor { return pricepower.NewHPM(0) },
+		func() pricepower.Governor { return pricepower.NewHL(0) },
+	} {
+		p := pricepower.NewTC2Platform()
+		g := build()
+		p.SetGovernor(g)
+		set, _ := pricepower.WorkloadSetByName("l2")
+		specs, _ := set.Specs(1)
+		for i, s := range specs {
+			p.AddTask(s, 2+i%3)
+		}
+		p.Run(5 * pricepower.Second)
+		if p.Power() <= 0 {
+			t.Errorf("%s: no power draw", g.Name())
+		}
+	}
+}
+
+func TestFacadeDemandConversion(t *testing.T) {
+	if d := pricepower.EstimateDemand(27, 500, 15); d != 900 {
+		t.Errorf("EstimateDemand = %v, want 900 (Table 4 phase 1)", d)
+	}
+}
+
+func TestFacadeWorkloadSets(t *testing.T) {
+	sets := pricepower.WorkloadSets()
+	if len(sets) != 9 {
+		t.Fatalf("have %d sets", len(sets))
+	}
+	if _, ok := pricepower.WorkloadProfiles("tracking_f", pricepower.Big); !ok {
+		t.Error("profile lookup failed through facade")
+	}
+}
+
+func TestFacadeExtensions(t *testing.T) {
+	// Market tunables.
+	if cfg := pricepower.MarketDefaults(4); cfg.Wtdp != 4 || cfg.Tolerance != 0.2 {
+		t.Errorf("MarketDefaults = %+v", cfg)
+	}
+	// §3.4 bid period derivation.
+	set, _ := pricepower.WorkloadSetByName("l1")
+	specs, _ := set.Specs(1)
+	if got := pricepower.BidPeriodFor(specs); got <= 0 {
+		t.Errorf("BidPeriodFor = %v", got)
+	}
+	// Online profiling + chaining.
+	online := pricepower.NewOnlineProfiler()
+	chained := pricepower.ChainProfiles(online.Profiles, pricepower.WorkloadProfiles)
+	if _, ok := chained("tracking_f", pricepower.Big); !ok {
+		t.Error("chained profiles missed the static table")
+	}
+	// Thermal model.
+	chip, _ := pricepower.NewChip(pricepower.TC2Spec())
+	tm := pricepower.NewThermalModel(chip, 25)
+	if tm.MaxTemp() != 25 {
+		t.Errorf("fresh thermal model MaxTemp = %v", tm.MaxTemp())
+	}
+}
