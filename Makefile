@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: build vet test race bench bench-quick ci clean
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The concurrency-bearing packages under the race detector: the worker-pool
+# market rounds (internal/core) and the platform tick/migration machinery
+# (internal/platform).
+race:
+	$(GO) test -race ./internal/core ./internal/platform
+
+# Full scalability sweep (tick throughput to 512 tasks, market rounds to
+# 256 clusters); persists BENCH_scale.json.
+bench:
+	$(GO) run ./cmd/bench -out BENCH_scale.json
+
+# Reduced sweep for CI smoke runs (seconds, not minutes).
+bench-quick:
+	$(GO) run ./cmd/bench -quick -out BENCH_scale.json
+
+ci: build vet race test bench-quick
+
+clean:
+	rm -f BENCH_scale.json

@@ -1,0 +1,107 @@
+// Scalability harness for the simulation hot paths: platform tick
+// throughput vs task count (and its zero-allocation steady-state
+// invariant), and market round latency vs cluster count for the
+// sequential, worker-pool, and legacy goroutine-per-cluster paths.
+// cmd/bench runs the same shapes outside `go test` and persists the
+// numbers as BENCH_scale.json.
+package pricepower_test
+
+import (
+	"fmt"
+	"testing"
+
+	"pricepower/internal/exp"
+	"pricepower/internal/platform"
+	"pricepower/internal/sim"
+	"pricepower/internal/task"
+)
+
+// newLoadedPlatform builds a TC2 platform with n tasks spread across all
+// five cores, mixing CPU-bound and self-capped specs so the fill loop sees
+// both saturated and slack entities, then warms it up for one virtual
+// second so migrations and PELT windows settle into steady state.
+func newLoadedPlatform(n int) *platform.Platform {
+	p := platform.NewTC2()
+	numCores := 0
+	for _, cl := range p.Chip.Clusters {
+		numCores += len(cl.Cores)
+	}
+	for i := 0; i < n; i++ {
+		demand := 120 + 90*float64(i%7)
+		spec := task.Spec{
+			Name:     fmt.Sprintf("t%03d", i),
+			Priority: 1 + i%3,
+			MinHR:    24,
+			MaxHR:    30,
+			Phases:   []task.Phase{{HBCostLittle: demand / 27, SpeedupBig: 2}},
+			Loop:     true,
+		}
+		if i%4 == 3 {
+			spec.Phases[0].SelfCapHR = 20 // some tasks leave slack on the core
+		}
+		p.AddTask(spec, i%numCores)
+	}
+	p.Run(sim.Second)
+	return p
+}
+
+// TestTickAllocationFree pins the tentpole invariant: once the platform is
+// in steady state (no add/remove/migrate in flight), a tick allocates
+// nothing — the per-core index, the per-entity receive slots, and the
+// scheduler's scratch buffers are all reused.
+func TestTickAllocationFree(t *testing.T) {
+	p := newLoadedPlatform(24)
+	if allocs := testing.AllocsPerRun(200, func() { p.Engine.StepOnce() }); allocs != 0 {
+		t.Errorf("steady-state tick allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// BenchmarkTickThroughput measures platform ticks per second as the task
+// population grows. With the per-core task index the per-tick cost scales
+// with tasks on each core, not tasks × cores.
+func BenchmarkTickThroughput(b *testing.B) {
+	for _, n := range []int{8, 64, 512} {
+		b.Run(fmt.Sprintf("tasks=%d", n), func(b *testing.B) {
+			p := newLoadedPlatform(n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.Engine.StepOnce()
+			}
+		})
+	}
+}
+
+// BenchmarkMarketRoundScale measures one full market round at Table-7
+// cluster counts, sequential vs the persistent worker pool. The pool's
+// wall-clock advantage needs GOMAXPROCS > 1; the bit-identical results are
+// pinned by the equivalence tests in internal/core.
+func BenchmarkMarketRoundScale(b *testing.B) {
+	for _, v := range []int{16, 64, 256} {
+		for _, mode := range []string{"seq", "pool"} {
+			b.Run(fmt.Sprintf("V=%d/%s", v, mode), func(b *testing.B) {
+				m, _ := exp.BuildScaledMarket(exp.Table7Config{V: v, C: 8, T: 8}, 42)
+				m.SetParallel(mode == "pool")
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					m.StepOnce()
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkMarketRoundSpawnBaseline is the pre-pool fan-out (one goroutine
+// per cluster per phase, three phases per round) at the largest scale —
+// the baseline the worker pool is judged against in BENCH_scale.json.
+func BenchmarkMarketRoundSpawnBaseline(b *testing.B) {
+	m, _ := exp.BuildScaledMarket(exp.Table7Config{V: 256, C: 8, T: 8}, 42)
+	m.SetParallel(true)
+	m.SetSpawnFanout(true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.StepOnce()
+	}
+}

@@ -1,0 +1,129 @@
+// Command bench runs the scalability benchmarks (platform tick throughput,
+// market round latency sequential / worker-pool / spawn-per-cluster) via
+// testing.Benchmark and persists the numbers as JSON so CI can archive a
+// BENCH_scale.json artifact per commit.
+//
+//	go run ./cmd/bench -out BENCH_scale.json        # full sweep
+//	go run ./cmd/bench -quick -out BENCH_scale.json # CI smoke (seconds)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"pricepower/internal/exp"
+	"pricepower/internal/platform"
+	"pricepower/internal/sim"
+	"pricepower/internal/task"
+)
+
+type result struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+type report struct {
+	GoMaxProcs int      `json:"gomaxprocs"`
+	GoVersion  string   `json:"go_version"`
+	Quick      bool     `json:"quick"`
+	Results    []result `json:"results"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_scale.json", "output JSON path")
+	quick := flag.Bool("quick", false, "reduced sweep for CI smoke runs")
+	flag.Parse()
+
+	taskCounts := []int{8, 64, 512}
+	clusterCounts := []int{16, 64, 256}
+	if *quick {
+		taskCounts = []int{8, 64}
+		clusterCounts = []int{16, 64}
+	}
+
+	rep := report{GoMaxProcs: runtime.GOMAXPROCS(0), GoVersion: runtime.Version(), Quick: *quick}
+	add := func(name string, fn func(b *testing.B)) {
+		r := testing.Benchmark(fn)
+		rep.Results = append(rep.Results, result{
+			Name:        name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+		fmt.Printf("%-40s %12.1f ns/op %6d allocs/op\n",
+			name, float64(r.T.Nanoseconds())/float64(r.N), r.AllocsPerOp())
+	}
+
+	for _, n := range taskCounts {
+		n := n
+		add(fmt.Sprintf("tick_throughput/tasks=%d", n), func(b *testing.B) {
+			p := loadedPlatform(n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.Engine.StepOnce()
+			}
+		})
+	}
+
+	for _, v := range clusterCounts {
+		v := v
+		for _, mode := range []string{"seq", "pool", "spawn"} {
+			mode := mode
+			add(fmt.Sprintf("market_round/V=%d/%s", v, mode), func(b *testing.B) {
+				m, _ := exp.BuildScaledMarket(exp.Table7Config{V: v, C: 8, T: 8}, 42)
+				m.SetParallel(mode != "seq")
+				m.SetSpawnFanout(mode == "spawn")
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					m.StepOnce()
+				}
+			})
+		}
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote", *out)
+}
+
+// loadedPlatform mirrors the bench_scale_test.go fixture: n mixed tasks
+// across all TC2 cores, warmed for one virtual second.
+func loadedPlatform(n int) *platform.Platform {
+	p := platform.NewTC2()
+	numCores := 0
+	for _, cl := range p.Chip.Clusters {
+		numCores += len(cl.Cores)
+	}
+	for i := 0; i < n; i++ {
+		demand := 120 + 90*float64(i%7)
+		spec := task.Spec{
+			Name:     fmt.Sprintf("t%03d", i),
+			Priority: 1 + i%3,
+			MinHR:    24,
+			MaxHR:    30,
+			Phases:   []task.Phase{{HBCostLittle: demand / 27, SpeedupBig: 2}},
+			Loop:     true,
+		}
+		if i%4 == 3 {
+			spec.Phases[0].SelfCapHR = 20
+		}
+		p.AddTask(spec, i%numCores)
+	}
+	p.Run(sim.Second)
+	return p
+}

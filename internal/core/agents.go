@@ -25,7 +25,15 @@ type TaskAgent struct {
 	savings   float64
 	bid       float64
 	purchased float64
+
+	// core is the agent's current seller, maintained by Market.AddTask /
+	// MoveTask / RemoveTask so detaching never sweeps the hierarchy.
+	core *CoreAgent
 }
+
+// Core returns the core agent currently selling to this task agent (nil
+// after RemoveTask).
+func (a *TaskAgent) Core() *CoreAgent { return a.core }
 
 // Bid reports the agent's current bid b_t.
 func (a *TaskAgent) Bid() float64 { return a.bid }

@@ -37,12 +37,21 @@ type Market struct {
 	cfg      Config
 	Clusters []*ClusterAgent
 
+	// coreOf and clusterOf index the agent hierarchy by global core ID
+	// (assigned densely from 0 in NewMarket), making CoreByID — and with it
+	// AddTask/MoveTask — O(1) instead of a hierarchy sweep. Table-7-scale
+	// markets (256 clusters × 16 cores) call these on every governor round.
+	coreOf    []*CoreAgent
+	clusterOf []*ClusterAgent
+
 	allowance float64
 	state     State
 	wAvg      float64 // smoothed chip power for state classification
-	round     int
-	nextID    int
-	parallel  bool
+	wSeeded   bool    // wAvg holds a real sample (0 W is a legitimate reading)
+	round       int
+	nextID      int
+	parallel    bool
+	spawnFanout bool // benchmark baseline: legacy goroutine-per-cluster fan-out
 }
 
 // NewMarket builds a market over the given cluster controls; coresPer[i]
@@ -57,7 +66,10 @@ func NewMarket(cfg Config, controls []ClusterControl, coresPer []int) *Market {
 	for i, ctl := range controls {
 		v := &ClusterAgent{ID: i, Control: ctl}
 		for j := 0; j < coresPer[i]; j++ {
-			v.Cores = append(v.Cores, &CoreAgent{ID: coreID})
+			c := &CoreAgent{ID: coreID}
+			v.Cores = append(v.Cores, c)
+			m.coreOf = append(m.coreOf, c)
+			m.clusterOf = append(m.clusterOf, v)
 			coreID++
 		}
 		m.Clusters = append(m.Clusters, v)
@@ -78,22 +90,22 @@ func (m *Market) SetAllowance(a float64) { m.allowance = a }
 // State reports the chip agent's classification of the last round.
 func (m *Market) State() State { return m.state }
 
+// SmoothedPower reports the EWMA-smoothed chip power the state machine
+// classifies (0 before the first round).
+func (m *Market) SmoothedPower() float64 { return m.wAvg }
+
 // Round reports how many bid rounds have run.
 func (m *Market) Round() int { return m.round }
 
 // Cluster returns cluster agent i.
 func (m *Market) Cluster(i int) *ClusterAgent { return m.Clusters[i] }
 
-// CoreByID finds a core agent by its global ID.
+// CoreByID finds a core agent by its global ID in O(1).
 func (m *Market) CoreByID(id int) (*ClusterAgent, *CoreAgent) {
-	for _, v := range m.Clusters {
-		for _, c := range v.Cores {
-			if c.ID == id {
-				return v, c
-			}
-		}
+	if id < 0 || id >= len(m.coreOf) {
+		return nil, nil
 	}
-	return nil, nil
+	return m.clusterOf[id], m.coreOf[id]
 }
 
 // AddTask creates a task agent with the given priority on the given core
@@ -103,24 +115,27 @@ func (m *Market) AddTask(priority int, coreID int) *TaskAgent {
 	if c == nil {
 		panic(fmt.Sprintf("core: AddTask on unknown core %d", coreID))
 	}
-	a := &TaskAgent{ID: m.nextID, Priority: priority, bid: m.cfg.InitialBid}
+	a := &TaskAgent{ID: m.nextID, Priority: priority, bid: m.cfg.InitialBid, core: c}
 	m.nextID++
 	c.Tasks = append(c.Tasks, a)
 	return a
 }
 
-// RemoveTask detaches a task agent from the market (task exit).
+// RemoveTask detaches a task agent from the market (task exit). The agent's
+// core back-reference makes this O(tasks on one core) rather than a sweep
+// of the whole hierarchy.
 func (m *Market) RemoveTask(a *TaskAgent) {
-	for _, v := range m.Clusters {
-		for _, c := range v.Cores {
-			for i, t := range c.Tasks {
-				if t == a {
-					c.Tasks = append(c.Tasks[:i], c.Tasks[i+1:]...)
-					return
-				}
-			}
+	c := a.core
+	if c == nil {
+		return
+	}
+	for i, t := range c.Tasks {
+		if t == a {
+			c.Tasks = append(c.Tasks[:i], c.Tasks[i+1:]...)
+			break
 		}
 	}
+	a.core = nil
 }
 
 // MoveTask reassigns a task agent to another core (load balancing or
@@ -131,6 +146,7 @@ func (m *Market) MoveTask(a *TaskAgent, toCore int) {
 		panic(fmt.Sprintf("core: MoveTask to unknown core %d", toCore))
 	}
 	m.RemoveTask(a)
+	a.core = dst
 	dst.Tasks = append(dst.Tasks, a)
 }
 
@@ -193,8 +209,13 @@ func (m *Market) StepOnce() {
 	// would alternate normal-state allowance growth with emergency cuts —
 	// compounding into runaway — while the *average* power sits squarely in
 	// the buffer zone.
-	if m.wAvg == 0 {
+	//
+	// Seeding is tracked explicitly: a chip that legitimately reads 0 W
+	// (every cluster power-gated) must not re-seed the average each round,
+	// or the state machine would classify the next raw spike unsmoothed.
+	if !m.wSeeded {
 		m.wAvg = w
+		m.wSeeded = true
 	} else {
 		m.wAvg = 0.3*w + 0.7*m.wAvg
 	}

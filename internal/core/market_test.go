@@ -451,3 +451,87 @@ func TestPurchaseConservationProperty(t *testing.T) {
 		}
 	}
 }
+
+// TestZeroPowerDoesNotReseedEWMA is the regression test for the EWMA seed
+// sentinel: a chip legitimately reading 0 W (all clusters gated or a
+// zero-power ladder rung) must count as a real sample. With the old
+// `wAvg == 0` sentinel every 0 W round re-seeded the average, so the next
+// raw power spike was classified unsmoothed and the state machine
+// overreacted (here: straight to Emergency instead of staying Normal).
+func TestZeroPowerDoesNotReseedEWMA(t *testing.T) {
+	ctl := NewLadderControl([]float64{100, 200}, []float64{0, 10})
+	m := NewMarket(Config{InitialAllowance: 10, InitialBid: 1, Wtdp: 8, Wth: 6},
+		[]ClusterControl{ctl}, []int{1})
+	a := m.AddTask(1, 0)
+	a.Demand = 50
+
+	// Several rounds at a legitimate 0 W reading.
+	for i := 0; i < 3; i++ {
+		m.StepOnce()
+		feedback(a)
+		if m.SmoothedPower() != 0 {
+			t.Fatalf("round %d: smoothed power = %v, want 0", i, m.SmoothedPower())
+		}
+		if m.State() != Normal {
+			t.Fatalf("round %d: state = %v, want normal", i, m.State())
+		}
+	}
+
+	// Raw power spikes to 10 W (above Wtdp). The smoothed reading must move
+	// only by the EWMA step — 0.3·10 = 3 W, well inside the normal zone.
+	ctl.SetLevel(1)
+	m.StepOnce()
+	if got := m.SmoothedPower(); math.Abs(got-3.0) > 1e-9 {
+		t.Errorf("smoothed power after spike = %v, want 3.0 (EWMA step)", got)
+	}
+	if m.State() != Normal {
+		t.Errorf("state after smoothed spike = %v, want normal (raw classification overreacts)",
+			m.State())
+	}
+}
+
+// The O(1) core index must agree with the hierarchy for every ID, and
+// reject out-of-range IDs.
+func TestCoreByIDIndex(t *testing.T) {
+	controls := []ClusterControl{
+		NewLadderControl([]float64{300}, nil),
+		NewLadderControl([]float64{400}, nil),
+		NewLadderControl([]float64{500}, nil),
+	}
+	m := NewMarket(Config{}, controls, []int{2, 3, 1})
+	id := 0
+	for _, v := range m.Clusters {
+		for _, c := range v.Cores {
+			gv, gc := m.CoreByID(id)
+			if gv != v || gc != c || gc.ID != id {
+				t.Errorf("CoreByID(%d) = (%v,%v), want (%v,%v)", id, gv, gc, v, c)
+			}
+			id++
+		}
+	}
+	if v, c := m.CoreByID(-1); v != nil || c != nil {
+		t.Error("CoreByID(-1) not nil")
+	}
+	if v, c := m.CoreByID(id); v != nil || c != nil {
+		t.Errorf("CoreByID(%d) not nil", id)
+	}
+}
+
+// Task agents carry their core back-reference through add/move/remove.
+func TestTaskAgentCoreBackref(t *testing.T) {
+	c0 := NewLadderControl([]float64{500}, nil)
+	c1 := NewLadderControl([]float64{500}, nil)
+	m := NewMarket(Config{InitialAllowance: 10}, []ClusterControl{c0, c1}, []int{1, 1})
+	a := m.AddTask(1, 0)
+	if _, c := m.CoreByID(0); a.Core() != c {
+		t.Errorf("Core() after AddTask = %v, want core 0", a.Core())
+	}
+	m.MoveTask(a, 1)
+	if _, c := m.CoreByID(1); a.Core() != c {
+		t.Errorf("Core() after MoveTask = %v, want core 1", a.Core())
+	}
+	m.RemoveTask(a)
+	if a.Core() != nil {
+		t.Errorf("Core() after RemoveTask = %v, want nil", a.Core())
+	}
+}

@@ -1,6 +1,10 @@
 package core
 
-import "sync"
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
 
 // Parallel round execution
 //
@@ -12,6 +16,16 @@ import "sync"
 // with results identical to the sequential order (verified by
 // TestParallelRoundEquivalence). The chip agent's money-supply update and
 // the emergency backstop remain the only global, sequential steps.
+//
+// Concurrency runs on a process-wide persistent worker pool sized to
+// GOMAXPROCS: a Table-7-scale market (256 clusters) executes ~31.5 rounds
+// per simulated second, and spawning a goroutine per cluster per round —
+// the previous design — paid the spawn/teardown cost 8000+ times per
+// simulated second while never having more than GOMAXPROCS runnable
+// workers. The pool is shared by every Market (and by the LBT planner's
+// per-cluster planning fan-out) and hands out cluster indexes through an
+// atomic counter, so work distribution is load-balanced and the calling
+// goroutine participates instead of blocking.
 //
 // Parallelism is enabled automatically for many-cluster markets (the
 // Table 7 scalability regime); SetParallel overrides the choice.
@@ -27,8 +41,97 @@ func (m *Market) SetParallel(on bool) { m.parallel = on }
 // Parallel reports whether rounds execute concurrently across clusters.
 func (m *Market) Parallel() bool { return m.parallel }
 
-// forEachCluster runs fn over every cluster agent, concurrently when the
-// market is in parallel mode.
+// poolJob is one ParallelFor invocation: workers (and the caller) claim
+// indexes in [0, n) through the shared counter until it runs dry.
+type poolJob struct {
+	fn   func(i int)
+	next *atomic.Int64
+	n    int64
+	wg   *sync.WaitGroup
+}
+
+var pool struct {
+	once    sync.Once
+	jobs    chan poolJob
+	workers int
+}
+
+func startPool() {
+	// At least one worker even on GOMAXPROCS=1 hosts, so the concurrent
+	// path always crosses a goroutine boundary (the race detector and the
+	// equivalence tests then exercise real concurrency everywhere).
+	pool.workers = runtime.GOMAXPROCS(0)
+	if pool.workers < 1 {
+		pool.workers = 1
+	}
+	pool.jobs = make(chan poolJob)
+	for i := 0; i < pool.workers; i++ {
+		go func() {
+			for j := range pool.jobs {
+				runJob(j)
+				j.wg.Done()
+			}
+		}()
+	}
+}
+
+func runJob(j poolJob) {
+	for {
+		i := j.next.Add(1) - 1
+		if i >= j.n {
+			return
+		}
+		j.fn(int(i))
+	}
+}
+
+// ParallelFor runs fn(0..n-1) across the persistent worker pool, blocking
+// until every index completed. The caller's goroutine participates in the
+// work, so the call is never slower than sequential execution by more than
+// the wake-up cost of the idle workers. fn must not call ParallelFor
+// recursively for indexes of the same invocation (cluster-local market
+// phases never do).
+func ParallelFor(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if n == 1 {
+		fn(0)
+		return
+	}
+	pool.once.Do(startPool)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	w := pool.workers
+	if w > n-1 {
+		w = n - 1 // the caller covers the rest
+	}
+	j := poolJob{fn: fn, next: &next, n: int64(n), wg: &wg}
+	// Hand the job only to currently idle workers: if another market (or a
+	// concurrent LBT plan) holds the pool, the caller proceeds alone rather
+	// than queuing behind it — ParallelFor never blocks on pool contention.
+	for i := 0; i < w; i++ {
+		wg.Add(1)
+		select {
+		case pool.jobs <- j:
+		default:
+			wg.Done()
+			i = w // no idle worker; stop recruiting
+		}
+	}
+	runJob(j)
+	wg.Wait()
+}
+
+// SetSpawnFanout switches the concurrent path back to the legacy
+// goroutine-per-cluster fan-out. It exists solely as the regression
+// baseline for the scalability benchmarks (cmd/bench persists the pooled
+// vs. spawned round latency to BENCH_scale.json); production callers never
+// enable it.
+func (m *Market) SetSpawnFanout(on bool) { m.spawnFanout = on }
+
+// forEachCluster runs fn over every cluster agent, concurrently (on the
+// shared worker pool) when the market is in parallel mode.
 func (m *Market) forEachCluster(fn func(v *ClusterAgent)) {
 	if !m.parallel || len(m.Clusters) < 2 {
 		for _, v := range m.Clusters {
@@ -36,13 +139,17 @@ func (m *Market) forEachCluster(fn func(v *ClusterAgent)) {
 		}
 		return
 	}
-	var wg sync.WaitGroup
-	wg.Add(len(m.Clusters))
-	for _, v := range m.Clusters {
-		go func(v *ClusterAgent) {
-			defer wg.Done()
-			fn(v)
-		}(v)
+	if m.spawnFanout {
+		var wg sync.WaitGroup
+		wg.Add(len(m.Clusters))
+		for _, v := range m.Clusters {
+			go func(v *ClusterAgent) {
+				defer wg.Done()
+				fn(v)
+			}(v)
+		}
+		wg.Wait()
+		return
 	}
-	wg.Wait()
+	ParallelFor(len(m.Clusters), func(i int) { fn(m.Clusters[i]) })
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sync"
 	"testing"
 
 	"pricepower/internal/sim"
@@ -97,6 +98,141 @@ func TestParallelUnderRaceDetector(t *testing.T) {
 		m.StepOnce()
 		for _, a := range agents {
 			a.Observed = a.Purchased()
+		}
+	}
+}
+
+// TestParallelRoundEquivalenceManyClusters runs the pooled path at a
+// Table-7-like scale: results must stay bit-identical to sequential
+// execution when the worker pool does real work distribution.
+func TestParallelRoundEquivalenceManyClusters(t *testing.T) {
+	seq, par, agSeq, agPar := buildParallelRig(1234, 64, 4, 2)
+	seq.SetParallel(false)
+	par.SetParallel(true)
+	for round := 0; round < 12; round++ {
+		seq.StepOnce()
+		par.StepOnce()
+		for i := range agSeq {
+			if agSeq[i].Bid() != agPar[i].Bid() || agSeq[i].Purchased() != agPar[i].Purchased() {
+				t.Fatalf("round %d agent %d diverged", round, i)
+			}
+			agSeq[i].Observed = agSeq[i].Purchased()
+			agPar[i].Observed = agPar[i].Purchased()
+		}
+		if seq.Allowance() != par.Allowance() || seq.State() != par.State() {
+			t.Fatalf("round %d: chip agent diverged", round)
+		}
+	}
+}
+
+// TestSpawnFanoutEquivalence pins the benchmark baseline (legacy
+// goroutine-per-cluster fan-out) to the pooled path's results.
+func TestSpawnFanoutEquivalence(t *testing.T) {
+	pool, spawn, agPool, agSpawn := buildParallelRig(77, 32, 2, 2)
+	pool.SetParallel(true)
+	spawn.SetParallel(true)
+	spawn.SetSpawnFanout(true)
+	for round := 0; round < 20; round++ {
+		pool.StepOnce()
+		spawn.StepOnce()
+		for i := range agPool {
+			if agPool[i].Bid() != agSpawn[i].Bid() {
+				t.Fatalf("round %d agent %d: pooled and spawned fan-out diverged", round, i)
+			}
+			agPool[i].Observed = agPool[i].Purchased()
+			agSpawn[i].Observed = agSpawn[i].Purchased()
+		}
+	}
+}
+
+// TestManyClusterStressChurn exercises the worker pool on a many-cluster
+// market with Add/Move/Remove churn between rounds — the index structures
+// (CoreByID slices, task-agent core back-references) must stay consistent
+// while pooled rounds run under the race detector.
+func TestManyClusterStressChurn(t *testing.T) {
+	const clusters, coresPer = 48, 4
+	m, _, agents, _ := buildParallelRig(55, clusters, coresPer, 2)
+	m.SetParallel(true)
+	rng := sim.NewRand(99)
+	numCores := clusters * coresPer
+	for round := 0; round < 60; round++ {
+		m.StepOnce()
+		for _, a := range agents {
+			if a.Core() != nil {
+				a.Observed = a.Purchased()
+			}
+		}
+		// Churn between rounds: move one agent, remove one, add one.
+		if i := rng.Intn(len(agents)); agents[i].Core() != nil {
+			m.MoveTask(agents[i], rng.Intn(numCores))
+		}
+		if i := rng.Intn(len(agents)); agents[i].Core() != nil {
+			m.RemoveTask(agents[i])
+		}
+		na := m.AddTask(1+rng.Intn(7), rng.Intn(numCores))
+		na.Demand = rng.Range(20, 500)
+		agents = append(agents, na)
+	}
+	// Invariant: every live agent's back-reference is listed by its core.
+	live := 0
+	for _, a := range agents {
+		c := a.Core()
+		if c == nil {
+			continue
+		}
+		live++
+		found := false
+		for _, t2 := range c.Tasks {
+			if t2 == a {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("agent %d not listed on its core %d", a.ID, c.ID)
+		}
+	}
+	if live != m.taskCount() {
+		t.Errorf("live agents %d != market task count %d", live, m.taskCount())
+	}
+}
+
+// TestSharedPoolConcurrentMarkets steps two parallel markets from two
+// goroutines at once: the process-wide worker pool must serve both without
+// deadlock or cross-talk, and each must match its sequential reference.
+func TestSharedPoolConcurrentMarkets(t *testing.T) {
+	seqA, parA, agSeqA, agParA := buildParallelRig(5, 32, 2, 2)
+	seqB, parB, agSeqB, agParB := buildParallelRig(6, 24, 3, 2)
+	seqA.SetParallel(false)
+	seqB.SetParallel(false)
+	parA.SetParallel(true)
+	parB.SetParallel(true)
+
+	const rounds = 30
+	run := func(m *Market, agents []*TaskAgent) {
+		for r := 0; r < rounds; r++ {
+			m.StepOnce()
+			for _, a := range agents {
+				a.Observed = a.Purchased()
+			}
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); run(parA, agParA) }()
+	go func() { defer wg.Done(); run(parB, agParB) }()
+	run(seqA, agSeqA)
+	run(seqB, agSeqB)
+	wg.Wait()
+
+	for i := range agSeqA {
+		if agSeqA[i].Bid() != agParA[i].Bid() || agSeqA[i].Savings() != agParA[i].Savings() {
+			t.Fatalf("market A agent %d diverged under shared pool", i)
+		}
+	}
+	for i := range agSeqB {
+		if agSeqB[i].Bid() != agParB[i].Bid() || agSeqB[i].Savings() != agParB[i].Savings() {
+			t.Fatalf("market B agent %d diverged under shared pool", i)
 		}
 	}
 }

@@ -103,7 +103,7 @@ func RunSet(governor string, set workload.Set, wtdp float64, dur sim.Time) (RunR
 	pr := metrics.NewProbe(p, Warmup)
 	pr.Attach()
 	thermal := hw.NewThermalModel(p.Chip, nil, 25)
-	p.Engine.AddHook(sim.TickFunc(func(now sim.Time) { thermal.Update(p.Engine.Step()) }))
+	p.AttachThermal(thermal)
 	p.Run(Warmup + dur)
 
 	total, cross := p.Migrations()

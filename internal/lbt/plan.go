@@ -2,7 +2,6 @@ package lbt
 
 import (
 	"math"
-	"sync"
 
 	"pricepower/internal/core"
 )
@@ -47,15 +46,13 @@ func (p *Planner) plan(kind Kind) *Move {
 	moves := make([]*Move, len(clusters))
 	evals := make([]candEval, len(clusters))
 	if p.Market.Parallel() && len(clusters) > 1 {
-		var wg sync.WaitGroup
-		wg.Add(len(clusters))
-		for i, v := range clusters {
-			go func(i int, v *core.ClusterAgent) {
-				defer wg.Done()
-				moves[i], evals[i] = p.planCluster(v, kind, base, baseChip)
-			}(i, v)
-		}
-		wg.Wait()
+		// Per-cluster planning reads only shared immutable state (base,
+		// baseChip) and writes disjoint slots, so it fans out on the shared
+		// persistent worker pool instead of spawning a goroutine per cluster
+		// on every 190 ms migration epoch.
+		core.ParallelFor(len(clusters), func(i int) {
+			moves[i], evals[i] = p.planCluster(clusters[i], kind, base, baseChip)
+		})
 	} else {
 		for i, v := range clusters {
 			moves[i], evals[i] = p.planCluster(v, kind, base, baseChip)

@@ -11,6 +11,13 @@
 //  3. calls the attached governor's Tick, which may re-weight tasks
 //     (nice-value manipulation), migrate them (affinity), change cluster
 //     V-F levels (cpufreq), or power clusters up/down.
+//
+// The tick is the simulation's hottest path: it maintains a per-core task
+// index (updated on AddTask/RemoveTask/Migrate) so no tick ever scans the
+// global task list per core, and delivered work flows through a per-task
+// slot instead of a freshly allocated map — the steady-state tick performs
+// zero heap allocations (see TestTickAllocationFree and
+// BenchmarkTickThroughput at the repository root).
 package platform
 
 import (
@@ -37,6 +44,8 @@ type taskState struct {
 	entity *sched.Entity
 	core   int
 	frozen bool // mid-migration: not runnable
+	gone   bool // removed from the platform; cancels in-flight migration completion
+	recv   float64
 	total  float64
 	lastPU float64 // PUs consumed over the last tick (work/dt)
 }
@@ -49,6 +58,14 @@ type Platform struct {
 	queues []*sched.Queue
 	states map[*task.Task]*taskState
 	tasks  []*task.Task
+	live   []*taskState // parallel to tasks: live states in creation order
+
+	// byCore indexes the live task states per core (ascending task ID, the
+	// creation order the old full-scan TasksOnCore reported); byEntity maps
+	// a scheduler entity ID back to its task state so tick-time allocation
+	// results resolve without a map.
+	byCore   [][]*taskState
+	byEntity []*taskState
 
 	gov Governor
 
@@ -56,6 +73,8 @@ type Platform struct {
 	clusterMeters []hw.EnergyMeter
 	lastPower     float64
 	lastUtil      []float64
+
+	thermals []*hw.ThermalModel
 
 	migrations      int
 	crossMigrations int
@@ -68,6 +87,7 @@ func New(chip *hw.Chip, step sim.Time) *Platform {
 		Engine:        sim.NewEngine(step),
 		Chip:          chip,
 		states:        make(map[*task.Task]*taskState),
+		byCore:        make([][]*taskState, len(chip.Cores)),
 		clusterMeters: make([]hw.EnergyMeter, len(chip.Clusters)),
 		lastUtil:      make([]float64, len(chip.Cores)),
 	}
@@ -97,6 +117,23 @@ func (p *Platform) SetSchedGranularity(g sim.Time) {
 	}
 }
 
+// AttachThermal registers a thermal model to advance once per platform tick.
+// The platform owns thermal time: observers (trace recorders, thermal
+// governors) read temperatures but never advance the model themselves, so
+// attaching several consumers cannot double-step the thermal state.
+// Attaching the same model twice is a no-op.
+func (p *Platform) AttachThermal(m *hw.ThermalModel) {
+	if m == nil {
+		return
+	}
+	for _, ex := range p.thermals {
+		if ex == m {
+			return
+		}
+	}
+	p.thermals = append(p.thermals, m)
+}
+
 // AddTask instantiates spec on the given core and returns the task. The
 // scheduler weight starts at the fair default (nice 0).
 func (p *Platform) AddTask(spec task.Spec, core int) *task.Task {
@@ -109,11 +146,17 @@ func (p *Platform) AddTask(spec task.Spec, core int) *task.Task {
 	st := &taskState{task: t, entity: e, core: core}
 	p.states[t] = st
 	p.tasks = append(p.tasks, t)
+	p.live = append(p.live, st)
+	p.byEntity = append(p.byEntity, st)
+	p.byCore[core] = insertByID(p.byCore[core], st)
 	p.queues[core].Add(e)
 	return t
 }
 
-// RemoveTask detaches a task from the platform (task exit).
+// RemoveTask detaches a task from the platform (task exit). Removing a task
+// frozen mid-migration also cancels the pending migration-completion event:
+// the dead entity must never be re-enqueued on the destination core, where
+// it would silently absorb scheduler supply forever.
 func (p *Platform) RemoveTask(t *task.Task) {
 	st, ok := p.states[t]
 	if !ok {
@@ -122,13 +165,42 @@ func (p *Platform) RemoveTask(t *task.Task) {
 	if !st.frozen {
 		p.queues[st.core].Remove(st.entity)
 	}
+	st.gone = true
+	p.byCore[st.core] = removeState(p.byCore[st.core], st)
+	p.byEntity[st.entity.ID] = nil
 	delete(p.states, t)
 	for i, x := range p.tasks {
 		if x == t {
 			p.tasks = append(p.tasks[:i], p.tasks[i+1:]...)
+			p.live = append(p.live[:i], p.live[i+1:]...)
 			break
 		}
 	}
+}
+
+// insertByID inserts st into a per-core index slice, keeping ascending task
+// ID (creation) order. Insertion cost is bounded by the tasks on one core.
+func insertByID(list []*taskState, st *taskState) []*taskState {
+	i := len(list)
+	for i > 0 && list[i-1].task.ID > st.task.ID {
+		i--
+	}
+	list = append(list, nil)
+	copy(list[i+1:], list[i:])
+	list[i] = st
+	return list
+}
+
+// removeState deletes st from a per-core index slice, preserving order.
+func removeState(list []*taskState, st *taskState) []*taskState {
+	for i, x := range list {
+		if x == st {
+			copy(list[i:], list[i+1:])
+			list[len(list)-1] = nil
+			return list[:len(list)-1]
+		}
+	}
+	return list
 }
 
 // Tasks returns the live tasks in creation order (shared slice; do not
@@ -185,13 +257,18 @@ func (p *Platform) Migrate(t *task.Task, dstCore int) bool {
 	// The task belongs to the destination from the moment affinity is set —
 	// concurrent placement decisions must see it there, or several tasks
 	// would pile onto the same "empty" core while migrations are in flight.
+	p.byCore[st.core] = removeState(p.byCore[st.core], st)
 	st.core = dstCore
+	p.byCore[dstCore] = insertByID(p.byCore[dstCore], st)
 	st.frozen = true
 	p.migrations++
 	if src.Cluster != dst.Cluster {
 		p.crossMigrations++
 	}
 	p.Engine.After(cost, func(now sim.Time) {
+		if st.gone {
+			return // task removed mid-migration; do not resurrect its entity
+		}
 		st.frozen = false
 		st.entity.Load.Reset()
 		p.queues[dstCore].Add(st.entity)
@@ -203,16 +280,22 @@ func (p *Platform) Migrate(t *task.Task, dstCore int) bool {
 func (p *Platform) Migrations() (total, cross int) { return p.migrations, p.crossMigrations }
 
 // TasksOnCore returns the live tasks currently mapped (or migrating) to the
-// given core.
+// given core, in creation order.
 func (p *Platform) TasksOnCore(core int) []*task.Task {
-	var out []*task.Task
-	for _, t := range p.tasks {
-		if p.states[t].core == core {
-			out = append(out, t)
-		}
+	states := p.byCore[core]
+	if len(states) == 0 {
+		return nil
+	}
+	out := make([]*task.Task, len(states))
+	for i, st := range states {
+		out[i] = st.task
 	}
 	return out
 }
+
+// NumTasksOnCore reports how many live tasks are mapped (or migrating) to
+// the given core, without materializing the task list.
+func (p *Platform) NumTasksOnCore(core int) int { return len(p.byCore[core]) }
 
 // Power reports the chip power sampled at the end of the last tick (W).
 func (p *Platform) Power() float64 { return p.lastPower }
@@ -253,32 +336,32 @@ func (p *Platform) tick(now sim.Time) {
 	dt := p.Engine.Step()
 	seconds := dt.Seconds()
 
-	// 1. Scheduling: deliver work per core.
-	received := make(map[*sched.Entity]float64)
+	// 1. Scheduling: deliver work per core. Delivered work lands in each
+	// task state's recv slot (consumed and reset in step 2) — no per-tick
+	// map, no per-core scan of the global task list.
 	for coreID, q := range p.queues {
 		core := p.Chip.Cores[coreID]
 		ct := core.Type()
-		for _, t := range p.TasksOnCore(coreID) {
-			st := p.states[t]
+		for _, st := range p.byCore[coreID] {
 			if st.frozen {
 				continue
 			}
-			st.entity.WantPU = t.WantPU(ct)
+			st.entity.WantPU = st.task.WantPU(ct)
 		}
 		allocs, util := q.RunTick(core.SupplyPU(), dt)
 		core.Utilization = util
 		p.lastUtil[coreID] = util
 		for _, a := range allocs {
-			received[a.Entity] = a.WorkPU
+			p.byEntity[a.Entity.ID].recv = a.WorkPU
 		}
 	}
 
 	// 2. Task progression (all tasks advance, including idle/frozen ones).
-	for _, t := range p.tasks {
-		st := p.states[t]
-		work := received[st.entity]
+	for _, st := range p.live {
+		work := st.recv
+		st.recv = 0
 		ct := p.Chip.Cores[st.core].Type()
-		t.Advance(work, ct, dt, now)
+		st.task.Advance(work, ct, dt, now)
 		st.total += work
 		st.lastPU = work / seconds
 	}
@@ -288,6 +371,12 @@ func (p *Platform) tick(now sim.Time) {
 	p.meter.Accumulate(p.lastPower, dt)
 	for i, cl := range p.Chip.Clusters {
 		p.clusterMeters[i].Accumulate(hw.ClusterPower(cl), dt)
+	}
+
+	// 3b. Thermal models advance under the platform's clock (observers only
+	// read them; see AttachThermal).
+	for _, th := range p.thermals {
+		th.Update(dt)
 	}
 
 	// 4. Governor.

@@ -204,6 +204,80 @@ func TestTasksOnCore(t *testing.T) {
 	}
 }
 
+// TestRemoveWhileMigratingDoesNotResurrect is the regression test for the
+// task-resurrection bug: removing a task frozen mid-migration must cancel
+// the pending migration-completion event. Before the fix, the completion
+// re-enqueued the dead task's scheduler entity on the destination core,
+// where it silently absorbed supply forever.
+func TestRemoveWhileMigratingDoesNotResurrect(t *testing.T) {
+	p := NewTC2()
+	a := p.AddTask(cpuBoundSpec("a", 500), 2) // LITTLE core
+	b := p.AddTask(cpuBoundSpec("b", 2000), 0) // big core, CPU bound
+	p.Run(10 * sim.Millisecond)
+	if !p.Migrate(a, 0) { // LITTLE→big: ~2.16 ms cost
+		t.Fatal("Migrate returned false")
+	}
+	p.RemoveTask(a)
+	if got := p.TasksOnCore(0); len(got) != 1 || got[0] != b {
+		t.Fatalf("TasksOnCore(0) after remove = %v, want just b", got)
+	}
+	before := p.TotalWork(b)
+	p.Run(20 * sim.Millisecond) // run well past the migration cost
+	if n := p.queues[0].Len(); n != 1 {
+		t.Errorf("destination queue has %d entities, want 1 — dead entity resurrected", n)
+	}
+	// b must receive the core's entire supply; a resurrected equal-weight
+	// entity would absorb half of it.
+	supply := p.Chip.Cores[0].SupplyPU()
+	want := supply * 0.020
+	if got := p.TotalWork(b) - before; math.Abs(got-want) > want*0.02 {
+		t.Errorf("b received %.1f PU·s over 20 ms, want ≈%.1f (full supply)", got, want)
+	}
+	if len(p.Tasks()) != 1 {
+		t.Errorf("Tasks() = %d, want 1", len(p.Tasks()))
+	}
+}
+
+// The per-core index must track migrations from the moment affinity is set
+// (frozen tasks report their destination core).
+func TestTasksOnCoreTracksMigration(t *testing.T) {
+	p := NewTC2()
+	a := p.AddTask(cpuBoundSpec("a", 500), 2)
+	if !p.Migrate(a, 3) {
+		t.Fatal("Migrate returned false")
+	}
+	if got := p.TasksOnCore(2); len(got) != 0 {
+		t.Errorf("TasksOnCore(2) = %v, want empty during migration", got)
+	}
+	if got := p.TasksOnCore(3); len(got) != 1 || got[0] != a {
+		t.Errorf("TasksOnCore(3) = %v, want [a]", got)
+	}
+	if n := p.NumTasksOnCore(3); n != 1 {
+		t.Errorf("NumTasksOnCore(3) = %d, want 1", n)
+	}
+	p.Run(10 * sim.Millisecond)
+	if got := p.TasksOnCore(3); len(got) != 1 || got[0] != a {
+		t.Errorf("TasksOnCore(3) after settling = %v, want [a]", got)
+	}
+}
+
+// The per-core index keeps creation (task ID) order even when tasks arrive
+// via migration out of order.
+func TestTasksOnCoreCreationOrderAfterChurn(t *testing.T) {
+	p := NewTC2()
+	a := p.AddTask(cpuBoundSpec("a", 500), 2)
+	b := p.AddTask(cpuBoundSpec("b", 500), 3)
+	c := p.AddTask(cpuBoundSpec("c", 500), 4)
+	p.Migrate(c, 2) // c arrives on core 2 before b
+	p.Run(10 * sim.Millisecond)
+	p.Migrate(b, 2)
+	p.Run(10 * sim.Millisecond)
+	got := p.TasksOnCore(2)
+	if len(got) != 3 || got[0] != a || got[1] != b || got[2] != c {
+		t.Errorf("TasksOnCore(2) = %v, want [a b c] in creation order", got)
+	}
+}
+
 func TestLoadTrackingVisible(t *testing.T) {
 	p := NewTC2()
 	tk := p.AddTask(cpuBoundSpec("a", 5000), 2) // starved at any freq

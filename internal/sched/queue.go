@@ -1,8 +1,6 @@
 package sched
 
 import (
-	"sort"
-
 	"pricepower/internal/sim"
 )
 
@@ -13,6 +11,13 @@ import (
 type Queue struct {
 	entities    []*Entity
 	minVruntime float64
+
+	// scratch and allocs are reusable per-tick buffers: the steady-state
+	// RunTick must not allocate (the platform tick runs once per core per
+	// simulated millisecond, and the allocation-free invariant is enforced by
+	// TestTickAllocationFree / BenchmarkTickThroughput at the root).
+	scratch []fillState
+	allocs  []Allocation
 
 	// Granularity selects the scheduling model. Zero (the default) is the
 	// fluid model: capacity flows to all runnable entities at once in
@@ -34,41 +39,61 @@ func (q *Queue) Len() int { return len(q.entities) }
 // Entities returns the enqueued entities (shared slice; do not mutate).
 func (q *Queue) Entities() []*Entity { return q.entities }
 
-// Add enqueues an entity. As in the kernel, a newly arriving or migrating
-// entity's vruntime is floored at the queue's minimum so it can neither
-// starve the queue (hoarded low vruntime) nor be starved (vruntime far
-// ahead).
+// Add enqueues an entity; re-adding an already enqueued entity is a no-op.
+// As in the kernel, a newly arriving or migrating entity's vruntime is
+// floored at the queue's minimum so it can neither starve the queue (hoarded
+// low vruntime) nor be starved (vruntime far ahead).
 func (q *Queue) Add(e *Entity) {
+	if e.queue == q {
+		return
+	}
+	if e.queue != nil {
+		e.queue.Remove(e)
+	}
 	if e.vruntime < q.minVruntime {
 		e.vruntime = q.minVruntime
 	}
+	e.queue = q
+	e.qpos = len(q.entities)
 	q.entities = append(q.entities, e)
 }
 
 // Remove dequeues an entity; it reports whether the entity was present.
+// The entity's cached position makes the lookup O(1); the tail shift keeps
+// queue order (and therefore tick-level floating-point evaluation order)
+// identical to the scan-based implementation.
 func (q *Queue) Remove(e *Entity) bool {
-	for i, x := range q.entities {
-		if x == e {
-			q.entities = append(q.entities[:i], q.entities[i+1:]...)
-			return true
-		}
+	if e.queue != q {
+		return false
 	}
-	return false
+	i := e.qpos
+	copy(q.entities[i:], q.entities[i+1:])
+	q.entities[len(q.entities)-1] = nil
+	q.entities = q.entities[:len(q.entities)-1]
+	for j := i; j < len(q.entities); j++ {
+		q.entities[j].qpos = j
+	}
+	e.queue = nil
+	e.qpos = 0
+	return true
 }
 
 // Contains reports whether e is enqueued.
-func (q *Queue) Contains(e *Entity) bool {
-	for _, x := range q.entities {
-		if x == e {
-			return true
-		}
-	}
-	return false
+func (q *Queue) Contains(e *Entity) bool { return e.queue == q }
+
+// fillState is the per-entity progressive-filling scratch state.
+type fillState struct {
+	e      *Entity
+	want   float64 // remaining work the entity will accept this tick
+	got    float64
+	active bool
 }
 
 // RunTick plays out one scheduler tick of length dt on a core supplying
 // supplyPU processing units. It returns the work delivered to each entity
-// that ran, and the core utilization over the tick in [0,1].
+// that ran, and the core utilization over the tick in [0,1]. The returned
+// slice is a reusable buffer owned by the queue — it is valid until the next
+// RunTick call; callers must consume it immediately (or copy it).
 //
 // Within the tick the queue behaves like CFS with infinitesimal re-pick:
 // capacity flows to the minimum-vruntime entity; when an entity's WantPU cap
@@ -88,19 +113,16 @@ func (q *Queue) RunTick(supplyPU float64, dt sim.Time) ([]Allocation, float64) {
 		return q.runTickDiscrete(supplyPU, dt)
 	}
 
-	type state struct {
-		e      *Entity
-		want   float64 // remaining work the entity will accept this tick
-		got    float64
-		active bool
+	if cap(q.scratch) < len(q.entities) {
+		q.scratch = make([]fillState, len(q.entities))
 	}
-	states := make([]state, len(q.entities))
+	states := q.scratch[:len(q.entities)]
 	for i, e := range q.entities {
 		want := capacity // unbounded ≙ can absorb the whole tick
 		if e.WantPU >= 0 {
 			want = e.WantPU * seconds
 		}
-		states[i] = state{e: e, want: want, active: want > 0}
+		states[i] = fillState{e: e, want: want, active: want > 0}
 	}
 
 	// Progressive filling: distribute remaining capacity proportionally to
@@ -142,7 +164,7 @@ func (q *Queue) RunTick(supplyPU float64, dt sim.Time) ([]Allocation, float64) {
 	}
 
 	// Account vruntime, load tracking, and build the result.
-	var allocs []Allocation
+	allocs := q.allocs[:0]
 	used := 0.0
 	minV := -1.0
 	for i := range states {
@@ -170,8 +192,20 @@ func (q *Queue) RunTick(supplyPU float64, dt sim.Time) ([]Allocation, float64) {
 	if minV > q.minVruntime {
 		q.minVruntime = minV
 	}
-	sort.Slice(allocs, func(i, j int) bool { return allocs[i].Entity.ID < allocs[j].Entity.ID })
+	sortAllocs(allocs)
+	q.allocs = allocs
 	return allocs, used / capacity
+}
+
+// sortAllocs orders allocations by entity ID (deterministic output across
+// queue-order churn). Insertion sort: run queues are small and the input is
+// near-sorted, and unlike sort.Slice it does not allocate.
+func sortAllocs(a []Allocation) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j].Entity.ID < a[j-1].Entity.ID; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
 }
 
 func minf(a, b float64) float64 {

@@ -57,9 +57,18 @@ type Entity struct {
 	// vruntime is the entity's weighted virtual runtime in PU·s/weight.
 	vruntime float64
 
+	// queue and qpos index the entity's position in its current run queue so
+	// Queue.Remove and Queue.Contains are O(1) lookups instead of scans. An
+	// entity is on at most one queue at a time (nil when dequeued).
+	queue *Queue
+	qpos  int
+
 	// Load tracks the entity's recent runnable fraction (PELT-style).
 	Load LoadTracker
 }
+
+// Queued reports whether the entity is currently enqueued on some run queue.
+func (e *Entity) Queued() bool { return e.queue != nil }
 
 // VRuntime exposes the entity's current virtual runtime (useful in tests and
 // diagnostics).

@@ -27,7 +27,10 @@ type Recorder struct {
 	rows   [][]float64
 }
 
-// New builds a recorder sampling every period (thermal may be nil).
+// New builds a recorder sampling every period (thermal may be nil). The
+// recorder only *reads* the thermal model; advancing it is the platform's
+// job (Attach registers the model via platform.AttachThermal, which is
+// idempotent — several recorders over one model never double-step it).
 // Attach it with Attach after tasks exist so the column set is complete;
 // tasks added later are ignored (their columns would be ragged).
 func New(p *platform.Platform, thermal *hw.ThermalModel, period sim.Time) *Recorder {
@@ -40,6 +43,9 @@ func New(p *platform.Platform, thermal *hw.ThermalModel, period sim.Time) *Recor
 // Attach registers the recorder on the platform's engine and freezes the
 // column layout from the platform's current tasks and clusters.
 func (r *Recorder) Attach() {
+	if r.thermal != nil {
+		r.p.AttachThermal(r.thermal)
+	}
 	r.header = []string{"t_s", "chip_W"}
 	for _, cl := range r.p.Chip.Clusters {
 		r.header = append(r.header,
@@ -60,13 +66,18 @@ func (r *Recorder) Attach() {
 }
 
 func (r *Recorder) tick(now sim.Time) {
-	if r.thermal != nil {
-		r.thermal.Update(r.p.Engine.Step())
-	}
 	if now < r.next {
 		return
 	}
-	r.next = now + r.period
+	// Advance the deadline on the period grid (catch-up semantics): setting
+	// r.next = now + r.period would accumulate one tick of skew per sample
+	// whenever the tick size does not divide the period, drifting the
+	// effective sampling rate. One row is emitted per missed deadline at
+	// most — the loop skips whole periods if the engine tick is coarser
+	// than the sampling period.
+	for r.next <= now {
+		r.next += r.period
+	}
 
 	row := []float64{now.Seconds(), r.p.Power()}
 	for i, cl := range r.p.Chip.Clusters {

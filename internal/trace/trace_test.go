@@ -115,3 +115,47 @@ func TestRecorderWithoutThermal(t *testing.T) {
 		t.Error("thermal columns present without a thermal model")
 	}
 }
+
+// TestRecorderSamplingNoDrift is the regression test for the sampling-drift
+// bug: with a period that the tick grid does not divide (3.3 ms on a 1 ms
+// tick), the old `next = now + period` re-arm quantized every deadline up
+// to the next tick and accumulated the rounding, stretching the effective
+// period to 4 ms (≈2500 rows over 10 s). Grid-aligned catch-up re-arming
+// (`next += period`) keeps the long-run average rate exact.
+func TestRecorderSamplingNoDrift(t *testing.T) {
+	p := platform.NewTC2()
+	r := New(p, nil, sim.FromMillis(3.3))
+	r.Attach()
+	p.Run(10 * sim.Second)
+	want := int(10 * sim.Second / sim.FromMillis(3.3)) // ≈3030 deadlines
+	if r.Rows() < want-5 || r.Rows() > want+5 {
+		t.Errorf("rows = %d over 10 s at 3.3 ms, want ≈%d (sampling drift)", r.Rows(), want)
+	}
+}
+
+// TestTwoRecordersDoNotDoubleAdvanceThermal: thermal time belongs to the
+// platform. Attaching a second recorder over the same thermal model must
+// not make the die heat twice as fast.
+func TestTwoRecordersDoNotDoubleAdvanceThermal(t *testing.T) {
+	run := func(recorders int) float64 {
+		p := platform.NewTC2()
+		p.AddTask(task.Spec{
+			Name: "hot", Priority: 1, MinHR: 24, MaxHR: 30, Loop: true,
+			Phases: []task.Phase{{HBCostLittle: 100, SpeedupBig: 2}},
+		}, 0)
+		th := hw.NewThermalModel(p.Chip, nil, 25)
+		for i := 0; i < recorders; i++ {
+			rec := New(p, th, 100*sim.Millisecond)
+			rec.Attach()
+		}
+		p.Run(5 * sim.Second)
+		return th.Temp(0)
+	}
+	one, two := run(1), run(2)
+	if one <= 25 {
+		t.Fatalf("thermal model did not advance at all: %.2f °C", one)
+	}
+	if one != two {
+		t.Errorf("temperature depends on recorder count: %v °C (1 rec) vs %v °C (2 recs)", one, two)
+	}
+}
