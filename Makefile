@@ -1,6 +1,9 @@
 GO ?= go
 
-.PHONY: build vet test race bench bench-quick ci clean
+.PHONY: build vet test check race fuzz golden bench bench-quick ci clean
+
+# Minutes of fuzzing per property target (see `make fuzz`).
+FUZZTIME ?= 30s
 
 build:
 	$(GO) build ./...
@@ -10,6 +13,22 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# The whole suite with the runtime invariant checker (internal/check)
+# attached to every simulated platform run.
+check:
+	PRICEPOWER_CHECK=1 $(GO) test ./...
+
+# Property fuzzing of the V-F ladder clamping contract and the run-queue
+# scheduling contract. FUZZTIME bounds each target.
+fuzz:
+	$(GO) test -run=^$$ -fuzz=FuzzLadderLookup -fuzztime=$(FUZZTIME) ./internal/core
+	$(GO) test -run=^$$ -fuzz=FuzzQueuePickNext -fuzztime=$(FUZZTIME) ./internal/sched
+
+# Regenerate the pinned experiment digests after an intentional numerical
+# change (see EXPERIMENTS.md, "Bisecting a digest mismatch").
+golden:
+	$(GO) test ./internal/exp -run TestGoldenDigests -update
 
 # The concurrency-bearing packages under the race detector: the worker-pool
 # market rounds (internal/core) and the platform tick/migration machinery
@@ -26,7 +45,7 @@ bench:
 bench-quick:
 	$(GO) run ./cmd/bench -quick -out BENCH_scale.json
 
-ci: build vet race test bench-quick
+ci: build vet race test check bench-quick
 
 clean:
 	rm -f BENCH_scale.json

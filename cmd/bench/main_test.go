@@ -1,0 +1,43 @@
+package main_test
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pricepower/internal/smoke"
+)
+
+// TestSmoke runs the quick benchmark sweep and checks the JSON artifact it
+// writes is well formed and non-empty.
+func TestSmoke(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	smoke.Run(t, "-quick", "-out", out)
+
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Quick   bool `json:"quick"`
+		Results []struct {
+			Name    string  `json:"name"`
+			NsPerOp float64 `json:"ns_per_op"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if !rep.Quick {
+		t.Error("artifact not flagged as a quick run")
+	}
+	if len(rep.Results) == 0 {
+		t.Error("artifact holds no benchmark results")
+	}
+	for _, r := range rep.Results {
+		if r.NsPerOp <= 0 {
+			t.Errorf("benchmark %s reported %v ns/op", r.Name, r.NsPerOp)
+		}
+	}
+}

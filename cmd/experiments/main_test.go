@@ -1,0 +1,26 @@
+package main_test
+
+import (
+	"strings"
+	"testing"
+
+	"pricepower/internal/smoke"
+)
+
+// TestSmoke renders the static paper tables — no simulation, so it is fast
+// regardless of -dur.
+func TestSmoke(t *testing.T) {
+	out := smoke.Run(t, "table1", "table6")
+	if !strings.Contains(out, "Table") {
+		t.Errorf("experiments rendered no tables:\n%s", out)
+	}
+}
+
+// TestSmokeComparative runs one short simulated figure to cover the
+// simulation path end to end.
+func TestSmokeComparative(t *testing.T) {
+	out := smoke.Run(t, "-dur", "1", "fig6")
+	if !strings.Contains(out, "Figure 6") {
+		t.Errorf("experiments fig6 output missing:\n%s", out)
+	}
+}

@@ -4,11 +4,11 @@
 //
 // Usage:
 //
-//	ppmsim [-set l1|...|h3] [-governor PPM|HPM|HL] [-tdp watts] [-dur seconds] [-v]
+//	ppmsim [-set l1|...|h3] [-governor PPM|HPM|HL] [-tdp watts] [-dur seconds] [-check] [-v]
 //
 // Example:
 //
-//	ppmsim -set m2 -governor PPM -tdp 4 -dur 60
+//	ppmsim -set m2 -governor PPM -tdp 4 -dur 60 -check
 package main
 
 import (
@@ -16,10 +16,13 @@ import (
 	"fmt"
 	"os"
 
+	"pricepower/internal/check"
+	"pricepower/internal/core"
 	"pricepower/internal/exp"
 	"pricepower/internal/hw"
 	"pricepower/internal/metrics"
 	"pricepower/internal/platform"
+	"pricepower/internal/ppm"
 	"pricepower/internal/sim"
 	"pricepower/internal/trace"
 	"pricepower/internal/workload"
@@ -31,6 +34,7 @@ func main() {
 	tdp := flag.Float64("tdp", 0, "TDP budget in W (0 = unconstrained)")
 	dur := flag.Float64("dur", 60, "measured virtual seconds")
 	traceFile := flag.String("trace", "", "write a full CSV run trace to this file")
+	checkRun := flag.Bool("check", false, "run under the runtime invariant checker; violations are listed and exit non-zero")
 	list := flag.Bool("list", false, "list workload sets and exit")
 	flag.Parse()
 
@@ -54,8 +58,8 @@ func main() {
 	}
 	var r exp.RunResult
 	var err error
-	if *traceFile != "" {
-		r, err = runTraced(*governor, set, *tdp, sim.FromSeconds(*dur), *traceFile)
+	if *traceFile != "" || *checkRun {
+		r, err = runCustom(*governor, set, *tdp, sim.FromSeconds(*dur), *traceFile, *checkRun)
 	} else {
 		r, err = exp.RunSet(*governor, set, *tdp, sim.FromSeconds(*dur))
 	}
@@ -79,10 +83,15 @@ func main() {
 	if *traceFile != "" {
 		fmt.Printf("  trace written to %s\n", *traceFile)
 	}
+	if *checkRun {
+		fmt.Println("  invariant checker: clean run, 0 violations")
+	}
 }
 
-// runTraced mirrors exp.RunSet with a CSV recorder attached.
-func runTraced(governor string, set workload.Set, wtdp float64, dur sim.Time, file string) (exp.RunResult, error) {
+// runCustom mirrors exp.RunSet with an optional CSV recorder and/or
+// invariant checker attached. With checking on, every violation is listed
+// on stderr and the run fails.
+func runCustom(governor string, set workload.Set, wtdp float64, dur sim.Time, file string, checked bool) (exp.RunResult, error) {
 	specs, err := set.Specs(1)
 	if err != nil {
 		return exp.RunResult{}, err
@@ -97,17 +106,40 @@ func runTraced(governor string, set workload.Set, wtdp float64, dur sim.Time, fi
 	pr := metrics.NewProbe(p, exp.Warmup)
 	pr.Attach()
 	thermal := hw.NewThermalModel(p.Chip, nil, 25)
-	rec := trace.New(p, thermal, 100*sim.Millisecond)
-	rec.Attach()
+	p.AttachThermal(thermal)
+
+	var rec *trace.Recorder
+	if file != "" {
+		rec = trace.New(p, thermal, 100*sim.Millisecond)
+		rec.Attach()
+	}
+	var checker *check.Checker
+	if checked {
+		var market *core.Market
+		if pg, ok := g.(*ppm.Governor); ok {
+			market = pg.Market()
+		}
+		checker = check.New(check.Options{Market: market, Thermal: thermal, TDP: wtdp})
+		p.AttachChecker(checker)
+	}
+
 	p.Run(exp.Warmup + dur)
 
-	f, err := os.Create(file)
-	if err != nil {
-		return exp.RunResult{}, err
+	if rec != nil {
+		f, err := os.Create(file)
+		if err != nil {
+			return exp.RunResult{}, err
+		}
+		defer f.Close()
+		if err := rec.WriteCSV(f); err != nil {
+			return exp.RunResult{}, err
+		}
 	}
-	defer f.Close()
-	if err := rec.WriteCSV(f); err != nil {
-		return exp.RunResult{}, err
+	if checker != nil && checker.Total() > 0 {
+		for _, v := range checker.Violations() {
+			fmt.Fprintf(os.Stderr, "ppmsim: violation: %s\n", v)
+		}
+		return exp.RunResult{}, fmt.Errorf("%d invariant violation(s)", checker.Total())
 	}
 
 	total, cross := p.Migrations()

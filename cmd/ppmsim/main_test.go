@@ -1,0 +1,26 @@
+package main_test
+
+import (
+	"strings"
+	"testing"
+
+	"pricepower/internal/smoke"
+)
+
+// TestSmoke drives a short checked run: the binary must finish, print a
+// summary and report the invariant checker clean.
+func TestSmoke(t *testing.T) {
+	out := smoke.Run(t, "-set", "l1", "-governor", "PPM", "-tdp", "4", "-dur", "1", "-check")
+	if !strings.Contains(out, "invariant checker: clean run") {
+		t.Errorf("checked run did not report clean:\n%s", out)
+	}
+}
+
+func TestSmokeList(t *testing.T) {
+	out := smoke.Run(t, "-list")
+	for _, set := range []string{"l1", "m2", "h3"} {
+		if !strings.Contains(out, set) {
+			t.Errorf("-list output missing set %s:\n%s", set, out)
+		}
+	}
+}

@@ -1,0 +1,15 @@
+package main_test
+
+import (
+	"strings"
+	"testing"
+
+	"pricepower/internal/smoke"
+)
+
+func TestSmoke(t *testing.T) {
+	out := smoke.Run(t)
+	if !strings.Contains(out, "priority 7") {
+		t.Errorf("priorities run missing the high-priority phase:\n%s", out)
+	}
+}

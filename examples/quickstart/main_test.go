@@ -1,0 +1,15 @@
+package main_test
+
+import (
+	"strings"
+	"testing"
+
+	"pricepower/internal/smoke"
+)
+
+func TestSmoke(t *testing.T) {
+	out := smoke.Run(t)
+	if !strings.Contains(out, "equilibrium") {
+		t.Errorf("quickstart did not reach equilibrium:\n%s", out)
+	}
+}

@@ -1,0 +1,15 @@
+package main_test
+
+import (
+	"strings"
+	"testing"
+
+	"pricepower/internal/smoke"
+)
+
+func TestSmoke(t *testing.T) {
+	out := smoke.Run(t, "-set", "m2", "-dur", "2")
+	if !strings.Contains(out, "W") {
+		t.Errorf("tdpcap run reported no power numbers:\n%s", out)
+	}
+}

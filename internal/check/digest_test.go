@@ -1,0 +1,166 @@
+package check_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"pricepower/internal/check"
+	"pricepower/internal/core"
+	"pricepower/internal/sim"
+)
+
+func TestDigestNormalizesZeros(t *testing.T) {
+	pos := check.NewDigest().Float(0.0)
+	neg := check.NewDigest().Float(math.Copysign(0, -1))
+	if pos != neg {
+		t.Errorf("+0.0 digests %016x, -0.0 digests %016x", uint64(pos), uint64(neg))
+	}
+}
+
+func TestDigestOrderAndValueSensitivity(t *testing.T) {
+	ab := check.NewDigest().Uint64(1).Uint64(2)
+	ba := check.NewDigest().Uint64(2).Uint64(1)
+	if ab == ba {
+		t.Error("digest insensitive to sample order")
+	}
+	if check.NewDigest().Float(1.5) == check.NewDigest().Float(1.5000001) {
+		t.Error("digest insensitive to float value")
+	}
+	if check.NewDigest().String("ppm") == check.NewDigest().String("hpm") {
+		t.Error("digest insensitive to strings")
+	}
+	if check.NewDigest().Bool(true) == check.NewDigest().Bool(false) {
+		t.Error("digest insensitive to booleans")
+	}
+}
+
+func TestTraceDiff(t *testing.T) {
+	a := &check.Trace{Digests: []uint64{1, 2, 3}}
+	b := &check.Trace{Digests: []uint64{1, 2, 3}}
+	if i, ok := a.Diff(b); !ok || i != -1 {
+		t.Errorf("identical traces: Diff = %d, %v", i, ok)
+	}
+	c := &check.Trace{Digests: []uint64{1, 9, 3}}
+	if i, ok := a.Diff(c); ok || i != 1 {
+		t.Errorf("diverging traces: Diff = %d, %v, want 1, false", i, ok)
+	}
+	d := &check.Trace{Digests: []uint64{1, 2}}
+	if i, ok := a.Diff(d); ok || i != 2 {
+		t.Errorf("length mismatch: Diff = %d, %v, want 2, false", i, ok)
+	}
+}
+
+// runRecordedMarket drives a deterministic standalone market for n rounds,
+// recording a digest per round.
+func runRecordedMarket(n int) *check.Recorder {
+	ctl := core.NewLadderControl([]float64{150, 300, 450}, []float64{1, 2, 3})
+	m := core.NewMarket(core.Config{InitialAllowance: 100}, []core.ClusterControl{ctl}, []int{2})
+	a := m.AddTask(1, 0)
+	b := m.AddTask(2, 1)
+	a.Demand, b.Demand = 120, 250
+	rec := check.NewRecorder("unit", 1, "2-core ladder market", check.RecorderOptions{})
+	for i := 0; i < n; i++ {
+		m.StepOnce()
+		a.Observed, b.Observed = a.Purchased(), b.Purchased()
+		rec.RecordRound(m)
+	}
+	return rec
+}
+
+// The same experiment run twice must record bit-identical traces, and a
+// market round must actually change the digest.
+func TestRecorderDeterminism(t *testing.T) {
+	r1 := runRecordedMarket(50)
+	r2 := runRecordedMarket(50)
+	if i, ok := r1.Trace().Diff(r2.Trace()); !ok {
+		t.Fatalf("identical runs diverged at sample %d", i)
+	}
+	if r1.Trace().Final != r2.Trace().Final {
+		t.Fatal("identical runs folded to different finals")
+	}
+	ds := r1.Trace().Digests
+	if len(ds) != 50 {
+		t.Fatalf("recorded %d samples, want 50", len(ds))
+	}
+	if ds[0] == ds[1] {
+		t.Error("consecutive rounds digested identically — digest not folding state")
+	}
+}
+
+func TestReplayMatchesAndLocalizes(t *testing.T) {
+	golden := runRecordedMarket(30).Trace()
+	if err := check.Replay(golden, func(rec *check.Recorder) {
+		ctl := core.NewLadderControl([]float64{150, 300, 450}, []float64{1, 2, 3})
+		m := core.NewMarket(core.Config{InitialAllowance: 100}, []core.ClusterControl{ctl}, []int{2})
+		a := m.AddTask(1, 0)
+		b := m.AddTask(2, 1)
+		a.Demand, b.Demand = 120, 250
+		for i := 0; i < 30; i++ {
+			m.StepOnce()
+			a.Observed, b.Observed = a.Purchased(), b.Purchased()
+			rec.RecordRound(m)
+		}
+	}); err != nil {
+		t.Fatalf("faithful replay rejected: %v", err)
+	}
+
+	// A perturbed replay — the supply-constrained task's demand collapses
+	// at round 10, dropping its bid from the cap toward the floor — must be
+	// pinned to the first diverging sample.
+	err := check.Replay(golden, func(rec *check.Recorder) {
+		ctl := core.NewLadderControl([]float64{150, 300, 450}, []float64{1, 2, 3})
+		m := core.NewMarket(core.Config{InitialAllowance: 100}, []core.ClusterControl{ctl}, []int{2})
+		a := m.AddTask(1, 0)
+		b := m.AddTask(2, 1)
+		a.Demand, b.Demand = 120, 250
+		for i := 0; i < 30; i++ {
+			if i == 10 {
+				b.Demand = 10
+			}
+			m.StepOnce()
+			a.Observed, b.Observed = a.Purchased(), b.Purchased()
+			rec.RecordRound(m)
+		}
+	})
+	if err == nil {
+		t.Fatal("perturbed replay accepted")
+	}
+	if !strings.Contains(err.Error(), "sample 10") {
+		t.Errorf("divergence not localized to sample 10: %v", err)
+	}
+}
+
+func TestReplayLengthMismatch(t *testing.T) {
+	golden := runRecordedMarket(20).Trace()
+	err := check.Replay(golden, func(rec *check.Recorder) {
+		short := runRecordedMarket(15)
+		for _, d := range short.Trace().Digests {
+			rec.Record(d)
+		}
+	})
+	if err == nil || !strings.Contains(err.Error(), "length") {
+		t.Errorf("length mismatch not reported: %v", err)
+	}
+}
+
+func TestRecorderOnPlatform(t *testing.T) {
+	run := func() *check.Trace {
+		p, _ := newCheckedPlatform(t, 4, setSpecs(t, "l1"))
+		rec := check.NewRecorder("platform", 0, "l1/PPM/4W",
+			check.RecorderOptions{SampleEvery: 100 * sim.Millisecond})
+		p.AttachChecker(rec)
+		p.Run(sim.Second)
+		return rec.Trace()
+	}
+	a, b := run(), run()
+	if len(a.Digests) == 0 {
+		t.Fatal("recorder attached to a platform recorded nothing")
+	}
+	if i, ok := a.Diff(b); !ok {
+		t.Fatalf("identical platform runs diverged at sample %d", i)
+	}
+	if a.FinalHex() != b.FinalHex() {
+		t.Fatalf("finals differ: %s != %s", a.FinalHex(), b.FinalHex())
+	}
+}

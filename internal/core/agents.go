@@ -25,6 +25,11 @@ type TaskAgent struct {
 	savings   float64
 	bid       float64
 	purchased float64
+	// savingsBasis is the allowance the last savings clamp was judged
+	// against. Frozen clusters skip bidding (and with it the clamp) while
+	// allowances are still redistributed, so m_t ≤ SavingsCap·a_t only
+	// holds against this snapshot, not against the live a_t.
+	savingsBasis float64
 
 	// core is the agent's current seller, maintained by Market.AddTask /
 	// MoveTask / RemoveTask so detaching never sweeps the hierarchy.
@@ -78,6 +83,7 @@ func (a *TaskAgent) reviseBid(price float64, cfg Config) {
 // overspending draws savings down, and the balance is clamped to
 // [0, SavingsCap·a_t].
 func (a *TaskAgent) settleSavings(cfg Config) {
+	a.savingsBasis = a.allowance
 	a.savings += a.allowance - a.bid
 	if a.savings < 0 {
 		a.savings = 0
@@ -87,6 +93,10 @@ func (a *TaskAgent) settleSavings(cfg Config) {
 	}
 }
 
+// SavingsBasis reports the allowance the last savings clamp was judged
+// against — the reference for the m_t ≤ SavingsCap·a_t invariant.
+func (a *TaskAgent) SavingsBasis() float64 { return a.savingsBasis }
+
 // CoreAgent is the seller for one core (§3.2.1): it discovers the price of
 // the core's PUs from the task agents' bids and distributes supply in
 // proportion to the bids. It also fans the core allowance out to its task
@@ -95,9 +105,12 @@ type CoreAgent struct {
 	ID    int
 	Tasks []*TaskAgent
 
-	price     float64
-	basePrice float64
-	allowance float64
+	price       float64
+	basePrice   float64
+	allowance   float64
+	supply      float64 // supply the last price discovery cleared against
+	cleared     float64 // Σ s_t actually handed out at the last discovery
+	distributed float64 // Σ a_t actually handed out at the last fan-out
 }
 
 // Price reports the last discovered price P_c per PU.
@@ -133,12 +146,23 @@ func (c *CoreAgent) PrioritySum() int {
 func (c *CoreAgent) distributeAllowance() {
 	r := c.PrioritySum()
 	if r == 0 {
+		c.distributed = c.allowance // nothing to fan out
 		return
 	}
+	var sum float64
 	for _, t := range c.Tasks {
 		t.allowance = c.allowance * float64(t.Priority) / float64(r)
+		sum += t.allowance
 	}
+	c.distributed = sum
 }
+
+// DistributedAllowance reports Σ a_t actually handed to the task agents at
+// the last fan-out. Budget conservation (Σ a_t = A_c) must be judged on
+// this snapshot rather than on a live sum over Tasks: the LBT module moves
+// agents — and their allowances — between cores after distribution within
+// the same governor tick.
+func (c *CoreAgent) DistributedAllowance() float64 { return c.distributed }
 
 // runBids lets every task agent revise its bid against the price of the
 // previous round.
@@ -149,24 +173,41 @@ func (c *CoreAgent) runBids(cfg Config) {
 	}
 }
 
+// DiscoveredSupply reports the supply the last price discovery cleared
+// against. The cluster agent may move the V-F level in the same round,
+// *after* discovery, so clearing invariants (Σ s_t = S_c) must be judged
+// against this value, not the live supply.
+func (c *CoreAgent) DiscoveredSupply() float64 { return c.supply }
+
+// ClearedSupply reports Σ s_t actually distributed at the last discovery.
+// With a positive price it must equal DiscoveredSupply (the market clears);
+// task agents may migrate to other cores later in the round, which moves
+// their purchases with them, so the pair is snapshotted here at discovery
+// time for the invariant checker.
+func (c *CoreAgent) ClearedSupply() float64 { return c.cleared }
+
 // discover performs price discovery and the purchase step: P_c = Σ b_t /
 // S_c, s_t = b_t / P_c. With supply S_c == 0 (powered-down cluster) or no
 // bids, the price collapses to 0 and nobody purchases.
 func (c *CoreAgent) discover(supply float64) {
+	c.supply = supply
 	var sum float64
 	for _, t := range c.Tasks {
 		sum += t.bid
 	}
 	if supply <= 0 || sum <= 0 {
 		c.price = 0
+		c.cleared = 0
 		for _, t := range c.Tasks {
 			t.purchased = 0
 		}
 		return
 	}
 	c.price = sum / supply
+	c.cleared = 0
 	for _, t := range c.Tasks {
 		t.purchased = t.bid / c.price
+		c.cleared += t.purchased
 	}
 }
 

@@ -14,8 +14,9 @@ type ClusterAgent struct {
 	Cores   []*CoreAgent
 	Control ClusterControl
 
-	allowance float64
-	frozen    bool
+	allowance   float64
+	distributed float64 // Σ A_c actually handed out at the last fan-out
+	frozen      bool
 }
 
 // Allowance reports the cluster allowance A_v.
@@ -76,13 +77,22 @@ func (v *ClusterAgent) TaskCount() int {
 func (v *ClusterAgent) distributeAllowance() {
 	r := v.PrioritySum()
 	if r == 0 {
+		v.distributed = v.allowance // nothing to fan out
 		return
 	}
+	var sum float64
 	for _, c := range v.Cores {
 		c.allowance = v.allowance * float64(c.PrioritySum()) / float64(r)
+		sum += c.allowance
 		c.distributeAllowance()
 	}
+	v.distributed = sum
 }
+
+// DistributedAllowance reports Σ A_c actually handed to the core agents at
+// the last fan-out — the budget-conservation snapshot (see
+// CoreAgent.DistributedAllowance for why a live sum is wrong).
+func (v *ClusterAgent) DistributedAllowance() float64 { return v.distributed }
 
 // runBids runs the bid-revision step on every core unless the cluster is
 // settling a V-F change.

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzLadderLookup drives a LadderControl with an arbitrary op stream and
+// asserts its clamping contract: the level always indexes the ladder, the
+// supply always equals the current rung's value, and every *At lookup
+// clamps an arbitrary index onto the table instead of panicking — the
+// properties the cluster agents and the LBT cost model rely on when they
+// probe rungs beyond the ladder ends.
+func FuzzLadderLookup(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{3, 0, 200, 1, 1, 2, 255, 3, 7, 4, 130})
+	f.Add([]byte("\x07\x00\x00\x01\x01\x01\x02\x02\x02\x03\xff\x04\x80"))
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		n := 1
+		if len(ops) > 0 {
+			n = 1 + int(ops[0]%8)
+			ops = ops[1:]
+		}
+		ladder := make([]float64, n)
+		power := make([]float64, n)
+		for i := range ladder {
+			ladder[i] = 100 * float64(i+1)
+			power[i] = 0.5 * float64(i+1)
+		}
+		l := NewLadderControl(ladder, power)
+
+		clamp := func(i int) int {
+			if i < 0 {
+				return 0
+			}
+			if i >= n {
+				return n - 1
+			}
+			return i
+		}
+		assertSane := func() {
+			lvl := l.Level()
+			if lvl < 0 || lvl >= n {
+				t.Fatalf("level %d escaped ladder [0,%d)", lvl, n)
+			}
+			if got := l.SupplyPU(); got != ladder[lvl] {
+				t.Fatalf("supply %v not rung %d's %v", got, lvl, ladder[lvl])
+			}
+			if l.NumLevels() != n {
+				t.Fatalf("NumLevels %d != %d", l.NumLevels(), n)
+			}
+		}
+		assertSane()
+
+		for i := 0; i+1 < len(ops); i += 2 {
+			op, arg := ops[i]%5, int(int8(ops[i+1])) // arg spans negatives and > n
+			switch op {
+			case 0:
+				l.SetLevel(arg)
+				if want := clamp(arg); l.Level() != want {
+					t.Fatalf("SetLevel(%d) landed on %d, want clamp %d", arg, l.Level(), want)
+				}
+			case 1:
+				before := l.Level()
+				moved := l.StepUp()
+				if moved != (before < n-1) || l.Level() != before+b2i(moved) {
+					t.Fatalf("StepUp from %d: moved=%v level=%d", before, moved, l.Level())
+				}
+			case 2:
+				before := l.Level()
+				moved := l.StepDown()
+				if moved != (before > 0) || l.Level() != before-b2i(moved) {
+					t.Fatalf("StepDown from %d: moved=%v level=%d", before, moved, l.Level())
+				}
+			case 3:
+				if got, want := l.SupplyAt(arg), ladder[clamp(arg)]; got != want {
+					t.Fatalf("SupplyAt(%d) = %v, want %v", arg, got, want)
+				}
+			case 4:
+				pw := l.PowerAt(arg)
+				if want := power[clamp(arg)]; pw != want {
+					t.Fatalf("PowerAt(%d) = %v, want %v", arg, pw, want)
+				}
+				idle := l.IdlePowerAt(arg)
+				if math.IsNaN(idle) || idle < 0 || idle > pw {
+					t.Fatalf("IdlePowerAt(%d) = %v outside [0, busy %v]", arg, idle, pw)
+				}
+			}
+			assertSane()
+		}
+	})
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

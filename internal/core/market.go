@@ -44,8 +44,9 @@ type Market struct {
 	coreOf    []*CoreAgent
 	clusterOf []*ClusterAgent
 
-	allowance float64
-	state     State
+	allowance   float64
+	distributed float64 // Σ A_v actually handed out at the last fan-out
+	state       State
 	wAvg      float64 // smoothed chip power for state classification
 	wSeeded   bool    // wAvg holds a real sample (0 W is a legitimate reading)
 	round       int
@@ -86,6 +87,11 @@ func (m *Market) Allowance() float64 { return m.allowance }
 
 // SetAllowance overrides A (used when seeding experiments mid-flight).
 func (m *Market) SetAllowance(a float64) { m.allowance = a }
+
+// DistributedAllowance reports Σ A_v actually handed to the cluster agents
+// at the last fan-out — the top-level budget-conservation snapshot (see
+// CoreAgent.DistributedAllowance for why a live sum is wrong).
+func (m *Market) DistributedAllowance() float64 { return m.distributed }
 
 // State reports the chip agent's classification of the last round.
 func (m *Market) State() State { return m.state }
@@ -321,6 +327,7 @@ func (m *Market) distributeAllowance(w float64) {
 	for _, v := range m.Clusters {
 		if v.TaskCount() == 0 {
 			v.allowance = 0
+			v.distributed = 0
 			continue
 		}
 		weight := 1.0
@@ -334,6 +341,7 @@ func (m *Market) distributeAllowance(w float64) {
 		sum += weight
 	}
 	if len(shares) == 0 {
+		m.distributed = 0
 		return
 	}
 	if sum <= 0 {
@@ -342,8 +350,10 @@ func (m *Market) distributeAllowance(w float64) {
 		}
 		sum = float64(len(shares))
 	}
+	m.distributed = 0
 	for _, sh := range shares {
 		sh.v.allowance = m.allowance * sh.weight / sum
+		m.distributed += sh.v.allowance
 	}
 	// The per-cluster fan-out (A_v → A_c → a_t) is cluster-local.
 	m.forEachCluster(func(v *ClusterAgent) {

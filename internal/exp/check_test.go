@@ -1,0 +1,77 @@
+package exp
+
+import (
+	"fmt"
+	"testing"
+
+	"pricepower/internal/check"
+	"pricepower/internal/lbt"
+	"pricepower/internal/sim"
+	"pricepower/internal/workload"
+)
+
+// TestCheckedComparativeRuns is the PR's acceptance gate: full comparative
+// runs under all three governors, across three seeds and with and without
+// a TDP, complete with the invariant checker attached and zero violations.
+func TestCheckedComparativeRuns(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 42} {
+		rng := sim.NewRand(seed)
+		specs := workload.Random(rng, workload.DefaultRandomConfig(4))
+		name := fmt.Sprintf("rand%d", seed)
+		for _, gov := range GovernorNames {
+			for _, wtdp := range []float64{0, 4} {
+				if _, err := RunSpecs(gov, name, specs, wtdp, sim.Second, RunOptions{Check: true}); err != nil {
+					t.Errorf("seed %d: %v", seed, err)
+				}
+			}
+		}
+	}
+}
+
+// TestCheckedTableSets pins the checker on the paper's own workload sets —
+// one per intensity class, both unconstrained and at the 4 W budget.
+func TestCheckedTableSets(t *testing.T) {
+	for _, setName := range []string{"l1", "m2", "h3"} {
+		set, ok := workload.SetByName(setName)
+		if !ok {
+			t.Fatalf("unknown set %s", setName)
+		}
+		for _, gov := range GovernorNames {
+			for _, wtdp := range []float64{0, 4} {
+				if _, err := RunSetOpts(gov, set, wtdp, sim.Second, RunOptions{Check: true}); err != nil {
+					t.Errorf("tdp=%v: %v", wtdp, err)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelSequentialDigests pins the pooled-parallel market rounds to
+// the sequential order bit for bit: the per-round digests — every price,
+// bid, allowance and purchase folded — must be identical, not just
+// statistically close. The 16-cluster configuration sits exactly at the
+// parallel threshold, so SetParallel(false) is what actually forces the
+// sequential path.
+func TestParallelSequentialDigests(t *testing.T) {
+	const rounds = 200
+	run := func(parallel bool) []uint64 {
+		m, planner := BuildScaledMarket(Table7Config{V: 16, C: 8, T: 8}, 42)
+		m.SetParallel(parallel)
+		digests := make([]uint64, 0, rounds)
+		for i := 0; i < rounds; i++ {
+			m.StepOnce()
+			if i%10 == 0 {
+				planner.PlanForCluster(0, lbt.Migrate)
+			}
+			digests = append(digests, check.MarketDigest(m))
+		}
+		return digests
+	}
+	seq := run(false)
+	par := run(true)
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("round %d: sequential digest %016x != parallel digest %016x", i, seq[i], par[i])
+		}
+	}
+}

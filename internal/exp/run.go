@@ -2,7 +2,10 @@ package exp
 
 import (
 	"fmt"
+	"os"
 
+	"pricepower/internal/check"
+	"pricepower/internal/core"
 	"pricepower/internal/hl"
 	"pricepower/internal/hpm"
 	"pricepower/internal/hw"
@@ -84,15 +87,48 @@ func NewGovernor(name string, wtdp float64) (platform.Governor, error) {
 	}
 }
 
+// CheckEnabled reports whether the PRICEPOWER_CHECK environment variable
+// asks for invariant-checked runs (any non-empty value but "0" enables; the
+// CI invariant job sets PRICEPOWER_CHECK=1).
+func CheckEnabled() bool {
+	v := os.Getenv("PRICEPOWER_CHECK")
+	return v != "" && v != "0"
+}
+
+// RunOptions tunes a checked/recorded run; the zero value reproduces the
+// plain RunSet behavior with checking governed by PRICEPOWER_CHECK.
+type RunOptions struct {
+	// Check attaches an invariant checker and fails the run on any
+	// violation, regardless of PRICEPOWER_CHECK.
+	Check bool
+	// Recorder, when set, is attached to the platform so the run leaves a
+	// replay trace (the recorder's Market field is filled in for PPM).
+	Recorder *check.Recorder
+}
+
 // RunSet executes one workload set under one governor on a fresh TC2
 // platform for the given measured duration and returns the summary.
 // Tasks boot on the LITTLE cluster (as the paper's Linux does), spread
-// round-robin over its cores.
+// round-robin over its cores. With PRICEPOWER_CHECK set the run executes
+// under the invariant checker and fails on any violation.
 func RunSet(governor string, set workload.Set, wtdp float64, dur sim.Time) (RunResult, error) {
+	return RunSetOpts(governor, set, wtdp, dur, RunOptions{})
+}
+
+// RunSetOpts is RunSet with explicit checking/recording control.
+func RunSetOpts(governor string, set workload.Set, wtdp float64, dur sim.Time, opts RunOptions) (RunResult, error) {
 	specs, err := set.Specs(1)
 	if err != nil {
 		return RunResult{}, err
 	}
+	return RunSpecs(governor, set.Name, specs, wtdp, dur, opts)
+}
+
+// RunSpecs is RunSetOpts over explicit task specs — the entry point for
+// random/synthetic workloads (robustness and invariant acceptance tests)
+// that have no Table 6 set behind them. name labels the run in results and
+// error messages.
+func RunSpecs(governor, name string, specs []task.Spec, wtdp float64, dur sim.Time, opts RunOptions) (RunResult, error) {
 	p := platform.NewTC2()
 	g, err := NewGovernor(governor, wtdp)
 	if err != nil {
@@ -104,7 +140,27 @@ func RunSet(governor string, set workload.Set, wtdp float64, dur sim.Time) (RunR
 	pr.Attach()
 	thermal := hw.NewThermalModel(p.Chip, nil, 25)
 	p.AttachThermal(thermal)
+
+	var market *core.Market
+	if pg, ok := g.(*ppm.Governor); ok {
+		market = pg.Market()
+	}
+	var checker *check.Checker
+	if opts.Check || CheckEnabled() {
+		checker = check.New(check.Options{Market: market, Thermal: thermal, TDP: wtdp})
+		p.AttachChecker(checker)
+	}
+	if opts.Recorder != nil {
+		opts.Recorder.Market = market
+		p.AttachChecker(opts.Recorder)
+	}
+
 	p.Run(Warmup + dur)
+	if checker != nil {
+		if err := checker.Err(); err != nil {
+			return RunResult{}, fmt.Errorf("%s/%s: %w", governor, name, err)
+		}
+	}
 
 	total, cross := p.Migrations()
 	trans := 0
@@ -117,7 +173,7 @@ func RunSet(governor string, set workload.Set, wtdp float64, dur sim.Time) (RunR
 	}
 	return RunResult{
 		Governor:        governor,
-		Set:             set.Name,
+		Set:             name,
 		MissFrac:        pr.AnyBelowFrac(),
 		AvgPower:        pr.AveragePower(),
 		Energy:          pr.Energy(),

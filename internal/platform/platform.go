@@ -38,6 +38,15 @@ type Governor interface {
 	Tick(now sim.Time)
 }
 
+// Checker observes the platform at the end of every tick, after the
+// governor ran — the attach point for the invariant-checking and
+// deterministic-replay subsystem in internal/check. Checkers must not
+// mutate platform state. With no checker attached the tick pays nothing
+// (an empty-slice range), preserving the zero-allocation steady state.
+type Checker interface {
+	CheckTick(p *Platform, now sim.Time)
+}
+
 // taskState is the platform-side bookkeeping for one task.
 type taskState struct {
 	task   *task.Task
@@ -67,7 +76,8 @@ type Platform struct {
 	byCore   [][]*taskState
 	byEntity []*taskState
 
-	gov Governor
+	gov      Governor
+	checkers []Checker
 
 	meter         hw.EnergyMeter
 	clusterMeters []hw.EnergyMeter
@@ -115,6 +125,21 @@ func (p *Platform) SetSchedGranularity(g sim.Time) {
 	for _, q := range p.queues {
 		q.Granularity = g
 	}
+}
+
+// AttachChecker registers an invariant checker (or replay recorder) to run
+// at the end of every tick, after the governor. Checkers run in attachment
+// order. Attaching the same checker twice is a no-op.
+func (p *Platform) AttachChecker(c Checker) {
+	if c == nil {
+		return
+	}
+	for _, ex := range p.checkers {
+		if ex == c {
+			return
+		}
+	}
+	p.checkers = append(p.checkers, c)
 }
 
 // AttachThermal registers a thermal model to advance once per platform tick.
@@ -297,6 +322,13 @@ func (p *Platform) TasksOnCore(core int) []*task.Task {
 // the given core, without materializing the task list.
 func (p *Platform) NumTasksOnCore(core int) int { return len(p.byCore[core]) }
 
+// Queue exposes one core's run queue for read-only inspection (invariant
+// checkers cross-check queue membership against the task index).
+func (p *Platform) Queue(core int) *sched.Queue { return p.queues[core] }
+
+// EntityOf exposes a task's scheduler entity for read-only inspection.
+func (p *Platform) EntityOf(t *task.Task) *sched.Entity { return p.mustState(t).entity }
+
 // Power reports the chip power sampled at the end of the last tick (W).
 func (p *Platform) Power() float64 { return p.lastPower }
 
@@ -382,5 +414,10 @@ func (p *Platform) tick(now sim.Time) {
 	// 4. Governor.
 	if p.gov != nil {
 		p.gov.Tick(now)
+	}
+
+	// 5. Invariant checkers observe the complete post-governor state.
+	for _, c := range p.checkers {
+		c.CheckTick(p, now)
 	}
 }

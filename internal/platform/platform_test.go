@@ -309,3 +309,37 @@ func TestAddTaskPanicsOnBadCore(t *testing.T) {
 	}()
 	p.AddTask(cpuBoundSpec("a", 500), 17)
 }
+
+type countingChecker struct {
+	calls int
+	last  sim.Time
+}
+
+func (c *countingChecker) CheckTick(p *Platform, now sim.Time) {
+	c.calls++
+	c.last = now
+}
+
+func TestAttachCheckerRunsEveryTick(t *testing.T) {
+	p := NewTC2()
+	p.AttachChecker(nil) // ignored
+	c := &countingChecker{}
+	p.AttachChecker(c)
+	p.AttachChecker(c) // dedup: still called once per tick
+
+	const ticks = 25
+	p.Run(ticks * sim.Millisecond)
+	if c.calls != ticks {
+		t.Errorf("checker called %d times over %d ticks", c.calls, ticks)
+	}
+	if c.last != ticks*sim.Millisecond {
+		t.Errorf("last check at %v, want %v", c.last, ticks*sim.Millisecond)
+	}
+
+	second := &countingChecker{}
+	p.AttachChecker(second)
+	p.Run(sim.Millisecond)
+	if c.calls != ticks+1 || second.calls != 1 {
+		t.Errorf("after late attach: first %d calls, second %d", c.calls, second.calls)
+	}
+}

@@ -81,6 +81,11 @@ func (q *Queue) Remove(e *Entity) bool {
 // Contains reports whether e is enqueued.
 func (q *Queue) Contains(e *Entity) bool { return e.queue == q }
 
+// MinVruntime reports the queue's minimum-vruntime floor — the value newly
+// arriving entities are floored at. It is non-decreasing over the queue's
+// lifetime (the invariant checker pins this).
+func (q *Queue) MinVruntime() float64 { return q.minVruntime }
+
 // fillState is the per-entity progressive-filling scratch state.
 type fillState struct {
 	e      *Entity

@@ -1,0 +1,154 @@
+package sched
+
+import (
+	"math"
+	"testing"
+
+	"pricepower/internal/sim"
+)
+
+// FuzzQueuePickNext interprets an arbitrary op stream — adds, removes,
+// cross-queue migrations, weight/want changes, fluid and discrete ticks —
+// against two run queues and a shadow membership model. It pins the
+// properties the platform's task accounting is built on: no entity is ever
+// lost or duplicated, membership bookkeeping (Queued/Contains/Len) stays
+// exact, allocations only go to enqueued entities and never exceed the
+// tick's capacity, and vruntime bookkeeping is monotone.
+func FuzzQueuePickNext(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 1, 5, 50, 2, 0, 5, 50})
+	f.Add([]byte("\x00\x00\x00\x01\x00\x02\x01\x03\x05\x20\x03\x05\x04\x10\x05\x40\x06\x00\x05\x33"))
+	f.Add([]byte("\x00\x07\x01\x06\x00\x05\x02\x06\x05\xff\x05\x00\x06\x01\x05\x80"))
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		const nEnt = 8
+		qs := [2]*Queue{NewQueue(), NewQueue()}
+		ents := make([]*Entity, nEnt)
+		where := make([]int, nEnt) // shadow model: queue index or -1
+		vr := make([]float64, nEnt)
+		for i := range ents {
+			ents[i] = &Entity{ID: i, Weight: NiceToWeight(0), WantPU: -1}
+			where[i] = -1
+		}
+		var minV [2]float64
+
+		assertSane := func() {
+			counts := [2]int{}
+			for k, e := range ents {
+				if e.VRuntime() < vr[k] {
+					t.Fatalf("entity %d vruntime fell %v -> %v", k, vr[k], e.VRuntime())
+				}
+				vr[k] = e.VRuntime()
+				if (where[k] >= 0) != e.Queued() {
+					t.Fatalf("entity %d: shadow says queue %d, Queued()=%v", k, where[k], e.Queued())
+				}
+				for qi, q := range qs {
+					want := where[k] == qi
+					if q.Contains(e) != want {
+						t.Fatalf("entity %d: Contains on queue %d = %v, shadow %d", k, qi, !want, where[k])
+					}
+				}
+				if where[k] >= 0 {
+					counts[where[k]]++
+				}
+			}
+			for qi, q := range qs {
+				if q.Len() != counts[qi] {
+					t.Fatalf("queue %d Len %d, shadow %d", qi, q.Len(), counts[qi])
+				}
+				seen := map[int]bool{}
+				for _, e := range q.Entities() {
+					if seen[e.ID] {
+						t.Fatalf("queue %d lists entity %d twice", qi, e.ID)
+					}
+					seen[e.ID] = true
+					if where[e.ID] != qi {
+						t.Fatalf("queue %d lists entity %d, shadow says %d", qi, e.ID, where[e.ID])
+					}
+				}
+				if mv := q.MinVruntime(); mv < minV[qi] {
+					t.Fatalf("queue %d min-vruntime fell %v -> %v", qi, minV[qi], mv)
+				} else {
+					minV[qi] = mv
+				}
+			}
+		}
+		assertSane()
+
+		for i := 0; i+1 < len(ops); i += 2 {
+			op, arg := ops[i]%7, ops[i+1]
+			k := int(arg) % nEnt
+			switch op {
+			case 0, 1: // add (op is the target queue); re-add and migration included
+				qs[op].Add(ents[k])
+				where[k] = int(op)
+				if ents[k].VRuntime() < qs[op].MinVruntime() {
+					t.Fatalf("entity %d joined queue %d below its min-vruntime floor", k, op)
+				}
+			case 2:
+				was := where[k] >= 0
+				removedFrom := where[k]
+				if removedFrom < 0 {
+					removedFrom = int(arg) % 2 // removing from a queue it is not on
+				}
+				if got := qs[removedFrom].Remove(ents[k]); got != was {
+					t.Fatalf("Remove(entity %d) = %v, shadow had queue %d", k, got, where[k])
+				}
+				where[k] = -1
+			case 3:
+				ents[k].WantPU = float64(int(arg)-1) / 2 // spans -0.5 (→ unbounded? no: negative), 0 and positive
+			case 4:
+				ents[k].Weight = float64(int(arg) % 33) // includes zero weight
+			case 5, 6:
+				qi := int(op) % 2
+				q := qs[qi]
+				supply := float64(arg) * 10
+				allocs, util := q.RunTick(supply, sim.Millisecond)
+				capacity := supply * sim.Millisecond.Seconds()
+				if math.IsNaN(util) || util < 0 || util > 1+1e-9 {
+					t.Fatalf("utilization %v outside [0,1]", util)
+				}
+				var used float64
+				lastID := -1
+				for _, a := range allocs {
+					if a.Entity.ID <= lastID {
+						t.Fatalf("allocations out of order or duplicated: %v after id %d", a, lastID)
+					}
+					lastID = a.Entity.ID
+					if where[a.Entity.ID] != qi {
+						t.Fatalf("entity %d allocated work on queue %d but shadow says %d",
+							a.Entity.ID, qi, where[a.Entity.ID])
+					}
+					if a.WorkPU < 0 || math.IsNaN(a.WorkPU) {
+						t.Fatalf("negative work %v", a.WorkPU)
+					}
+					used += a.WorkPU
+				}
+				if used > capacity*(1+1e-9)+1e-9 {
+					t.Fatalf("allocated %v PU·s from capacity %v", used, capacity)
+				}
+			}
+			assertSane()
+		}
+
+		// A second pass in discrete mode over whatever state the stream
+		// left: the granular scheduler must respect the same contracts.
+		for qi, q := range qs {
+			q.Granularity = 100 * sim.Microsecond
+			allocs, util := q.RunTick(400, sim.Millisecond)
+			if math.IsNaN(util) || util < 0 || util > 1+1e-9 {
+				t.Fatalf("discrete utilization %v outside [0,1]", util)
+			}
+			var used float64
+			for _, a := range allocs {
+				if where[a.Entity.ID] != qi {
+					t.Fatalf("discrete tick allocated to entity %d not on queue %d", a.Entity.ID, qi)
+				}
+				used += a.WorkPU
+			}
+			if capacity := 400 * sim.Millisecond.Seconds(); used > capacity*(1+1e-9)+1e-9 {
+				t.Fatalf("discrete tick allocated %v from capacity %v", used, capacity)
+			}
+		}
+		assertSane()
+	})
+}

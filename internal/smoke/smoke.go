@@ -1,0 +1,35 @@
+// Package smoke runs a main package end to end as a child process so that
+// `go test ./...` exercises the otherwise test-free binaries under
+// examples/ and cmd/. A smoke test asserts only the contract every binary
+// must honor: it builds, runs with representative arguments, and exits 0
+// within a generous timeout.
+package smoke
+
+import (
+	"context"
+	"os/exec"
+	"testing"
+	"time"
+)
+
+// Timeout bounds one smoke run, including the child `go run` compile.
+const Timeout = 3 * time.Minute
+
+// Run executes `go run . <args...>` in the calling test's working
+// directory — which for a main_test.go is the main package itself — and
+// fails the test unless the binary exits 0 within Timeout. The combined
+// stdout+stderr is returned so callers can assert on key output lines.
+func Run(t *testing.T, args ...string) string {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), Timeout)
+	defer cancel()
+	cmd := exec.CommandContext(ctx, "go", append([]string{"run", "."}, args...)...)
+	out, err := cmd.CombinedOutput()
+	if ctx.Err() != nil {
+		t.Fatalf("go run . %v timed out after %v\n%s", args, Timeout, out)
+	}
+	if err != nil {
+		t.Fatalf("go run . %v: %v\n%s", args, err, out)
+	}
+	return string(out)
+}
