@@ -31,10 +31,11 @@ golden:
 	$(GO) test ./internal/exp -run TestGoldenDigests -update
 
 # The concurrency-bearing packages under the race detector: the worker-pool
-# market rounds (internal/core) and the platform tick/migration machinery
-# (internal/platform).
+# market rounds (internal/core), the platform tick/migration machinery
+# (internal/platform) and the telemetry sinks/registry fed from pool
+# workers (internal/telemetry).
 race:
-	$(GO) test -race ./internal/core ./internal/platform
+	$(GO) test -race ./internal/core ./internal/platform ./internal/telemetry
 
 # Full scalability sweep (tick throughput to 512 tasks, market rounds to
 # 256 clusters); persists BENCH_scale.json.

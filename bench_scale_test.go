@@ -14,6 +14,7 @@ import (
 	"pricepower/internal/platform"
 	"pricepower/internal/sim"
 	"pricepower/internal/task"
+	"pricepower/internal/telemetry"
 )
 
 // newLoadedPlatform builds a TC2 platform with n tasks spread across all
@@ -72,6 +73,21 @@ func BenchmarkTickThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkTickTelemetryAttached documents the tick-path overhead of an
+// attached emitter (ring sink, default kinds): the counter bump plus the
+// periodic 100 ms state publish. The detached baseline is
+// BenchmarkTickThroughput/tasks=512; TestTickAllocationFree pins the
+// detached path at zero allocations.
+func BenchmarkTickTelemetryAttached(b *testing.B) {
+	p := newLoadedPlatform(512)
+	p.AttachTelemetry(telemetry.NewEmitter(telemetry.NewRegistry(), telemetry.NewRing(4096)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Engine.StepOnce()
+	}
+}
+
 // BenchmarkMarketRoundScale measures one full market round at Table-7
 // cluster counts, sequential vs the persistent worker pool. The pool's
 // wall-clock advantage needs GOMAXPROCS > 1; the bit-identical results are
@@ -89,6 +105,23 @@ func BenchmarkMarketRoundScale(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkMarketRoundTelemetryAttached measures the attached-emitter
+// market round at the largest Table-7 scale: per-round throttle/allowance
+// events, the clamp-counter fold, and the state publish, with the
+// high-volume kinds (bid/price/clearing) masked off as DefaultKinds does.
+// The acceptance budget is ≤10% over BenchmarkMarketRoundScale/V=256/pool;
+// cmd/bench persists the measured ratio to BENCH_scale.json.
+func BenchmarkMarketRoundTelemetryAttached(b *testing.B) {
+	m, _ := exp.BuildScaledMarket(exp.Table7Config{V: 256, C: 8, T: 8}, 42)
+	m.SetParallel(true)
+	m.SetTelemetry(telemetry.NewEmitter(telemetry.NewRegistry(), telemetry.NewRing(4096)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.StepOnce()
 	}
 }
 

@@ -19,6 +19,7 @@ import (
 	"pricepower/internal/platform"
 	"pricepower/internal/sim"
 	"pricepower/internal/task"
+	"pricepower/internal/telemetry"
 )
 
 type result struct {
@@ -28,11 +29,23 @@ type result struct {
 	BytesPerOp  int64   `json:"bytes_per_op"`
 }
 
+// overhead is one attached-vs-detached telemetry comparison: the measured
+// cost of an attached ring-sink emitter (default kinds) relative to the
+// detached baseline on the same hot path. The acceptance budget for the
+// market round at the largest scale is ≤10%.
+type overhead struct {
+	Name        string  `json:"name"`
+	DetachedNs  float64 `json:"detached_ns_per_op"`
+	AttachedNs  float64 `json:"attached_ns_per_op"`
+	OverheadPct float64 `json:"overhead_pct"`
+}
+
 type report struct {
-	GoMaxProcs int      `json:"gomaxprocs"`
-	GoVersion  string   `json:"go_version"`
-	Quick      bool     `json:"quick"`
-	Results    []result `json:"results"`
+	GoMaxProcs int        `json:"gomaxprocs"`
+	GoVersion  string     `json:"go_version"`
+	Quick      bool       `json:"quick"`
+	Results    []result   `json:"results"`
+	Telemetry  []overhead `json:"telemetry_overhead"`
 }
 
 func main() {
@@ -48,21 +61,33 @@ func main() {
 	}
 
 	rep := report{GoMaxProcs: runtime.GOMAXPROCS(0), GoVersion: runtime.Version(), Quick: *quick}
-	add := func(name string, fn func(b *testing.B)) {
+	add := func(name string, fn func(b *testing.B)) float64 {
 		r := testing.Benchmark(fn)
+		ns := float64(r.T.Nanoseconds()) / float64(r.N)
 		rep.Results = append(rep.Results, result{
 			Name:        name,
-			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			NsPerOp:     ns,
 			AllocsPerOp: r.AllocsPerOp(),
 			BytesPerOp:  r.AllocedBytesPerOp(),
 		})
-		fmt.Printf("%-40s %12.1f ns/op %6d allocs/op\n",
-			name, float64(r.T.Nanoseconds())/float64(r.N), r.AllocsPerOp())
+		fmt.Printf("%-40s %12.1f ns/op %6d allocs/op\n", name, ns, r.AllocsPerOp())
+		return ns
+	}
+	compare := func(name string, detached, attached float64) {
+		pct := 0.0
+		if detached > 0 {
+			pct = (attached - detached) / detached * 100
+		}
+		rep.Telemetry = append(rep.Telemetry, overhead{
+			Name: name, DetachedNs: detached, AttachedNs: attached, OverheadPct: pct,
+		})
+		fmt.Printf("%-40s %+11.1f%% attached-telemetry overhead\n", name, pct)
 	}
 
+	tickNs := make(map[int]float64)
 	for _, n := range taskCounts {
 		n := n
-		add(fmt.Sprintf("tick_throughput/tasks=%d", n), func(b *testing.B) {
+		tickNs[n] = add(fmt.Sprintf("tick_throughput/tasks=%d", n), func(b *testing.B) {
 			p := loadedPlatform(n)
 			b.ReportAllocs()
 			b.ResetTimer()
@@ -72,11 +97,12 @@ func main() {
 		})
 	}
 
+	roundNs := make(map[int]float64)
 	for _, v := range clusterCounts {
 		v := v
 		for _, mode := range []string{"seq", "pool", "spawn"} {
 			mode := mode
-			add(fmt.Sprintf("market_round/V=%d/%s", v, mode), func(b *testing.B) {
+			ns := add(fmt.Sprintf("market_round/V=%d/%s", v, mode), func(b *testing.B) {
 				m, _ := exp.BuildScaledMarket(exp.Table7Config{V: v, C: 8, T: 8}, 42)
 				m.SetParallel(mode != "seq")
 				m.SetSpawnFanout(mode == "spawn")
@@ -86,8 +112,39 @@ func main() {
 					m.StepOnce()
 				}
 			})
+			if mode == "pool" {
+				roundNs[v] = ns
+			}
 		}
 	}
+
+	// Telemetry overhead: the same hot paths with a ring-sink emitter
+	// attached (default kinds — the high-volume bid/price/clearing events
+	// stay masked, as in production use).
+	bigTasks := taskCounts[len(taskCounts)-1]
+	attachedTick := add(fmt.Sprintf("tick_throughput_telemetry/tasks=%d", bigTasks), func(b *testing.B) {
+		p := loadedPlatform(bigTasks)
+		p.AttachTelemetry(telemetry.NewEmitter(telemetry.NewRegistry(), telemetry.NewRing(4096)))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p.Engine.StepOnce()
+		}
+	})
+	compare(fmt.Sprintf("tick_throughput/tasks=%d", bigTasks), tickNs[bigTasks], attachedTick)
+
+	bigV := clusterCounts[len(clusterCounts)-1]
+	attachedRound := add(fmt.Sprintf("market_round_telemetry/V=%d/pool", bigV), func(b *testing.B) {
+		m, _ := exp.BuildScaledMarket(exp.Table7Config{V: bigV, C: 8, T: 8}, 42)
+		m.SetParallel(true)
+		m.SetTelemetry(telemetry.NewEmitter(telemetry.NewRegistry(), telemetry.NewRing(4096)))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.StepOnce()
+		}
+	})
+	compare(fmt.Sprintf("market_round/V=%d/pool", bigV), roundNs[bigV], attachedRound)
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -4,17 +4,24 @@
 //
 // Usage:
 //
-//	ppmsim [-set l1|...|h3] [-governor PPM|HPM|HL] [-tdp watts] [-dur seconds] [-check] [-v]
+//	ppmsim [-set l1|...|h3] [-governor PPM|HPM|HL] [-tdp watts] [-dur seconds]
+//	       [-check] [-trace run.csv] [-events run.jsonl] [-http ADDR]
 //
 // Example:
 //
 //	ppmsim -set m2 -governor PPM -tdp 4 -dur 60 -check
+//	ppmsim -set h2 -governor PPM -tdp 4 -events run.jsonl
+//	ppmsim -set h2 -governor PPM -tdp 4 -http 127.0.0.1:6060
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"pricepower/internal/check"
 	"pricepower/internal/core"
@@ -24,6 +31,7 @@ import (
 	"pricepower/internal/platform"
 	"pricepower/internal/ppm"
 	"pricepower/internal/sim"
+	"pricepower/internal/telemetry"
 	"pricepower/internal/trace"
 	"pricepower/internal/workload"
 )
@@ -34,6 +42,8 @@ func main() {
 	tdp := flag.Float64("tdp", 0, "TDP budget in W (0 = unconstrained)")
 	dur := flag.Float64("dur", 60, "measured virtual seconds")
 	traceFile := flag.String("trace", "", "write a full CSV run trace to this file")
+	eventsFile := flag.String("events", "", "write the full telemetry event stream (all kinds) as JSONL to this file")
+	httpAddr := flag.String("http", "", "serve /metrics, /events, /state and /debug/pprof on this address; the server stays up after the run until interrupted")
 	checkRun := flag.Bool("check", false, "run under the runtime invariant checker; violations are listed and exit non-zero")
 	list := flag.Bool("list", false, "list workload sets and exit")
 	flag.Parse()
@@ -56,12 +66,56 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ppmsim: unknown workload set %q (try -list)\n", *setName)
 		os.Exit(1)
 	}
+
+	// Telemetry wiring. The ring sink backs the live /events endpoint and
+	// keeps only the default (low-volume) kinds; the JSONL file gets the
+	// complete stream, so the emitter mask widens to AllKinds when both are
+	// requested.
+	var (
+		em    *telemetry.Emitter
+		ring  *telemetry.RingSink
+		jsonl *telemetry.JSONLSink
+	)
+	if *httpAddr != "" || *eventsFile != "" {
+		var sinks []telemetry.Sink
+		if *httpAddr != "" {
+			ring = telemetry.NewRing(4096)
+		}
+		if *eventsFile != "" {
+			f, err := os.Create(*eventsFile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ppmsim: %v\n", err)
+				os.Exit(1)
+			}
+			jsonl = telemetry.NewJSONLCloser(f)
+			sinks = append(sinks, jsonl)
+			if ring != nil {
+				sinks = append(sinks, telemetry.NewFilter(ring, telemetry.DefaultKinds))
+			}
+		} else if ring != nil {
+			sinks = append(sinks, ring)
+		}
+		em = telemetry.NewEmitter(telemetry.NewRegistry(), sinks...)
+		if *eventsFile != "" {
+			em.SetKinds(telemetry.AllKinds)
+		}
+	}
+	if *httpAddr != "" {
+		ln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ppmsim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("telemetry: listening on http://%s (/metrics /events /state /debug/pprof)\n", ln.Addr())
+		go http.Serve(ln, telemetry.NewMux(em, ring))
+	}
+
 	var r exp.RunResult
 	var err error
 	if *traceFile != "" || *checkRun {
-		r, err = runCustom(*governor, set, *tdp, sim.FromSeconds(*dur), *traceFile, *checkRun)
+		r, err = runCustom(*governor, set, *tdp, sim.FromSeconds(*dur), *traceFile, *checkRun, em)
 	} else {
-		r, err = exp.RunSet(*governor, set, *tdp, sim.FromSeconds(*dur))
+		r, err = exp.RunSetOpts(*governor, set, *tdp, sim.FromSeconds(*dur), exp.RunOptions{Telemetry: em})
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ppmsim: %v\n", err)
@@ -86,12 +140,25 @@ func main() {
 	if *checkRun {
 		fmt.Println("  invariant checker: clean run, 0 violations")
 	}
+	if jsonl != nil {
+		if err := jsonl.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "ppmsim: events: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("  events written to %s\n", *eventsFile)
+	}
+	if *httpAddr != "" {
+		fmt.Println("telemetry: run finished, serving until interrupted (Ctrl-C to exit)")
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+		<-ch
+	}
 }
 
-// runCustom mirrors exp.RunSet with an optional CSV recorder and/or
-// invariant checker attached. With checking on, every violation is listed
-// on stderr and the run fails.
-func runCustom(governor string, set workload.Set, wtdp float64, dur sim.Time, file string, checked bool) (exp.RunResult, error) {
+// runCustom mirrors exp.RunSet with an optional CSV recorder, invariant
+// checker and/or telemetry emitter attached. With checking on, every
+// violation is listed on stderr and the run fails.
+func runCustom(governor string, set workload.Set, wtdp float64, dur sim.Time, file string, checked bool, em *telemetry.Emitter) (exp.RunResult, error) {
 	specs, err := set.Specs(1)
 	if err != nil {
 		return exp.RunResult{}, err
@@ -102,6 +169,9 @@ func runCustom(governor string, set workload.Set, wtdp float64, dur sim.Time, fi
 		return exp.RunResult{}, err
 	}
 	p.SetGovernor(g)
+	if em != nil {
+		p.AttachTelemetry(em)
+	}
 	exp.PlaceOnLittle(p, specs)
 	pr := metrics.NewProbe(p, exp.Warmup)
 	pr.Attach()

@@ -63,6 +63,7 @@ import (
 	"pricepower/internal/hw"
 	"pricepower/internal/platform"
 	"pricepower/internal/sim"
+	"pricepower/internal/telemetry"
 )
 
 // Violation is one observed invariant breach.
@@ -104,6 +105,12 @@ type Options struct {
 	// band even with the state machine in emergency and reacting; only a
 	// persistent excursion means control is lost.
 	MaxOverRounds int
+	// Telemetry, when set, mirrors every violation into the structured
+	// event stream (kind "violation") so breaches land in the same JSONL /
+	// ring timeline as the market events that caused them. When the checker
+	// is attached to a platform and this is nil, CheckTick adopts the
+	// platform's emitter automatically.
+	Telemetry *telemetry.Emitter
 	// FailFast panics on the first violation (tests prefer collecting).
 	FailFast bool
 	// MaxViolations bounds the recorded list (default 100); further
@@ -137,11 +144,11 @@ type Checker struct {
 
 	lastRound   int
 	ticks       int64
-	minVrun     []float64          // per-queue min-vruntime watermarks
-	entityVrun  map[int]float64    // per-entity vruntime watermarks
-	lastJoules  []float64          // chip meter + per-cluster meters
-	lastPower   []float64          // per-cluster power at the previous tick
-	lastTemp    []float64          // per-cluster temperature at the previous tick
+	minVrun     []float64       // per-queue min-vruntime watermarks
+	entityVrun  map[int]float64 // per-entity vruntime watermarks
+	lastJoules  []float64       // chip meter + per-cluster meters
+	lastPower   []float64       // per-cluster power at the previous tick
+	lastTemp    []float64       // per-cluster temperature at the previous tick
 	haveThermal bool
 	ewma        float64 // private power EWMA for market-less TDP checking
 	ewmaSeeded  bool
@@ -173,6 +180,14 @@ func (c *Checker) Err() error {
 func (c *Checker) report(now sim.Time, invariant, format string, args ...interface{}) {
 	v := Violation{Time: now, Round: c.lastRound, Invariant: invariant,
 		Detail: fmt.Sprintf(format, args...)}
+	if em := c.opt.Telemetry; em.Enabled(telemetry.KindViolation) {
+		ev := telemetry.E(telemetry.KindViolation)
+		ev.Time = now
+		ev.Round = v.Round
+		ev.Name = invariant
+		ev.Detail = v.Detail
+		em.Emit(ev)
+	}
 	if c.opt.FailFast {
 		panic("check: invariant violation: " + v.String())
 	}
@@ -185,6 +200,9 @@ func (c *Checker) report(now sim.Time, invariant, format string, args ...interfa
 // CheckTick implements platform.Checker.
 func (c *Checker) CheckTick(p *platform.Platform, now sim.Time) {
 	c.ticks++
+	if c.opt.Telemetry == nil {
+		c.opt.Telemetry = p.Telemetry()
+	}
 	c.checkTaskAccounting(p, now)
 	c.checkVruntime(p, now)
 	c.checkHardware(p, now)

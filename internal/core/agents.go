@@ -1,5 +1,7 @@
 package core
 
+import "pricepower/internal/telemetry"
+
 // TaskAgent is the buyer representing one task (§3.2.1). Each round the
 // governor injects the task's current demand and the supply it observed;
 // the agent then revises its bid:
@@ -55,28 +57,40 @@ func (a *TaskAgent) Purchased() float64 { return a.purchased }
 // Satisfied reports whether the purchased supply covers the demand.
 func (a *TaskAgent) Satisfied() bool { return a.purchased >= a.Demand-1e-9 }
 
-// reviseBid applies Eq. 1 given the price observed in the previous round.
-// An agent with no demand at all (finished or fully idle task) has nothing
-// to buy: its bid decays toward the floor — Eq. 1 alone would freeze it at
-// its last value (d−s = 0−0) and hold the price, and with it the V-F level,
-// up forever.
-func (a *TaskAgent) reviseBid(price float64, cfg Config) {
+// Eq. 1 clamp outcomes, reported by reviseBid so the telemetry layer can
+// count how often the market saturates at either bound (a floor-saturated
+// market has lost its deflation signal; see ClusterAgent.controlPrice).
+const (
+	clampNone = iota
+	clampFloor
+	clampCap
+)
+
+// reviseBid applies Eq. 1 given the price observed in the previous round
+// and reports which clamp, if any, bounded the revision. An agent with no
+// demand at all (finished or fully idle task) has nothing to buy: its bid
+// decays toward the floor — Eq. 1 alone would freeze it at its last value
+// (d−s = 0−0) and hold the price, and with it the V-F level, up forever.
+func (a *TaskAgent) reviseBid(price float64, cfg Config) int {
 	if a.Demand <= 0 {
 		a.bid /= 2
 		if a.bid < cfg.MinBid {
 			a.bid = cfg.MinBid
 		}
-		return
+		return clampNone
 	}
 	b := a.bid + (a.Demand-a.Observed)*price
-	max := a.allowance + a.savings
-	if b > max {
+	out := clampNone
+	if max := a.allowance + a.savings; b > max {
 		b = max
+		out = clampCap
 	}
 	if b < cfg.MinBid {
 		b = cfg.MinBid
+		out = clampFloor
 	}
 	a.bid = b
+	return out
 }
 
 // settleSavings updates m_t after bidding: unspent allowance is saved,
@@ -111,6 +125,13 @@ type CoreAgent struct {
 	supply      float64 // supply the last price discovery cleared against
 	cleared     float64 // Σ s_t actually handed out at the last discovery
 	distributed float64 // Σ a_t actually handed out at the last fan-out
+
+	// Eq. 1 clamp tallies. Plain fields on purpose: runBids is the market's
+	// hottest loop, each core is touched by exactly one goroutine within a
+	// round, and the sequential round tail folds the sums into the telemetry
+	// registry (Market.foldTelemetry) — so the hot path pays no atomics.
+	clampFloor uint64
+	clampCap   uint64
 }
 
 // Price reports the last discovered price P_c per PU.
@@ -165,11 +186,26 @@ func (c *CoreAgent) distributeAllowance() {
 func (c *CoreAgent) DistributedAllowance() float64 { return c.distributed }
 
 // runBids lets every task agent revise its bid against the price of the
-// previous round.
-func (c *CoreAgent) runBids(cfg Config) {
+// previous round. Per-task bid events are emitted only when the caller's
+// emitter has the high-volume KindBid enabled (off by default — at Table 7
+// scale this loop runs for thousands of tasks per round).
+func (c *CoreAgent) runBids(cfg Config, em *telemetry.Emitter, cluster, round int) {
+	emitBids := em.Enabled(telemetry.KindBid)
 	for _, t := range c.Tasks {
-		t.reviseBid(c.price, cfg)
+		prev := t.bid
+		switch t.reviseBid(c.price, cfg) {
+		case clampFloor:
+			c.clampFloor++
+		case clampCap:
+			c.clampCap++
+		}
 		t.settleSavings(cfg)
+		if emitBids {
+			ev := telemetry.E(telemetry.KindBid)
+			ev.Round, ev.Cluster, ev.Core, ev.Task = round, cluster, c.ID, t.ID
+			ev.Value, ev.Prev = t.bid, prev
+			em.Emit(ev)
+		}
 	}
 }
 

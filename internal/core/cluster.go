@@ -1,5 +1,7 @@
 package core
 
+import "pricepower/internal/telemetry"
+
 // ClusterAgent supervises the core agents sharing one V-F regulator
 // (§3.2.2). It watches the price on the cluster's *constrained* core — the
 // core with the highest demand, which determines the V-F level the whole
@@ -17,6 +19,13 @@ type ClusterAgent struct {
 	allowance   float64
 	distributed float64 // Σ A_c actually handed out at the last fan-out
 	frozen      bool
+
+	// tel is the market's emitter (nil when detached; set by SetTelemetry).
+	// snapPrice/snapBase snapshot the constrained core's price pair during
+	// controlPrice — which computes the constrained core anyway — so the
+	// per-round /state publish never re-scans the task lists.
+	tel                 *telemetry.Emitter
+	snapPrice, snapBase float64
 }
 
 // Allowance reports the cluster allowance A_v.
@@ -96,20 +105,35 @@ func (v *ClusterAgent) DistributedAllowance() float64 { return v.distributed }
 
 // runBids runs the bid-revision step on every core unless the cluster is
 // settling a V-F change.
-func (v *ClusterAgent) runBids(cfg Config) {
+func (v *ClusterAgent) runBids(cfg Config, round int) {
 	if v.frozen {
 		return
 	}
 	for _, c := range v.Cores {
-		c.runBids(cfg)
+		c.runBids(cfg, v.tel, v.ID, round)
 	}
 }
 
 // discover performs price discovery on every core at the current supply.
-func (v *ClusterAgent) discover() {
+func (v *ClusterAgent) discover(round int) {
 	s := v.Control.SupplyPU()
+	emitPrice := v.tel.Enabled(telemetry.KindPrice)
+	emitClearing := v.tel.Enabled(telemetry.KindClearing)
 	for _, c := range v.Cores {
+		prev := c.price
 		c.discover(s)
+		if emitPrice {
+			ev := telemetry.E(telemetry.KindPrice)
+			ev.Round, ev.Cluster, ev.Core = round, v.ID, c.ID
+			ev.Value, ev.Prev = c.price, prev
+			v.tel.Emit(ev)
+		}
+		if emitClearing {
+			ev := telemetry.E(telemetry.KindClearing)
+			ev.Round, ev.Cluster, ev.Core = round, v.ID, c.ID
+			ev.Value, ev.Prev = c.cleared, c.supply
+			v.tel.Emit(ev)
+		}
 	}
 }
 
@@ -124,13 +148,20 @@ func (v *ClusterAgent) discover() {
 // emergency states deflation is unconditional: there the falling bids
 // express what the curbed allowances can afford, and supply must follow
 // them down to bring power inside the budget (Table 3's 600→500 step).
-func (v *ClusterAgent) controlPrice(cfg Config, state State) bool {
+func (v *ClusterAgent) controlPrice(cfg Config, state State, round int) bool {
 	cc := v.ConstrainedCore()
 	if cc == nil {
 		// Empty cluster: drift to the bottom of the ladder.
+		v.snapPrice, v.snapBase = 0, 0
 		v.frozen = false
-		return v.Control.StepDown()
+		prev := v.Control.SupplyPU()
+		if v.Control.StepDown() {
+			v.emitDVFS(round, "drift", prev)
+			return true
+		}
+		return false
 	}
+	v.snapPrice, v.snapBase = cc.price, cc.basePrice
 	if v.frozen {
 		// Observation round after a V-F change: adopt the new price as the
 		// base for all cores and resume bidding next round.
@@ -154,8 +185,10 @@ func (v *ClusterAgent) controlPrice(cfg Config, state State) bool {
 	floored := cc.atBidFloor(cfg)
 	switch {
 	case p >= base+base*cfg.Tolerance && !floored:
+		prev := v.Control.SupplyPU()
 		if v.Control.StepUp() {
 			v.frozen = true
+			v.emitDVFS(round, "up", prev)
 			return true
 		}
 	case p <= base-base*cfg.Tolerance || floored:
@@ -168,8 +201,10 @@ func (v *ClusterAgent) controlPrice(cfg Config, state State) bool {
 			}
 			return false
 		}
+		prev := v.Control.SupplyPU()
 		if v.Control.StepDown() {
 			v.frozen = true
+			v.emitDVFS(round, "down", prev)
 			return true
 		}
 	}

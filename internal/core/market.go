@@ -1,6 +1,10 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+
+	"pricepower/internal/telemetry"
+)
 
 // State is the chip agent's power-state classification (§3.2.3).
 type State int
@@ -47,12 +51,20 @@ type Market struct {
 	allowance   float64
 	distributed float64 // Σ A_v actually handed out at the last fan-out
 	state       State
-	wAvg      float64 // smoothed chip power for state classification
-	wSeeded   bool    // wAvg holds a real sample (0 W is a legitimate reading)
+	wAvg        float64 // smoothed chip power for state classification
+	wSeeded     bool    // wAvg holds a real sample (0 W is a legitimate reading)
 	round       int
 	nextID      int
 	parallel    bool
 	spawnFanout bool // benchmark baseline: legacy goroutine-per-cluster fan-out
+
+	// Telemetry (nil/inert when detached — see SetTelemetry).
+	tel         *telemetry.Emitter
+	roundsC     *telemetry.Counter
+	throttleThC *telemetry.Counter
+	throttleEmC *telemetry.Counter
+	clampFloorC *telemetry.Counter
+	clampCapC   *telemetry.Counter
 }
 
 // NewMarket builds a market over the given cluster controls; coresPer[i]
@@ -208,6 +220,7 @@ func (m *Market) classify(w float64) State {
 // call.
 func (m *Market) StepOnce() {
 	m.round++
+	m.roundsC.Add(1)
 	w := m.Power()
 	// The TDP is a thermal constraint, so the state machine classifies a
 	// smoothed power reading: with discrete V-F rungs an overloaded system
@@ -225,7 +238,22 @@ func (m *Market) StepOnce() {
 	} else {
 		m.wAvg = 0.3*w + 0.7*m.wAvg
 	}
+	prevState := m.state
 	m.state = m.classify(m.wAvg)
+	if m.tel != nil && m.state != prevState {
+		ev := telemetry.E(telemetry.KindThrottle)
+		ev.Round = m.round
+		ev.Name = m.state.String()
+		ev.Class = prevState.String()
+		ev.Value, ev.Prev = m.wAvg, w
+		m.tel.Emit(ev)
+		switch m.state {
+		case Threshold:
+			m.throttleThC.Add(1)
+		case Emergency:
+			m.throttleEmC.Add(1)
+		}
+	}
 
 	// Chip agent: Δ rules (§3.2.3).
 	d, s := m.TotalDemand(), m.TotalSupply()
@@ -251,13 +279,20 @@ func (m *Market) StepOnce() {
 	// Hierarchical allowance distribution: A → A_v (inversely proportional
 	// to cluster power) → A_c (by priority) → a_t (by priority).
 	m.distributeAllowance(w)
+	if m.tel.Enabled(telemetry.KindAllowance) {
+		ev := telemetry.E(telemetry.KindAllowance)
+		ev.Round = m.round
+		ev.Name = m.state.String()
+		ev.Value, ev.Prev = m.allowance, m.distributed
+		m.tel.Emit(ev)
+	}
 
 	// Bidding, price discovery, purchase, price control: cluster-local
 	// phases, concurrent across clusters in parallel mode.
 	m.forEachCluster(func(v *ClusterAgent) {
-		v.runBids(m.cfg)
-		v.discover()
-		v.controlPrice(m.cfg, m.state)
+		v.runBids(m.cfg, m.round)
+		v.discover(m.round)
+		v.controlPrice(m.cfg, m.state, m.round)
 	})
 
 	// Emergency backstop: the curbed allowances normally percolate into
@@ -268,6 +303,12 @@ func (m *Market) StepOnce() {
 	// quickly", §3.2.3).
 	if m.state == Emergency {
 		m.forceCooldown()
+	}
+
+	// Sequential round tail: fold hot-path counts into the registry and
+	// publish the market half of the live /state snapshot.
+	if m.tel != nil {
+		m.foldTelemetry()
 	}
 }
 
@@ -287,8 +328,12 @@ func (m *Market) forceCooldown() {
 			worst, worstP = v, p
 		}
 	}
-	if worst != nil && worst.Control.StepDown() {
-		worst.frozen = true
+	if worst != nil {
+		prev := worst.Control.SupplyPU()
+		if worst.Control.StepDown() {
+			worst.frozen = true
+			worst.emitDVFS(m.round, "force", prev)
+		}
 	}
 }
 

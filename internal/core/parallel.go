@@ -54,7 +54,17 @@ var pool struct {
 	once    sync.Once
 	jobs    chan poolJob
 	workers int
+	busy    atomic.Int64
 }
+
+// PoolBusy reports how many pool workers are currently running a job — the
+// occupancy behind the pricepower_pool_busy_workers gauge. The calling
+// goroutine's own participation in ParallelFor is not counted.
+func PoolBusy() int { return int(pool.busy.Load()) }
+
+// PoolWorkers reports the pool size (0 until the first parallel round
+// starts the pool).
+func PoolWorkers() int { return pool.workers }
 
 func startPool() {
 	// At least one worker even on GOMAXPROCS=1 hosts, so the concurrent
@@ -68,7 +78,9 @@ func startPool() {
 	for i := 0; i < pool.workers; i++ {
 		go func() {
 			for j := range pool.jobs {
+				pool.busy.Add(1)
 				runJob(j)
+				pool.busy.Add(-1)
 				j.wg.Done()
 			}
 		}()

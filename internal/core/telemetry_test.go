@@ -1,0 +1,174 @@
+package core
+
+import (
+	"testing"
+
+	"pricepower/internal/telemetry"
+)
+
+// telemetryRig drives the Table 3 overload scenario (supply overshoot into
+// emergency, forced cooldown, threshold steady state) with an emitter
+// attached — the richest event mix a single-cluster market can produce.
+func telemetryRig(t *testing.T, kinds telemetry.KindSet) (*telemetry.Emitter, *telemetry.RingSink, *Market) {
+	t.Helper()
+	m, ta, tb, _ := table3Market()
+	ring := telemetry.NewRing(4096)
+	em := telemetry.NewEmitter(telemetry.NewRegistry(), ring)
+	em.SetKinds(kinds)
+	m.SetTelemetry(em)
+
+	ta.Demand, tb.Demand = 300, 100
+	for i := 0; i < 12; i++ {
+		feedback(ta, tb)
+		m.StepOnce()
+	}
+	tb.Demand = 300 // overload: combined demand needs the 3 W rung
+	for i := 0; i < 60; i++ {
+		feedback(ta, tb)
+		m.StepOnce()
+	}
+	return em, ring, m
+}
+
+func TestMarketEmitsThrottleDVFSAndAllowanceEvents(t *testing.T) {
+	em, ring, m := telemetryRig(t, telemetry.DefaultKinds)
+
+	byKind := make(map[telemetry.Kind][]telemetry.Event)
+	for _, ev := range ring.Snapshot() {
+		byKind[ev.Kind] = append(byKind[ev.Kind], ev)
+	}
+
+	// Throttle: the trajectory passes normal→…→emergency→…→threshold; the
+	// first transition must carry both the old and the new state name.
+	throttles := byKind[telemetry.KindThrottle]
+	if len(throttles) == 0 {
+		t.Fatal("no throttle events over a TDP-overload run")
+	}
+	if ev := throttles[0]; ev.Class != "normal" || ev.Name == "normal" || ev.Value <= 0 {
+		t.Errorf("first throttle event %+v, want normal→{threshold,emergency} with smoothed power", ev)
+	}
+	sawEmergency := false
+	for _, ev := range throttles {
+		if ev.Name == "emergency" {
+			sawEmergency = true
+		}
+	}
+	if !sawEmergency {
+		t.Error("no emergency entry in the throttle events")
+	}
+
+	// DVFS: the supply overshoots up to 600 PU and is brought back down, so
+	// both directions must appear; every event carries the cluster and the
+	// supply move.
+	ups, downs := 0, 0
+	for _, ev := range byKind[telemetry.KindDVFS] {
+		if ev.Cluster != 0 || ev.Value == ev.Prev {
+			t.Fatalf("malformed DVFS event %+v", ev)
+		}
+		switch ev.Class {
+		case "up":
+			ups++
+		case "down", "force":
+			downs++
+		}
+	}
+	if ups == 0 || downs == 0 {
+		t.Errorf("DVFS events: %d up, %d down/force — want both directions", ups, downs)
+	}
+
+	// Allowance: one redistribution event per round, tagged with the state.
+	allowances := byKind[telemetry.KindAllowance]
+	if len(allowances) != m.Round() {
+		t.Errorf("%d allowance events over %d rounds", len(allowances), m.Round())
+	}
+	for _, ev := range allowances[:3] {
+		if ev.Value <= 0 || ev.Name == "" {
+			t.Fatalf("malformed allowance event %+v", ev)
+		}
+	}
+
+	// High-volume kinds stay dark under the default mask.
+	if n := len(byKind[telemetry.KindBid]) + len(byKind[telemetry.KindPrice]) + len(byKind[telemetry.KindClearing]); n != 0 {
+		t.Errorf("%d bid/price/clearing events under DefaultKinds", n)
+	}
+
+	// Registry: round counter tracks the market, throttle entries counted.
+	reg := em.Registry()
+	if got := reg.Counter("pricepower_market_rounds_total", "").Value(); got != uint64(m.Round()) {
+		t.Errorf("rounds counter = %d, market at round %d", got, m.Round())
+	}
+	if reg.Counter(`pricepower_throttle_total{state="emergency"}`, "").Value() == 0 {
+		t.Error("emergency entries not counted")
+	}
+}
+
+func TestMarketEmitsHighVolumeKindsWhenEnabled(t *testing.T) {
+	_, ring, m := telemetryRig(t, telemetry.AllKinds)
+	var bids, prices, clearings int
+	for _, ev := range ring.Snapshot() {
+		switch ev.Kind {
+		case telemetry.KindBid:
+			bids++
+			if ev.Task < 0 || ev.Core < 0 || ev.Cluster < 0 {
+				t.Fatalf("bid event missing ids: %+v", ev)
+			}
+		case telemetry.KindPrice:
+			prices++
+		case telemetry.KindClearing:
+			clearings++
+		}
+	}
+	// The 4096-slot ring holds the whole run. Price discovery runs every
+	// round; bidding is skipped in the settle round after each V-F change,
+	// so require both tasks' bids on at least half the rounds.
+	if bids < m.Round() || prices < m.Round()-1 || clearings < m.Round()-1 {
+		t.Errorf("high-volume events: %d bids, %d prices, %d clearings over %d rounds",
+			bids, prices, clearings, m.Round())
+	}
+}
+
+// TestMarketClampCountersFoldPerRound pins the hot-path counting strategy:
+// Eq. 1 clamp hits accumulate in plain per-core fields and reach the
+// registry once per round.
+func TestMarketClampCountersFoldPerRound(t *testing.T) {
+	em, _, _ := telemetryRig(t, telemetry.DefaultKinds)
+	reg := em.Registry()
+	floor := reg.Counter(`pricepower_bid_clamp_total{bound="floor"}`, "").Value()
+	cap := reg.Counter(`pricepower_bid_clamp_total{bound="cap"}`, "").Value()
+	// The overload run saturates bids at the allowance+savings cap while the
+	// chip agent curbs allowances (that is how deflation is expressed).
+	if cap == 0 {
+		t.Errorf("no cap clamps counted over an overload run (floor %d, cap %d)", floor, cap)
+	}
+}
+
+// TestMarketTelemetryDoesNotPerturb runs the same scenario attached and
+// detached and requires identical market trajectories — telemetry is an
+// observer, never an actor.
+func TestMarketTelemetryDoesNotPerturb(t *testing.T) {
+	run := func(attach bool) (rounds int, allowance, bidA, bidB, supply float64, st State) {
+		m, ta, tb, ctl := table3Market()
+		if attach {
+			em := telemetry.NewEmitter(telemetry.NewRegistry(), telemetry.NewRing(512))
+			em.SetKinds(telemetry.AllKinds)
+			m.SetTelemetry(em)
+		}
+		ta.Demand, tb.Demand = 300, 100
+		for i := 0; i < 12; i++ {
+			feedback(ta, tb)
+			m.StepOnce()
+		}
+		tb.Demand = 300
+		for i := 0; i < 60; i++ {
+			feedback(ta, tb)
+			m.StepOnce()
+		}
+		return m.Round(), m.Allowance(), ta.Bid(), tb.Bid(), ctl.SupplyPU(), m.State()
+	}
+	r1, a1, ba1, bb1, s1, st1 := run(false)
+	r2, a2, ba2, bb2, s2, st2 := run(true)
+	if r1 != r2 || a1 != a2 || ba1 != ba2 || bb1 != bb2 || s1 != s2 || st1 != st2 {
+		t.Errorf("attached run diverged: rounds %d/%d allowance %v/%v bids %v,%v/%v,%v supply %v/%v state %v/%v",
+			r1, r2, a1, a2, ba1, bb1, ba2, bb2, s1, s2, st1, st2)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"pricepower/internal/ppm"
 	"pricepower/internal/sim"
 	"pricepower/internal/task"
+	"pricepower/internal/telemetry"
 	"pricepower/internal/workload"
 )
 
@@ -104,6 +105,11 @@ type RunOptions struct {
 	// Recorder, when set, is attached to the platform so the run leaves a
 	// replay trace (the recorder's Market field is filled in for PPM).
 	Recorder *check.Recorder
+	// Telemetry, when set, is attached to the platform (and through it to a
+	// telemetry-aware governor) so the run emits the structured event
+	// stream; the invariant checker, when also enabled, mirrors violations
+	// into the same stream.
+	Telemetry *telemetry.Emitter
 }
 
 // RunSet executes one workload set under one governor on a fresh TC2
@@ -135,6 +141,9 @@ func RunSpecs(governor, name string, specs []task.Spec, wtdp float64, dur sim.Ti
 		return RunResult{}, err
 	}
 	p.SetGovernor(g)
+	if opts.Telemetry != nil {
+		p.AttachTelemetry(opts.Telemetry)
+	}
 	PlaceOnLittle(p, specs)
 	pr := metrics.NewProbe(p, Warmup)
 	pr.Attach()

@@ -6,6 +6,7 @@ package metrics
 
 import (
 	"math"
+	"sort"
 
 	"pricepower/internal/platform"
 	"pricepower/internal/sim"
@@ -48,6 +49,31 @@ func (s *Series) Max() float64 {
 		}
 	}
 	return max
+}
+
+// Quantile reports the q-quantile of the values by the nearest-rank method
+// on a sorted copy: the smallest value v such that at least q·n samples are
+// ≤ v. q is clamped to [0,1]; an empty series reports NaN. Quantile(0) is
+// the minimum, Quantile(1) the maximum, Quantile(0.5) the (lower) median —
+// the tail statistics the behaviour figures and the telemetry overhead
+// summaries report.
+func (s *Series) Quantile(q float64) float64 {
+	n := len(s.Values)
+	if n == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	sorted := append([]float64(nil), s.Values...)
+	sort.Float64s(sorted)
+	i := int(math.Ceil(q*float64(n))) - 1
+	if i < 0 {
+		i = 0
+	}
+	return sorted[i]
 }
 
 // Min reports the minimum value (+Inf when empty).

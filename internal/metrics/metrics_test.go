@@ -25,6 +25,54 @@ func TestSeriesStats(t *testing.T) {
 	}
 }
 
+func TestSeriesQuantileAndMax(t *testing.T) {
+	series := func(vals ...float64) *Series {
+		s := &Series{}
+		for i, v := range vals {
+			s.Add(sim.Time(i), v)
+		}
+		return s
+	}
+	cases := []struct {
+		name    string
+		s       *Series
+		q       float64
+		want    float64
+		wantMax float64
+	}{
+		{"median-odd", series(5, 1, 3), 0.5, 3, 5},
+		{"median-even-lower", series(4, 1, 3, 2), 0.5, 2, 4},
+		{"p90-of-ten", series(10, 9, 8, 7, 6, 5, 4, 3, 2, 1), 0.9, 9, 10},
+		{"p99-small-n", series(1, 2, 3), 0.99, 3, 3},
+		{"zero-is-min", series(7, 2, 9), 0, 2, 9},
+		{"one-is-max", series(7, 2, 9), 1, 9, 9},
+		{"clamped-low", series(4, 8), -0.5, 4, 8},
+		{"clamped-high", series(4, 8), 1.5, 8, 8},
+		{"single", series(42), 0.5, 42, 42},
+		{"duplicates", series(2, 2, 2, 100), 0.75, 2, 100},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.s.Quantile(tc.q); got != tc.want {
+				t.Errorf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+			}
+			if got := tc.s.Max(); got != tc.wantMax {
+				t.Errorf("Max() = %v, want %v", got, tc.wantMax)
+			}
+		})
+	}
+	var empty Series
+	if !math.IsNaN(empty.Quantile(0.5)) {
+		t.Error("empty series quantile is not NaN")
+	}
+	// Quantile must not mutate the series order.
+	s := series(3, 1, 2)
+	s.Quantile(0.5)
+	if s.Values[0] != 3 || s.Values[1] != 1 || s.Values[2] != 2 {
+		t.Error("Quantile sorted the series in place")
+	}
+}
+
 // probeRig runs a single task at a fixed supply so every metric is
 // predictable.
 func probeRig(demand float64, warmup, dur sim.Time) (*platform.Platform, *Probe, *task.Task) {

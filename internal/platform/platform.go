@@ -27,6 +27,7 @@ import (
 	"pricepower/internal/sched"
 	"pricepower/internal/sim"
 	"pricepower/internal/task"
+	"pricepower/internal/telemetry"
 )
 
 // Governor is a power-management policy driving the platform. Attach is
@@ -45,6 +46,14 @@ type Governor interface {
 // (an empty-slice range), preserving the zero-allocation steady state.
 type Checker interface {
 	CheckTick(p *Platform, now sim.Time)
+}
+
+// TelemetryAware is implemented by governors that emit structured
+// telemetry (internal/telemetry). The platform propagates its emitter to
+// the governor regardless of whether AttachTelemetry or SetGovernor ran
+// first.
+type TelemetryAware interface {
+	AttachTelemetry(em *telemetry.Emitter)
 }
 
 // taskState is the platform-side bookkeeping for one task.
@@ -78,6 +87,15 @@ type Platform struct {
 
 	gov      Governor
 	checkers []Checker
+
+	// Telemetry (nil when detached; every emission site nil-checks, so a
+	// detached run keeps the zero-allocation steady-state tick).
+	tel           *telemetry.Emitter
+	telNextState  sim.Time
+	telStateEvery sim.Time
+	ticksC        *telemetry.Counter
+	migUsC        *telemetry.Counter
+	migMsC        *telemetry.Counter
 
 	meter         hw.EnergyMeter
 	clusterMeters []hw.EnergyMeter
@@ -115,7 +133,44 @@ func NewTC2() *Platform { return New(hw.NewTC2(), sim.Millisecond) }
 func (p *Platform) SetGovernor(g Governor) {
 	p.gov = g
 	g.Attach(p)
+	if p.tel != nil {
+		if ta, ok := g.(TelemetryAware); ok {
+			ta.AttachTelemetry(p.tel)
+		}
+	}
 }
+
+// AttachTelemetry plugs a structured-telemetry emitter into the platform:
+// migrations (with the paper's µs/ms cost class) become events, tick and
+// migration counters feed the emitter's registry, and the per-cluster
+// frequency/power snapshot behind the /state endpoint is published every
+// 100 virtual ms. The emitter is propagated to a TelemetryAware governor
+// (attached before or after this call) so the market layer emits through
+// the same stream. Same contract as AttachChecker: with no emitter
+// attached the tick pays one nil check and stays allocation-free.
+func (p *Platform) AttachTelemetry(em *telemetry.Emitter) {
+	if em == nil {
+		return
+	}
+	p.tel = em
+	p.telStateEvery = 100 * sim.Millisecond
+	p.telNextState = 0
+	em.SetClock(p.Engine.Now)
+	if reg := em.Registry(); reg != nil {
+		p.ticksC = reg.Counter("pricepower_ticks_total", "Platform ticks executed.")
+		p.migUsC = reg.Counter(`pricepower_migrations_total{class="us"}`,
+			"Task migrations by paper cost class (us: intra-cluster, ms: cross-cluster).")
+		p.migMsC = reg.Counter(`pricepower_migrations_total{class="ms"}`,
+			"Task migrations by paper cost class (us: intra-cluster, ms: cross-cluster).")
+	}
+	if ta, ok := p.gov.(TelemetryAware); ok {
+		ta.AttachTelemetry(em)
+	}
+}
+
+// Telemetry returns the attached emitter (nil when detached; safe to use
+// directly, every *Emitter method is nil-receiver safe).
+func (p *Platform) Telemetry() *telemetry.Emitter { return p.tel }
 
 // SetSchedGranularity switches every core's run queue to the discrete
 // pick-next scheduling model with the given slice length (0 restores the
@@ -290,6 +345,24 @@ func (p *Platform) Migrate(t *task.Task, dstCore int) bool {
 	if src.Cluster != dst.Cluster {
 		p.crossMigrations++
 	}
+	if p.tel != nil {
+		class, ctr := "us", p.migUsC
+		if cost >= sim.Millisecond {
+			class, ctr = "ms", p.migMsC
+		}
+		ctr.Add(1)
+		if p.tel.Enabled(telemetry.KindMigration) {
+			ev := telemetry.E(telemetry.KindMigration)
+			ev.Task = t.ID
+			ev.Name = t.Name
+			ev.Cluster = dst.Cluster.ID
+			ev.Core = dstCore
+			ev.Prev = float64(src.ID)
+			ev.Value = cost.Seconds()
+			ev.Class = class
+			p.tel.Emit(ev)
+		}
+	}
 	p.Engine.After(cost, func(now sim.Time) {
 		if st.gone {
 			return // task removed mid-migration; do not resurrect its entity
@@ -419,5 +492,40 @@ func (p *Platform) tick(now sim.Time) {
 	// 5. Invariant checkers observe the complete post-governor state.
 	for _, c := range p.checkers {
 		c.CheckTick(p, now)
+	}
+
+	// 6. Telemetry: count the tick and, on the snapshot grid, publish the
+	// hardware half of the live /state view (the market publishes its half
+	// at the end of each round). The publish reuses the emitter's state
+	// storage, so the attached steady-state tick stays allocation-free too.
+	if p.tel != nil {
+		p.ticksC.Add(1)
+		if now >= p.telNextState {
+			for p.telNextState <= now {
+				p.telNextState += p.telStateEvery
+			}
+			p.tel.PublishState(p.fillState)
+		}
+	}
+}
+
+// fillState writes the hardware half of the telemetry state snapshot
+// (called under the emitter's state lock).
+func (p *Platform) fillState(s *telemetry.State) {
+	now := p.Engine.Now()
+	s.Time = now
+	s.ChipPowerW = p.lastPower
+	for i, cl := range p.Chip.Clusters {
+		cs := s.Cluster(i)
+		cs.Name = cl.Spec.Name
+		cs.Level = cl.Level()
+		cs.FreqMHz = float64(cl.CurLevel().FreqMHz)
+		cs.On = cl.On
+		cs.PowerW = hw.ClusterPower(cl)
+		n := 0
+		for _, c := range cl.Cores {
+			n += len(p.byCore[c.ID])
+		}
+		cs.Tasks = n
 	}
 }

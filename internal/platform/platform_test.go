@@ -7,6 +7,7 @@ import (
 	"pricepower/internal/hw"
 	"pricepower/internal/sim"
 	"pricepower/internal/task"
+	"pricepower/internal/telemetry"
 )
 
 func cpuBoundSpec(name string, demand float64) task.Spec {
@@ -211,7 +212,7 @@ func TestTasksOnCore(t *testing.T) {
 // where it silently absorbed supply forever.
 func TestRemoveWhileMigratingDoesNotResurrect(t *testing.T) {
 	p := NewTC2()
-	a := p.AddTask(cpuBoundSpec("a", 500), 2) // LITTLE core
+	a := p.AddTask(cpuBoundSpec("a", 500), 2)  // LITTLE core
 	b := p.AddTask(cpuBoundSpec("b", 2000), 0) // big core, CPU bound
 	p.Run(10 * sim.Millisecond)
 	if !p.Migrate(a, 0) { // LITTLE→big: ~2.16 ms cost
@@ -341,5 +342,78 @@ func TestAttachCheckerRunsEveryTick(t *testing.T) {
 	p.Run(sim.Millisecond)
 	if c.calls != ticks+1 || second.calls != 1 {
 		t.Errorf("after late attach: first %d calls, second %d", c.calls, second.calls)
+	}
+}
+
+// TestMigrationEmitsTelemetryEvents pins the platform's side of the event
+// stream: each Migrate emits one migration event carrying the §5.1 cost
+// class (µs intra-cluster, ms cross-cluster) and the per-class counters
+// track it, while state snapshots appear at the 100 ms publish cadence.
+func TestMigrationEmitsTelemetryEvents(t *testing.T) {
+	p := NewTC2()
+	ring := telemetry.NewRing(64)
+	em := telemetry.NewEmitter(telemetry.NewRegistry(), ring)
+	p.AttachTelemetry(em)
+	if p.Telemetry() != em {
+		t.Fatal("Telemetry accessor does not return the attached emitter")
+	}
+
+	tk := p.AddTask(cpuBoundSpec("a", 500), 2)
+	p.Run(100 * sim.Millisecond)
+	if !p.Migrate(tk, 0) { // LITTLE→big: cross-cluster, ms class
+		t.Fatal("Migrate returned false")
+	}
+	p.Run(20 * sim.Millisecond)
+	if !p.Migrate(tk, 1) { // big→big: intra-cluster, µs class
+		t.Fatal("intra-cluster Migrate returned false")
+	}
+	p.Run(200 * sim.Millisecond)
+
+	var migs []telemetry.Event
+	for _, ev := range ring.Snapshot() {
+		if ev.Kind == telemetry.KindMigration {
+			migs = append(migs, ev)
+		}
+	}
+	if len(migs) != 2 {
+		t.Fatalf("%d migration events, want 2", len(migs))
+	}
+	cross, intra := migs[0], migs[1]
+	if cross.Class != "ms" || cross.Value < 1e-3 {
+		t.Errorf("cross-cluster migration event %+v, want class ms with ≥1 ms cost", cross)
+	}
+	if intra.Class != "us" || intra.Value <= 0 || intra.Value >= 1e-3 {
+		t.Errorf("intra-cluster migration event %+v, want class us with sub-ms cost", intra)
+	}
+	if cross.Name != "a" || cross.Task != tk.ID || cross.Cluster != 0 || cross.Core != 0 {
+		t.Errorf("cross migration event ids wrong: %+v", cross)
+	}
+	if cross.Time <= 0 || intra.Time <= cross.Time {
+		t.Errorf("migration events not timestamped in order: %v, %v", cross.Time, intra.Time)
+	}
+
+	reg := em.Registry()
+	if got := reg.Counter(`pricepower_migrations_total{class="ms"}`, "").Value(); got != 1 {
+		t.Errorf("ms-class migration counter = %d, want 1", got)
+	}
+	if got := reg.Counter(`pricepower_migrations_total{class="us"}`, "").Value(); got != 1 {
+		t.Errorf("us-class migration counter = %d, want 1", got)
+	}
+	if reg.Counter("pricepower_ticks_total", "").Value() == 0 {
+		t.Error("tick counter never incremented")
+	}
+
+	// The hardware half of /state was published at the 100 ms cadence.
+	st, ok := em.StateSnapshot()
+	if !ok {
+		t.Fatal("no state snapshot published")
+	}
+	if len(st.Clusters) != len(p.Chip.Clusters) || st.ChipPowerW <= 0 {
+		t.Errorf("state snapshot incomplete: %+v", st)
+	}
+	for _, c := range st.Clusters {
+		if c.FreqMHz <= 0 || c.Name == "" {
+			t.Errorf("cluster state not filled: %+v", c)
+		}
 	}
 }

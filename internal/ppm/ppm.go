@@ -18,6 +18,7 @@ import (
 	"pricepower/internal/platform"
 	"pricepower/internal/sim"
 	"pricepower/internal/task"
+	"pricepower/internal/telemetry"
 )
 
 // ProfileFunc supplies the off-line profiled demand of a task (by spec
@@ -126,6 +127,7 @@ type Governor struct {
 	p       *platform.Platform
 	market  *core.Market
 	planner *lbt.Planner
+	tel     *telemetry.Emitter
 
 	agents  map[*task.Task]*core.TaskAgent
 	byAgent map[*core.TaskAgent]*task.Task
@@ -194,6 +196,21 @@ func (g *Governor) Attach(p *platform.Platform) {
 	}
 	g.syncTasks()
 	g.nextBid = g.cfg.BidPeriod
+	if g.tel != nil {
+		g.market.SetTelemetry(g.tel)
+	}
+}
+
+// AttachTelemetry implements platform.TelemetryAware: the platform's
+// emitter is handed down to the market so the whole governor — chip-agent
+// state machine, DVFS price control, bids — emits through one stream.
+// Attach order does not matter: whichever of Attach/AttachTelemetry runs
+// second completes the wiring.
+func (g *Governor) AttachTelemetry(em *telemetry.Emitter) {
+	g.tel = em
+	if g.market != nil {
+		g.market.SetTelemetry(em)
+	}
 }
 
 // Tick implements platform.Governor.
@@ -434,10 +451,23 @@ func (g *Governor) powerGateEmptyClusters() {
 		switch {
 		case counts[i] == 0 && cl.On:
 			cl.PowerOff()
+			g.emitGate(i, "off")
 		case counts[i] > 0 && !cl.On:
 			cl.PowerOn()
+			g.emitGate(i, "on")
 		}
 	}
+}
+
+func (g *Governor) emitGate(cluster int, dir string) {
+	if !g.tel.Enabled(telemetry.KindPowerGate) {
+		return
+	}
+	ev := telemetry.E(telemetry.KindPowerGate)
+	ev.Round = g.market.Round()
+	ev.Cluster = cluster
+	ev.Name = dir
+	g.tel.Emit(ev)
 }
 
 // estimateDemandOn is the LBT estimator. Per §3.3, the steady-state demand
@@ -495,3 +525,4 @@ func (c *clusterControl) IdlePowerAt(level int) float64 { return hw.ClusterPower
 
 var _ core.ClusterControl = (*clusterControl)(nil)
 var _ platform.Governor = (*Governor)(nil)
+var _ platform.TelemetryAware = (*Governor)(nil)

@@ -1,0 +1,112 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"pricepower/internal/sim"
+)
+
+func get(t *testing.T, srv *httptest.Server, path string) (string, *http.Response) {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s read: %v", path, err)
+	}
+	return string(body), resp
+}
+
+func TestMuxServesMetricsEventsStateAndPprof(t *testing.T) {
+	reg := NewRegistry()
+	ring := NewRing(16)
+	em := NewEmitter(reg, ring)
+	em.SetClock(func() sim.Time { return 3 * sim.Second })
+
+	ev := E(KindMigration)
+	ev.Task, ev.Name, ev.Class, ev.Value = 2, "x264", "ms", 0.002
+	em.Emit(ev)
+	reg.Counter("pricepower_market_rounds_total", "Market bid rounds executed.").Add(12)
+	em.PublishState(func(s *State) {
+		s.Time = 3 * sim.Second
+		s.ChipPowerW = 4.1
+		c := s.Cluster(0)
+		c.Name, c.FreqMHz, c.On, c.Price = "little", 1000, true, 0.003
+	})
+
+	srv := httptest.NewServer(NewMux(em, ring))
+	defer srv.Close()
+
+	metrics, resp := get(t, srv, "/metrics")
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/metrics content type %q", ct)
+	}
+	for _, want := range []string{
+		"pricepower_market_rounds_total 12",
+		`pricepower_events_total{kind="migration"} 1`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, metrics)
+		}
+	}
+
+	eventsBody, _ := get(t, srv, "/events")
+	var evPage struct {
+		Dropped uint64  `json:"dropped"`
+		Events  []Event `json:"events"`
+	}
+	if err := json.Unmarshal([]byte(eventsBody), &evPage); err != nil {
+		t.Fatalf("/events not valid JSON: %v\n%s", err, eventsBody)
+	}
+	if len(evPage.Events) != 1 || evPage.Events[0].Kind != KindMigration || evPage.Events[0].Name != "x264" {
+		t.Errorf("/events window wrong: %+v", evPage)
+	}
+
+	stateBody, _ := get(t, srv, "/state")
+	var st State
+	if err := json.Unmarshal([]byte(stateBody), &st); err != nil {
+		t.Fatalf("/state not valid JSON: %v\n%s", err, stateBody)
+	}
+	if st.ChipPowerW != 4.1 || len(st.Clusters) != 1 || st.Clusters[0].Price != 0.003 {
+		t.Errorf("/state snapshot wrong: %+v", st)
+	}
+
+	if _, resp := get(t, srv, "/debug/pprof/"); resp.StatusCode != http.StatusOK {
+		t.Errorf("/debug/pprof/ status %d", resp.StatusCode)
+	}
+	if _, resp := get(t, srv, "/debug/pprof/cmdline"); resp.StatusCode != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline status %d", resp.StatusCode)
+	}
+}
+
+// TestMuxToleratesDetachedPieces pins the "stable handler set" contract:
+// every endpoint serves valid output even with no emitter, registry, or
+// ring behind it.
+func TestMuxToleratesDetachedPieces(t *testing.T) {
+	srv := httptest.NewServer(NewMux(nil, nil))
+	defer srv.Close()
+
+	if _, resp := get(t, srv, "/metrics"); resp.StatusCode != http.StatusOK {
+		t.Errorf("/metrics status %d with nil emitter", resp.StatusCode)
+	}
+	body, _ := get(t, srv, "/events")
+	var evPage struct {
+		Events []Event `json:"events"`
+	}
+	if err := json.Unmarshal([]byte(body), &evPage); err != nil || evPage.Events == nil {
+		t.Errorf("/events with nil ring: err %v, body %s", err, body)
+	}
+	body, _ = get(t, srv, "/state")
+	var st State
+	if err := json.Unmarshal([]byte(body), &st); err != nil || st.Clusters == nil {
+		t.Errorf("/state with nil emitter: err %v, body %s", err, body)
+	}
+}

@@ -1,0 +1,105 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// JSONLSink writes one JSON object per event to a writer — the headless
+// event log behind `ppmsim -events out.jsonl`. Writes are buffered and
+// mutex-guarded (emission may come from the worker pool); call Flush (or
+// Close) before reading the output.
+type JSONLSink struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	c   io.Closer // non-nil when the sink owns the underlying writer
+	err error     // first write error; subsequent emits are dropped
+}
+
+// NewJSONL builds a sink over w. The caller keeps ownership of w; use
+// NewJSONLCloser to hand over an owned file.
+func NewJSONL(w io.Writer) *JSONLSink {
+	return &JSONLSink{w: bufio.NewWriter(w)}
+}
+
+// NewJSONLCloser builds a sink that closes wc on Close (the `-events file`
+// path).
+func NewJSONLCloser(wc io.WriteCloser) *JSONLSink {
+	return &JSONLSink{w: bufio.NewWriter(wc), c: wc}
+}
+
+// Emit implements Sink. Encoding errors are sticky: the first one is
+// retained (see Err) and later events are discarded rather than
+// interleaving partial lines.
+func (s *JSONLSink) Emit(ev Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	b, err := json.Marshal(ev)
+	if err != nil {
+		s.err = err
+		return
+	}
+	if _, err := s.w.Write(b); err != nil {
+		s.err = err
+		return
+	}
+	s.err = s.w.WriteByte('\n')
+}
+
+// Flush drains the buffer to the underlying writer.
+func (s *JSONLSink) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	return s.w.Flush()
+}
+
+// Err reports the first write/encode error, if any.
+func (s *JSONLSink) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Close flushes and, when the sink owns the writer, closes it.
+func (s *JSONLSink) Close() error {
+	if err := s.Flush(); err != nil {
+		if s.c != nil {
+			s.c.Close()
+		}
+		return err
+	}
+	if s.c != nil {
+		return s.c.Close()
+	}
+	return nil
+}
+
+// ReadJSONL parses an event log written by JSONLSink back into events —
+// the read half of the round-trip the event-stream tests and the
+// throttle-episode reconstruction (EXPERIMENTS.md) rely on. Blank lines
+// are skipped; the first malformed line aborts with its error.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	var out []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return out, err
+		}
+		out = append(out, ev)
+	}
+	return out, sc.Err()
+}

@@ -1,0 +1,91 @@
+package telemetry
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"pricepower/internal/sim"
+)
+
+// TestJSONLRoundTrip pins the event-log contract: every field of every
+// kind survives write → parse unchanged.
+func TestJSONLRoundTrip(t *testing.T) {
+	in := []Event{
+		{Time: 31700 * sim.Microsecond, Kind: KindPrice, Round: 1, Cluster: 0, Core: 2, Task: -1, Value: 0.004, Prev: 0.0038},
+		{Time: 2 * sim.Second, Kind: KindBid, Round: 63, Cluster: 1, Core: 4, Task: 9, Value: 1.25, Prev: 1.5},
+		{Time: 2 * sim.Second, Kind: KindClearing, Round: 63, Cluster: 1, Core: 4, Task: -1, Value: 600, Prev: 600},
+		{Time: 3 * sim.Second, Kind: KindAllowance, Round: 94, Cluster: -1, Core: -1, Task: -1, Name: "normal", Value: 10.5, Prev: 10.5},
+		{Time: 4 * sim.Second, Kind: KindThrottle, Round: 126, Cluster: -1, Core: -1, Task: -1, Name: "emergency", Class: "threshold", Value: 4.31},
+		{Time: 4 * sim.Second, Kind: KindDVFS, Round: 126, Cluster: 1, Core: -1, Task: -1, Class: "force", Value: 800, Prev: 1000},
+		{Time: 5 * sim.Second, Kind: KindMigration, Round: 157, Cluster: 1, Core: 3, Task: 2, Name: "x264", Class: "ms", Value: 0.00216, Prev: 1},
+		{Time: 6 * sim.Second, Kind: KindPowerGate, Round: 189, Cluster: 0, Core: -1, Task: -1, Class: "off"},
+		{Time: 7 * sim.Second, Kind: KindViolation, Round: 220, Cluster: -1, Core: -1, Task: -1, Name: "tdp-settled", Detail: "smoothed power 4.9 W above 4.4 W"},
+	}
+
+	var buf bytes.Buffer
+	sink := NewJSONL(&buf)
+	for _, ev := range in {
+		sink.Emit(ev)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	out, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip mutated events:\n in: %+v\nout: %+v", in, out)
+	}
+}
+
+func TestJSONLSkipsBlankLinesAndReportsBadOnes(t *testing.T) {
+	good := `{"t":1,"kind":"dvfs","round":2,"cluster":0,"core":-1,"task":-1,"value":800,"prev":600}`
+	evs, err := ReadJSONL(strings.NewReader(good + "\n\n" + good + "\n"))
+	if err != nil || len(evs) != 2 {
+		t.Fatalf("blank-line log: %d events, err %v; want 2, nil", len(evs), err)
+	}
+	if _, err := ReadJSONL(strings.NewReader(good + "\n{broken\n")); err == nil {
+		t.Error("malformed line parsed without error")
+	}
+	if _, err := ReadJSONL(strings.NewReader(`{"t":1,"kind":"warp-core-breach"}` + "\n")); err == nil {
+		t.Error("unknown kind parsed without error")
+	}
+}
+
+// errWriter fails after n bytes, to exercise sticky error behavior.
+type errWriter struct{ n int }
+
+func (w *errWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, errFull
+	}
+	if len(p) > w.n {
+		p = p[:w.n]
+	}
+	w.n -= len(p)
+	return len(p), nil
+}
+
+var errFull = &writerFullError{}
+
+type writerFullError struct{}
+
+func (*writerFullError) Error() string { return "writer full" }
+
+func TestJSONLStickyError(t *testing.T) {
+	sink := NewJSONL(&errWriter{n: 10})
+	big := E(KindViolation)
+	big.Detail = strings.Repeat("x", 100*1024) // larger than the bufio buffer
+	sink.Emit(big)
+	if sink.Err() == nil {
+		t.Fatal("write past a full writer reported no error")
+	}
+	sink.Emit(E(KindDVFS)) // must not panic or clear the error
+	if sink.Flush() == nil {
+		t.Error("Flush cleared the sticky error")
+	}
+}

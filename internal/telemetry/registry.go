@@ -1,0 +1,183 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotone event count. All methods are atomic; the zero
+// value is ready to use.
+type Counter struct{ v atomic.Uint64 }
+
+// Add increments the counter.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Store overwrites the total — the fold-in path for counts accumulated in
+// plain per-agent fields on the hot path and aggregated once per market
+// round (the new total must be ≥ the old one to stay a counter).
+func (c *Counter) Store(total uint64) {
+	if c != nil {
+		c.v.Store(total)
+	}
+}
+
+// Value reads the current total.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous value. All methods are atomic; the zero value
+// reads 0.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set overwrites the gauge.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Value reads the gauge.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// metric is one registered series.
+type metric struct {
+	name  string // full series name, possibly with {labels}
+	base  string // name without labels (groups HELP/TYPE lines)
+	help  string
+	typ   string // "counter" or "gauge"
+	read  func() float64
+	isInt bool
+}
+
+// Registry holds named counters and gauges and renders them in the
+// Prometheus text exposition format (the /metrics endpoint). Registration
+// is idempotent by full series name — components re-attached to the same
+// registry share the instrument. Series names may carry a label set in the
+// standard `name{key="value"}` form; HELP/TYPE headers are emitted once per
+// base name.
+type Registry struct {
+	mu       sync.Mutex
+	metrics  map[string]*metric
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		metrics:  make(map[string]*metric),
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+	}
+}
+
+func baseName(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// Counter returns the counter registered under name, creating it on first
+// use. Registering the same name as two different instrument types panics.
+func (r *Registry) Counter(name, help string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	if _, clash := r.metrics[name]; clash {
+		panic(fmt.Sprintf("telemetry: metric %q already registered with a different type", name))
+	}
+	c := &Counter{}
+	r.counters[name] = c
+	r.metrics[name] = &metric{
+		name: name, base: baseName(name), help: help, typ: "counter",
+		read: func() float64 { return float64(c.Value()) }, isInt: true,
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	if _, clash := r.metrics[name]; clash {
+		panic(fmt.Sprintf("telemetry: metric %q already registered with a different type", name))
+	}
+	g := &Gauge{}
+	r.gauges[name] = g
+	r.metrics[name] = &metric{
+		name: name, base: baseName(name), help: help, typ: "gauge",
+		read: g.Value,
+	}
+	return g
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at exposition
+// time. fn must be safe to call from the scrape goroutine while the
+// simulation runs (read atomics, not live simulation state). Re-registering
+// the same name replaces the function.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.metrics[name] = &metric{name: name, base: baseName(name), help: help, typ: "gauge", read: fn}
+}
+
+// WriteProm renders every registered series in the Prometheus text format,
+// sorted by name for deterministic output.
+func (r *Registry) WriteProm(w io.Writer) error {
+	r.mu.Lock()
+	list := make([]*metric, 0, len(r.metrics))
+	for _, m := range r.metrics {
+		list = append(list, m)
+	}
+	r.mu.Unlock()
+	sort.Slice(list, func(i, j int) bool { return list[i].name < list[j].name })
+
+	lastBase := ""
+	for _, m := range list {
+		if m.base != lastBase {
+			lastBase = m.base
+			if m.help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.base, m.help); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.base, m.typ); err != nil {
+				return err
+			}
+		}
+		var err error
+		if m.isInt {
+			_, err = fmt.Fprintf(w, "%s %d\n", m.name, uint64(m.read()))
+		} else {
+			_, err = fmt.Fprintf(w, "%s %g\n", m.name, m.read())
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,91 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestRingOverwriteSemantics pins backpressure: a full ring drops the
+// oldest events, keeps the newest, and accounts for every drop.
+func TestRingOverwriteSemantics(t *testing.T) {
+	r := NewRing(8)
+	for i := 0; i < 20; i++ {
+		ev := E(KindDVFS)
+		ev.Round = i
+		r.Emit(ev)
+	}
+	if got := r.Total(); got != 20 {
+		t.Errorf("Total = %d, want 20", got)
+	}
+	if got := r.Dropped(); got != 12 {
+		t.Errorf("Dropped = %d, want 12", got)
+	}
+	snap := r.Snapshot()
+	if len(snap) != 8 {
+		t.Fatalf("snapshot holds %d events, want 8", len(snap))
+	}
+	for i, ev := range snap {
+		if want := 12 + i; ev.Round != want {
+			t.Errorf("snapshot[%d].Round = %d, want %d (oldest-first window)", i, ev.Round, want)
+		}
+	}
+}
+
+func TestRingBelowCapacity(t *testing.T) {
+	r := NewRing(8)
+	if len(r.Snapshot()) != 0 || r.Dropped() != 0 {
+		t.Error("empty ring reports contents")
+	}
+	for i := 0; i < 3; i++ {
+		ev := E(KindMigration)
+		ev.Round = i
+		r.Emit(ev)
+	}
+	snap := r.Snapshot()
+	if len(snap) != 3 || r.Dropped() != 0 {
+		t.Fatalf("snapshot %d events, dropped %d; want 3, 0", len(snap), r.Dropped())
+	}
+	for i, ev := range snap {
+		if ev.Round != i {
+			t.Errorf("snapshot[%d].Round = %d, want %d", i, ev.Round, i)
+		}
+	}
+}
+
+// TestRingConcurrentEmitAndSnapshot exercises the ring under the race
+// detector the way the live system uses it: market worker goroutines
+// emitting while the HTTP handler snapshots.
+func TestRingConcurrentEmitAndSnapshot(t *testing.T) {
+	r := NewRing(64)
+	const writers, perWriter = 4, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				ev := E(KindBid)
+				ev.Task = w
+				ev.Round = i
+				r.Emit(ev)
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			for _, ev := range r.Snapshot() {
+				if ev.Kind != KindBid {
+					t.Errorf("torn read: kind %v", ev.Kind)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := r.Total(); got != writers*perWriter {
+		t.Errorf("Total = %d, want %d", got, writers*perWriter)
+	}
+}

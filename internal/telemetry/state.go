@@ -1,0 +1,73 @@
+package telemetry
+
+import "pricepower/internal/sim"
+
+// ClusterState is one cluster's row in the live state snapshot. The
+// hardware half (level, power, gating) is published by the platform; the
+// market half (prices) by the market when one is attached.
+type ClusterState struct {
+	ID        int     `json:"id"`
+	Name      string  `json:"name,omitempty"`
+	Level     int     `json:"level"`
+	FreqMHz   float64 `json:"freq_mhz"`
+	On        bool    `json:"on"`
+	PowerW    float64 `json:"power_w"`
+	Tasks     int     `json:"tasks"`
+	Price     float64 `json:"price"`
+	BasePrice float64 `json:"base_price"`
+}
+
+// State is the live per-cluster price/frequency/power snapshot served by
+// the /state endpoint. It is double-buffered inside the emitter: writers
+// (platform tick, market round) fill it in place under a mutex with
+// reusable storage, readers copy it out.
+type State struct {
+	Time        sim.Time       `json:"t"`
+	Round       int            `json:"round"`
+	ChipPowerW  float64        `json:"chip_power_w"`
+	SmoothedW   float64        `json:"smoothed_power_w"`
+	Allowance   float64        `json:"allowance"`
+	MarketState string         `json:"market_state,omitempty"`
+	Clusters    []ClusterState `json:"clusters"`
+}
+
+// Cluster returns the snapshot row for cluster i, growing the slice as
+// needed (rows keep previously published fields, so the platform and the
+// market can each fill their half).
+func (s *State) Cluster(i int) *ClusterState {
+	for len(s.Clusters) <= i {
+		s.Clusters = append(s.Clusters, ClusterState{ID: len(s.Clusters)})
+	}
+	return &s.Clusters[i]
+}
+
+// PublishState lets a simulation component update the live snapshot: fill
+// is called with the shared State under the emitter's lock. Callers must
+// only touch the snapshot inside fill, and fill must not block. Writer-side
+// storage is reused across publications — steady-state publishing does not
+// allocate.
+func (e *Emitter) PublishState(fill func(s *State)) {
+	if e == nil {
+		return
+	}
+	e.stateMu.Lock()
+	fill(&e.state)
+	e.pubs++
+	e.stateMu.Unlock()
+}
+
+// StateSnapshot copies the last published state out; ok is false when
+// nothing was published yet.
+func (e *Emitter) StateSnapshot() (st State, ok bool) {
+	if e == nil {
+		return State{}, false
+	}
+	e.stateMu.Lock()
+	defer e.stateMu.Unlock()
+	if e.pubs == 0 {
+		return State{}, false
+	}
+	st = e.state
+	st.Clusters = append([]ClusterState(nil), e.state.Clusters...)
+	return st, true
+}

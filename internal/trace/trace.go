@@ -8,6 +8,7 @@ package trace
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strings"
 
@@ -24,6 +25,7 @@ type Recorder struct {
 	next    sim.Time
 
 	header []string
+	known  map[string]bool // task names that own header columns
 	rows   [][]float64
 }
 
@@ -31,8 +33,6 @@ type Recorder struct {
 // recorder only *reads* the thermal model; advancing it is the platform's
 // job (Attach registers the model via platform.AttachThermal, which is
 // idempotent — several recorders over one model never double-step it).
-// Attach it with Attach after tasks exist so the column set is complete;
-// tasks added later are ignored (their columns would be ragged).
 func New(p *platform.Platform, thermal *hw.ThermalModel, period sim.Time) *Recorder {
 	if period <= 0 {
 		period = 100 * sim.Millisecond
@@ -40,13 +40,19 @@ func New(p *platform.Platform, thermal *hw.ThermalModel, period sim.Time) *Recor
 	return &Recorder{p: p, thermal: thermal, period: period}
 }
 
-// Attach registers the recorder on the platform's engine and freezes the
-// column layout from the platform's current tasks and clusters.
+// Attach registers the recorder on the platform's engine and lays out the
+// columns from the platform's current tasks and clusters. A task added to
+// the platform *after* Attach grows the CSV explicitly: its column pair is
+// appended to the header on its first sample and every earlier row is
+// backfilled with NaN ("did not exist yet" — distinct from the 0 an exited
+// task reports), so the output is never silently ragged and never silently
+// missing a task.
 func (r *Recorder) Attach() {
 	if r.thermal != nil {
 		r.p.AttachThermal(r.thermal)
 	}
 	r.header = []string{"t_s", "chip_W"}
+	r.known = make(map[string]bool)
 	for _, cl := range r.p.Chip.Clusters {
 		r.header = append(r.header,
 			cl.Spec.Name+"_MHz", cl.Spec.Name+"_W", cl.Spec.Name+"_on")
@@ -60,9 +66,23 @@ func (r *Recorder) Attach() {
 	}
 	sort.Strings(names)
 	for _, n := range names {
-		r.header = append(r.header, n+"_hr_norm", n+"_core")
+		r.addTaskColumns(n)
 	}
 	r.p.Engine.AddHook(sim.TickFunc(r.tick))
+}
+
+// addTaskColumns appends the column pair for one task and NaN-backfills any
+// rows recorded before the task existed.
+func (r *Recorder) addTaskColumns(name string) {
+	if r.known[name] {
+		return
+	}
+	r.known[name] = true
+	r.header = append(r.header, name+"_hr_norm", name+"_core")
+	nan := math.NaN()
+	for i := range r.rows {
+		r.rows[i] = append(r.rows[i], nan, nan)
+	}
 }
 
 func (r *Recorder) tick(now sim.Time) {
@@ -90,9 +110,11 @@ func (r *Recorder) tick(now sim.Time) {
 			row = append(row, r.thermal.Temp(i))
 		}
 	}
-	// Tasks in the frozen (sorted-by-name) order of the header.
+	// Tasks in the header's column order: the Attach-time task set sorted by
+	// name, then late arrivals in order of first appearance.
 	byName := make(map[string][2]float64)
 	for _, t := range r.p.Tasks() {
+		r.addTaskColumns(t.Name)
 		byName[t.Name] = [2]float64{
 			t.HeartRate(now) / t.TargetHR(),
 			float64(r.p.CoreOf(t)),

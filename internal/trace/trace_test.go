@@ -133,6 +133,58 @@ func TestRecorderSamplingNoDrift(t *testing.T) {
 	}
 }
 
+// TestRecorderLateTaskBackfilledWithNaN is the regression test for the
+// late-task hole: a task added to the platform after Attach used to be
+// silently ignored (its columns would have been ragged). It must instead
+// get its own column pair, with every row recorded before its arrival
+// backfilled as NaN — distinguishable from the 0 an exited task reports.
+func TestRecorderLateTaskBackfilledWithNaN(t *testing.T) {
+	p, r := rig()
+	p.Run(sim.Second)
+	early := r.Rows()
+	if early == 0 {
+		t.Fatal("no rows before the late task")
+	}
+	p.AddTask(task.Spec{
+		Name: "gamma", Priority: 1, MinHR: 24, MaxHR: 30, Loop: true,
+		Phases: []task.Phase{{HBCostLittle: 10, SpeedupBig: 2}},
+	}, 4)
+	p.Run(sim.Second)
+
+	var sb strings.Builder
+	if err := r.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	header := strings.Split(lines[0], ",")
+	col := -1
+	for i, h := range header {
+		if h == "gamma_core" {
+			col = i
+		}
+	}
+	if col < 0 {
+		t.Fatalf("late task got no columns: %v", header)
+	}
+	for i, line := range lines[1:] {
+		cells := strings.Split(line, ",")
+		if len(cells) != len(header) {
+			t.Fatalf("row %d has %d cells, header has %d (ragged CSV)", i, len(cells), len(header))
+		}
+		if i < early && cells[col] != "NaN" {
+			t.Errorf("row %d (before gamma existed) gamma_core = %q, want NaN", i, cells[col])
+		}
+	}
+	lastCells := strings.Split(lines[len(lines)-1], ",")
+	if got := lastCells[col]; got != "5.0000" && got != "6.0000" {
+		// gamma landed on core 4 but LBT may move it within the LITTLE
+		// cluster (cores 2-4) — any real (non-NaN) core ID will do.
+		if got == "NaN" {
+			t.Errorf("last row still NaN for the live late task")
+		}
+	}
+}
+
 // TestTwoRecordersDoNotDoubleAdvanceThermal: thermal time belongs to the
 // platform. Attaching a second recorder over the same thermal model must
 // not make the die heat twice as fast.
