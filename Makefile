@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test check race fuzz golden bench bench-quick ci clean
+.PHONY: build vet test check race chaos fuzz golden bench bench-quick ci clean
 
 # Minutes of fuzzing per property target (see `make fuzz`).
 FUZZTIME ?= 30s
@@ -37,6 +37,12 @@ golden:
 race:
 	$(GO) test -race ./internal/core ./internal/platform ./internal/telemetry
 
+# Fault-injection suite under the race detector: randomized chaos schedules,
+# single-fault recovery acceptance, and the ≥16-cluster run that drives the
+# injector hooks from the parallel worker pool (see internal/fault).
+chaos:
+	$(GO) test -race -count=1 ./internal/fault
+
 # Full scalability sweep (tick throughput to 512 tasks, market rounds to
 # 256 clusters); persists BENCH_scale.json.
 bench:
@@ -46,7 +52,7 @@ bench:
 bench-quick:
 	$(GO) run ./cmd/bench -quick -out BENCH_scale.json
 
-ci: build vet race test check bench-quick
+ci: build vet race chaos test check bench-quick
 
 clean:
 	rm -f BENCH_scale.json

@@ -6,12 +6,14 @@
 //
 //	ppmsim [-set l1|...|h3] [-governor PPM|HPM|HL] [-tdp watts] [-dur seconds]
 //	       [-check] [-trace run.csv] [-events run.jsonl] [-http ADDR]
+//	       [-faults scenario.json]
 //
 // Example:
 //
 //	ppmsim -set m2 -governor PPM -tdp 4 -dur 60 -check
 //	ppmsim -set h2 -governor PPM -tdp 4 -events run.jsonl
 //	ppmsim -set h2 -governor PPM -tdp 4 -http 127.0.0.1:6060
+//	ppmsim -set m1 -governor PPM -tdp 4 -faults examples/faults/sensor-dropout.json
 package main
 
 import (
@@ -26,6 +28,7 @@ import (
 	"pricepower/internal/check"
 	"pricepower/internal/core"
 	"pricepower/internal/exp"
+	"pricepower/internal/fault"
 	"pricepower/internal/hw"
 	"pricepower/internal/metrics"
 	"pricepower/internal/platform"
@@ -45,6 +48,7 @@ func main() {
 	eventsFile := flag.String("events", "", "write the full telemetry event stream (all kinds) as JSONL to this file")
 	httpAddr := flag.String("http", "", "serve /metrics, /events, /state and /debug/pprof on this address; the server stays up after the run until interrupted")
 	checkRun := flag.Bool("check", false, "run under the runtime invariant checker; violations are listed and exit non-zero")
+	faultsFile := flag.String("faults", "", "inject the JSON fault scenario (internal/fault) into the run")
 	list := flag.Bool("list", false, "list workload sets and exit")
 	flag.Parse()
 
@@ -65,6 +69,22 @@ func main() {
 	if !ok {
 		fmt.Fprintf(os.Stderr, "ppmsim: unknown workload set %q (try -list)\n", *setName)
 		os.Exit(1)
+	}
+
+	var inj *fault.Injector
+	if *faultsFile != "" {
+		sc, err := fault.LoadScenario(*faultsFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ppmsim: %v\n", err)
+			os.Exit(1)
+		}
+		geo := platform.NewTC2().Chip
+		if err := sc.Validate(len(geo.Clusters), len(geo.Cores)); err != nil {
+			fmt.Fprintf(os.Stderr, "ppmsim: %s: %v\n", *faultsFile, err)
+			os.Exit(1)
+		}
+		inj = fault.NewInjector(sc)
+		fmt.Printf("faults: %s\n", inj)
 	}
 
 	// Telemetry wiring. The ring sink backs the live /events endpoint and
@@ -100,6 +120,20 @@ func main() {
 			em.SetKinds(telemetry.AllKinds)
 		}
 	}
+	if jsonl != nil {
+		// Surface a failed events file once, loudly: on stderr and — since
+		// the rest of the stream still flows to the other sinks — as one
+		// violation event in the live timeline. (The sink's sticky error
+		// drops the re-entrant delivery of that event to itself.)
+		sink, emitter := jsonl, em
+		sink.SetOnError(func(err error) {
+			fmt.Fprintf(os.Stderr, "ppmsim: events: %v\n", err)
+			ev := telemetry.E(telemetry.KindViolation)
+			ev.Name = "jsonl-sink"
+			ev.Detail = err.Error()
+			emitter.Emit(ev)
+		})
+	}
 	if *httpAddr != "" {
 		ln, err := net.Listen("tcp", *httpAddr)
 		if err != nil {
@@ -113,9 +147,14 @@ func main() {
 	var r exp.RunResult
 	var err error
 	if *traceFile != "" || *checkRun {
-		r, err = runCustom(*governor, set, *tdp, sim.FromSeconds(*dur), *traceFile, *checkRun, em)
+		r, err = runCustom(*governor, set, *tdp, sim.FromSeconds(*dur), *traceFile, *checkRun, em, inj)
 	} else {
-		r, err = exp.RunSetOpts(*governor, set, *tdp, sim.FromSeconds(*dur), exp.RunOptions{Telemetry: em})
+		opts := exp.RunOptions{Telemetry: em}
+		if inj != nil {
+			opts.Faults = inj
+			opts.MaxOverRounds = faultMaxOverRounds
+		}
+		r, err = exp.RunSetOpts(*governor, set, *tdp, sim.FromSeconds(*dur), opts)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ppmsim: %v\n", err)
@@ -134,6 +173,9 @@ func main() {
 	fmt.Printf("  task movements (cross-cluster):          %d (%d)\n", r.Migrations, r.CrossMigrations)
 	fmt.Printf("  V-F transitions (thermal cycling):       %d\n", r.Transitions)
 	fmt.Printf("  peak die temperature (RC model):         %5.1f °C\n", r.PeakTempC)
+	if inj != nil {
+		fmt.Printf("  fault windows activated:                 %d\n", inj.Activations())
+	}
 	if *traceFile != "" {
 		fmt.Printf("  trace written to %s\n", *traceFile)
 	}
@@ -155,10 +197,16 @@ func main() {
 	}
 }
 
+// faultMaxOverRounds relaxes the checker's tdp-settled streak tolerance
+// under fault injection: a refused down-step or a stuck sensor can
+// legitimately pin the smoothed power above the slack band for the length
+// of the fault window.
+const faultMaxOverRounds = 64
+
 // runCustom mirrors exp.RunSet with an optional CSV recorder, invariant
-// checker and/or telemetry emitter attached. With checking on, every
-// violation is listed on stderr and the run fails.
-func runCustom(governor string, set workload.Set, wtdp float64, dur sim.Time, file string, checked bool, em *telemetry.Emitter) (exp.RunResult, error) {
+// checker, telemetry emitter and/or fault injector attached. With checking
+// on, every violation is listed on stderr and the run fails.
+func runCustom(governor string, set workload.Set, wtdp float64, dur sim.Time, file string, checked bool, em *telemetry.Emitter, inj *fault.Injector) (exp.RunResult, error) {
 	specs, err := set.Specs(1)
 	if err != nil {
 		return exp.RunResult{}, err
@@ -171,6 +219,9 @@ func runCustom(governor string, set workload.Set, wtdp float64, dur sim.Time, fi
 	p.SetGovernor(g)
 	if em != nil {
 		p.AttachTelemetry(em)
+	}
+	if inj != nil {
+		p.AttachFaults(inj)
 	}
 	exp.PlaceOnLittle(p, specs)
 	pr := metrics.NewProbe(p, exp.Warmup)
@@ -189,7 +240,11 @@ func runCustom(governor string, set workload.Set, wtdp float64, dur sim.Time, fi
 		if pg, ok := g.(*ppm.Governor); ok {
 			market = pg.Market()
 		}
-		checker = check.New(check.Options{Market: market, Thermal: thermal, TDP: wtdp})
+		opt := check.Options{Market: market, Thermal: thermal, TDP: wtdp}
+		if inj != nil {
+			opt.MaxOverRounds = faultMaxOverRounds
+		}
+		checker = check.New(opt)
 		p.AttachChecker(checker)
 	}
 

@@ -48,8 +48,14 @@
 //	                   handed out at the last price discovery sum to the
 //	                   supply that discovery cleared against
 //	state-classified   the chip agent's state matches its smoothed power
-//	                   against the Wth/Wtdp boundaries
+//	                   against the effective Wth/Wtdp boundaries (the
+//	                   configured ones, tightened while sensor-degraded)
 //	allowance-floor    the global allowance respects the b_min·(n+1) floor
+//	offline-no-supply  a hot-unplugged core supplies no PUs and executes
+//	                   nothing (internal/fault's CoreUnplug)
+//	degraded-guard     sensor-degraded mode tightens the TDP guard band by
+//	                   exactly DegradedGuard and healthy mode runs on the
+//	                   configured boundaries
 //
 // Market-level invariants run once per market round (detected by watching
 // Market.Round() advance); platform-level invariants run every tick.
@@ -323,6 +329,16 @@ func (c *Checker) checkHardware(p *platform.Platform, now sim.Time) {
 		if u < -eps || u > 1+eps || math.IsNaN(u) {
 			c.report(now, "util-bounds", "core %d utilization %.6g outside [0,1]", core.ID, u)
 		}
+		// offline-no-supply: a hot-unplugged core supplies no PUs and
+		// executes nothing, whatever its cluster is doing.
+		if core.Offline {
+			if s := core.SupplyPU(); s != 0 {
+				c.report(now, "offline-no-supply", "core %d offline but supplies %.1f PU", core.ID, s)
+			}
+			if u > eps {
+				c.report(now, "offline-no-supply", "core %d offline but utilization %.6g > 0", core.ID, u)
+			}
+		}
 	}
 	for _, cl := range p.Chip.Clusters {
 		lvl := cl.Level()
@@ -501,19 +517,37 @@ func (c *Checker) CheckMarket(m *core.Market, now sim.Time) {
 	}
 
 	// state-classified: the chip agent's state matches its smoothed power.
+	// Judged against the *effective* boundaries — while the market runs
+	// degraded the guard band is tightened, and classifying against the
+	// configured Wth/Wtdp would flag every correctly-early throttle.
 	w := m.SmoothedPower()
+	effWth, effWtdp := m.EffectiveWth(), m.EffectiveWtdp()
 	want := core.Normal
 	if cfg.Wtdp > 0 {
 		switch {
-		case w >= cfg.Wtdp:
+		case w >= effWtdp:
 			want = core.Emergency
-		case w >= cfg.Wth:
+		case w >= effWth:
 			want = core.Threshold
 		}
 	}
 	if m.State() != want {
 		c.report(now, "state-classified", "state %v but smoothed power %.4f W classifies as %v (Wth %.2f, Wtdp %.2f)",
-			m.State(), w, want, cfg.Wth, cfg.Wtdp)
+			m.State(), w, want, effWth, effWtdp)
+	}
+
+	// degraded-guard: sensor-degraded mode must tighten the guard band,
+	// never widen it — and a healthy market must run on the configured
+	// boundaries exactly.
+	if cfg.Wtdp > 0 {
+		switch {
+		case m.Degraded() && effWtdp > cfg.Wtdp*cfg.DegradedGuard+1e-9:
+			c.report(now, "degraded-guard", "degraded but effective Wtdp %.4f W not tightened (Wtdp %.2f, guard %.2f)",
+				effWtdp, cfg.Wtdp, cfg.DegradedGuard)
+		case !m.Degraded() && (effWtdp != cfg.Wtdp || effWth != cfg.Wth):
+			c.report(now, "degraded-guard", "healthy but effective boundaries (%.4f, %.4f) ≠ configured (%.2f, %.2f)",
+				effWth, effWtdp, cfg.Wth, cfg.Wtdp)
+		}
 	}
 
 	// tdp-settled: after the settling window the smoothed power holds the

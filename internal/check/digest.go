@@ -128,8 +128,23 @@ type Trace struct {
 	// Digests holds one sample per recorded point (market round or
 	// platform sampling period).
 	Digests []uint64 `json:"-"`
+	// Rounds holds, per sample, the market round the digest was taken
+	// after (0 for non-market samples: platform grid points and arbitrary
+	// Record folds). Sample indices and market rounds are different axes —
+	// the first market sample is round 1, and interleaved platform samples
+	// shift every later index — so divergence localization reports both.
+	Rounds []int `json:"-"`
 	// Final folds the whole sequence into one word (order-sensitive).
 	Final uint64 `json:"-"`
+}
+
+// RoundAt reports the market round of sample i, or 0 when the sample is
+// not a market round (or the trace predates round tracking).
+func (t *Trace) RoundAt(i int) int {
+	if i < 0 || i >= len(t.Rounds) {
+		return 0
+	}
+	return t.Rounds[i]
 }
 
 // FinalHex renders the folded digest for golden fixtures.
@@ -183,8 +198,9 @@ func NewRecorder(name string, seed uint64, config string, opt RecorderOptions) *
 	}
 }
 
-func (r *Recorder) push(sample uint64) {
+func (r *Recorder) push(sample uint64, round int) {
 	r.trace.Digests = append(r.trace.Digests, sample)
+	r.trace.Rounds = append(r.trace.Rounds, round)
 	r.trace.Final = uint64(Digest(r.trace.Final).Uint64(sample))
 }
 
@@ -194,22 +210,22 @@ func (r *Recorder) CheckTick(p *platform.Platform, now sim.Time) {
 	if r.Market != nil {
 		if round := r.Market.Round(); round != r.lastRound {
 			r.lastRound = round
-			r.push(MarketDigest(r.Market))
+			r.push(MarketDigest(r.Market), round)
 		}
 	}
 	if r.SampleEvery > 0 && now >= r.nextAt {
 		r.nextAt = now + r.SampleEvery
-		r.push(PlatformDigest(p))
+		r.push(PlatformDigest(p), 0)
 	}
 }
 
 // RecordRound digests the market immediately — the manual hook for
 // platform-less harnesses (the Table 1–3 reproductions).
-func (r *Recorder) RecordRound(m *core.Market) { r.push(MarketDigest(m)) }
+func (r *Recorder) RecordRound(m *core.Market) { r.push(MarketDigest(m), m.Round()) }
 
 // Record folds an arbitrary precomputed sample (rendered tables, custom
 // serializations) into the trace.
-func (r *Recorder) Record(sample uint64) { r.push(sample) }
+func (r *Recorder) Record(sample uint64) { r.push(sample, 0) }
 
 // Trace returns the recorded trace (valid once the run completed).
 func (r *Recorder) Trace() *Trace { return &r.trace }
@@ -224,6 +240,14 @@ func Replay(golden *Trace, run func(*Recorder)) error {
 	got := rec.Trace()
 	if i, ok := golden.Diff(got); !ok {
 		if i < len(golden.Digests) && i < len(got.Digests) {
+			// Localize by market round, not just sample index: sample 0 is
+			// market round 1 (rounds count from 1, samples from 0), and
+			// interleaved platform samples shift every later index. The
+			// re-run's trace always carries rounds; old goldens may not.
+			if round := got.RoundAt(i); round > 0 {
+				return fmt.Errorf("check: replay of %q diverged at sample %d (market round %d): %016x != %016x",
+					golden.Name, i, round, got.Digests[i], golden.Digests[i])
+			}
 			return fmt.Errorf("check: replay of %q diverged at sample %d: %016x != %016x",
 				golden.Name, i, got.Digests[i], golden.Digests[i])
 		}

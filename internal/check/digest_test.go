@@ -131,6 +131,44 @@ func TestReplayMatchesAndLocalizes(t *testing.T) {
 	}
 }
 
+// Divergence localization must name the market round, not just the sample
+// index — they are different axes (rounds count from 1, samples from 0), so
+// a round-0 divergence used to read as "sample 0" and send the bisection
+// one round astray.
+func TestReplayLocalizesMarketRound(t *testing.T) {
+	golden := runRecordedMarket(20).Trace()
+	if got := golden.RoundAt(0); got != 1 {
+		t.Fatalf("first market sample records round %d, want 1", got)
+	}
+	err := check.Replay(golden, func(rec *check.Recorder) {
+		ctl := core.NewLadderControl([]float64{150, 300, 450}, []float64{1, 2, 3})
+		m := core.NewMarket(core.Config{InitialAllowance: 100}, []core.ClusterControl{ctl}, []int{2})
+		a := m.AddTask(1, 0)
+		b := m.AddTask(2, 1)
+		a.Demand, b.Demand = 120, 999 // diverges from the very first round
+		for i := 0; i < 20; i++ {
+			m.StepOnce()
+			a.Observed, b.Observed = a.Purchased(), b.Purchased()
+			rec.RecordRound(m)
+		}
+	})
+	if err == nil {
+		t.Fatal("perturbed replay accepted")
+	}
+	if !strings.Contains(err.Error(), "sample 0 (market round 1)") {
+		t.Errorf("round-0 divergence not localized to market round 1: %v", err)
+	}
+}
+
+// Arbitrary Record folds carry no market round and must not claim one.
+func TestReplayNonMarketSampleHasNoRound(t *testing.T) {
+	rec := check.NewRecorder("unit", 1, "raw", check.RecorderOptions{})
+	rec.Record(42)
+	if got := rec.Trace().RoundAt(0); got != 0 {
+		t.Errorf("raw sample reports market round %d, want 0", got)
+	}
+}
+
 func TestReplayLengthMismatch(t *testing.T) {
 	golden := runRecordedMarket(20).Trace()
 	err := check.Replay(golden, func(rec *check.Recorder) {

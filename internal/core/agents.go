@@ -71,7 +71,7 @@ const (
 // demand at all (finished or fully idle task) has nothing to buy: its bid
 // decays toward the floor — Eq. 1 alone would freeze it at its last value
 // (d−s = 0−0) and hold the price, and with it the V-F level, up forever.
-func (a *TaskAgent) reviseBid(price float64, cfg Config) int {
+func (a *TaskAgent) reviseBid(price float64, cfg *Config) int {
 	if a.Demand <= 0 {
 		a.bid /= 2
 		if a.bid < cfg.MinBid {
@@ -96,7 +96,7 @@ func (a *TaskAgent) reviseBid(price float64, cfg Config) int {
 // settleSavings updates m_t after bidding: unspent allowance is saved,
 // overspending draws savings down, and the balance is clamped to
 // [0, SavingsCap·a_t].
-func (a *TaskAgent) settleSavings(cfg Config) {
+func (a *TaskAgent) settleSavings(cfg *Config) {
 	a.savingsBasis = a.allowance
 	a.savings += a.allowance - a.bid
 	if a.savings < 0 {
@@ -188,8 +188,10 @@ func (c *CoreAgent) DistributedAllowance() float64 { return c.distributed }
 // runBids lets every task agent revise its bid against the price of the
 // previous round. Per-task bid events are emitted only when the caller's
 // emitter has the high-volume KindBid enabled (off by default — at Table 7
-// scale this loop runs for thousands of tasks per round).
-func (c *CoreAgent) runBids(cfg Config, em *telemetry.Emitter, cluster, round int) {
+// scale this loop runs for thousands of tasks per round). cfg is shared
+// read-only across the concurrent cluster phases — nothing down this chain
+// may write through it.
+func (c *CoreAgent) runBids(cfg *Config, em *telemetry.Emitter, cluster, round int) {
 	emitBids := em.Enabled(telemetry.KindBid)
 	for _, t := range c.Tasks {
 		prev := t.bid
@@ -255,7 +257,7 @@ func (c *CoreAgent) Oversupply(supply float64) float64 { return supply - c.Deman
 // atBidFloor reports whether every task agent on the core bids the minimum
 // — the deflation signal's saturation point: prices can no longer fall even
 // though nobody wants the supply.
-func (c *CoreAgent) atBidFloor(cfg Config) bool {
+func (c *CoreAgent) atBidFloor(cfg *Config) bool {
 	if len(c.Tasks) == 0 {
 		return false
 	}

@@ -105,7 +105,7 @@ func (v *ClusterAgent) DistributedAllowance() float64 { return v.distributed }
 
 // runBids runs the bid-revision step on every core unless the cluster is
 // settling a V-F change.
-func (v *ClusterAgent) runBids(cfg Config, round int) {
+func (v *ClusterAgent) runBids(cfg *Config, round int) {
 	if v.frozen {
 		return
 	}
@@ -148,7 +148,7 @@ func (v *ClusterAgent) discover(round int) {
 // emergency states deflation is unconditional: there the falling bids
 // express what the curbed allowances can afford, and supply must follow
 // them down to bring power inside the budget (Table 3's 600→500 step).
-func (v *ClusterAgent) controlPrice(cfg Config, state State, round int) bool {
+func (v *ClusterAgent) controlPrice(cfg *Config, state State, round int) bool {
 	cc := v.ConstrainedCore()
 	if cc == nil {
 		// Empty cluster: drift to the bottom of the ladder.

@@ -45,6 +45,30 @@ type Config struct {
 	// agent freezes the allowance so an overloaded system stabilizes near
 	// (but below) TDP (§3.2.3).
 	Wth float64
+
+	// Sensor validation / graceful degradation (DESIGN.md §9). Real power
+	// telemetry is noisy and intermittently missing; the chip agent
+	// validates each reading before classifying it and runs on the last
+	// trusted value — with a tightened guard band — while the sensor
+	// misbehaves.
+
+	// MaxSensorPowerW is the physically plausible ceiling for a chip power
+	// reading; anything above is rejected as a sensor fault. 0 disables the
+	// envelope check (the PPM governor sets it from the chip's worst-case
+	// power envelope).
+	MaxSensorPowerW float64
+	// SensorStaleRounds bounds how many consecutive rounds the last trusted
+	// reading substitutes for rejected ones (default 8); past the bound the
+	// raw reading is clamped into [0, MaxSensorPowerW] and used — stale
+	// data eventually lies worse than noisy data.
+	SensorStaleRounds int
+	// DegradedGuard scales the Wth/Wtdp boundaries while power readings are
+	// untrusted (default 0.85): the state machine throttles earlier when it
+	// cannot see clearly.
+	DegradedGuard float64
+	// DegradedHealthyRounds is how many consecutive trusted readings clear
+	// the degraded flag (default 3).
+	DegradedHealthyRounds int
 }
 
 // DefaultConfig returns the tunables used throughout the evaluation: δ=0.2
@@ -91,6 +115,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Wth <= 0 && c.Wtdp > 0 {
 		c.Wth = d.Wth
+	}
+	if c.SensorStaleRounds <= 0 {
+		c.SensorStaleRounds = 8
+	}
+	if c.DegradedGuard <= 0 || c.DegradedGuard > 1 {
+		c.DegradedGuard = 0.85
+	}
+	if c.DegradedHealthyRounds <= 0 {
+		c.DegradedHealthyRounds = 3
 	}
 	return c
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"pricepower/internal/telemetry"
 )
@@ -58,6 +59,19 @@ type Market struct {
 	parallel    bool
 	spawnFanout bool // benchmark baseline: legacy goroutine-per-cluster fan-out
 
+	// Sensor-health bookkeeping (graceful degradation, DESIGN.md §9). The
+	// chip agent validates each power reading before classification; while
+	// readings are untrusted it holds the last good value (bounded by
+	// SensorStaleRounds) and tightens the Wth/Wtdp boundaries by
+	// DegradedGuard. Clean runs never reject a reading, so digests and
+	// goldens are unchanged.
+	degraded       bool
+	lastGoodW      float64
+	lastGoodSeeded bool
+	staleRounds    int
+	healthyStreak  int
+	sensorRejects  uint64
+
 	// Telemetry (nil/inert when detached — see SetTelemetry).
 	tel         *telemetry.Emitter
 	roundsC     *telemetry.Counter
@@ -65,6 +79,7 @@ type Market struct {
 	throttleEmC *telemetry.Counter
 	clampFloorC *telemetry.Counter
 	clampCapC   *telemetry.Counter
+	rejectsC    *telemetry.Counter
 }
 
 // NewMarket builds a market over the given cluster controls; coresPer[i]
@@ -114,6 +129,35 @@ func (m *Market) SmoothedPower() float64 { return m.wAvg }
 
 // Round reports how many bid rounds have run.
 func (m *Market) Round() int { return m.round }
+
+// Degraded reports whether the chip agent currently distrusts its power
+// sensor (readings failing validation; guard band tightened).
+func (m *Market) Degraded() bool { return m.degraded }
+
+// SensorRejects reports how many power readings validation has rejected.
+func (m *Market) SensorRejects() uint64 { return m.sensorRejects }
+
+// LastGoodPower reports the last power reading that passed validation.
+func (m *Market) LastGoodPower() float64 { return m.lastGoodW }
+
+// EffectiveWtdp is the TDP boundary the state machine currently classifies
+// against: the configured Wtdp, tightened by DegradedGuard while power
+// readings are untrusted.
+func (m *Market) EffectiveWtdp() float64 {
+	if m.degraded {
+		return m.cfg.Wtdp * m.cfg.DegradedGuard
+	}
+	return m.cfg.Wtdp
+}
+
+// EffectiveWth is the threshold boundary currently in force (see
+// EffectiveWtdp).
+func (m *Market) EffectiveWth() float64 {
+	if m.degraded {
+		return m.cfg.Wth * m.cfg.DegradedGuard
+	}
+	return m.cfg.Wth
+}
 
 // Cluster returns cluster agent i.
 func (m *Market) Cluster(i int) *ClusterAgent { return m.Clusters[i] }
@@ -168,6 +212,21 @@ func (m *Market) MoveTask(a *TaskAgent, toCore int) {
 	dst.Tasks = append(dst.Tasks, a)
 }
 
+// RecoverCore resets the price state of the core agent with the given
+// global ID — the supply-agent recovery path after its core returns from a
+// transient hot-unplug: the stale price pair reflects a window in which the
+// core delivered nothing, so both price and base price are zeroed and the
+// next controlPrice re-establishes the base from a fresh discovery (the
+// same first-round-with-tasks path a booting cluster takes).
+func (m *Market) RecoverCore(id int) {
+	_, c := m.CoreByID(id)
+	if c == nil {
+		return
+	}
+	c.price, c.basePrice = 0, 0
+	c.supply, c.cleared = 0, 0
+}
+
 // TotalDemand reports D = Σ_v D_v (cluster demand is its constrained
 // core's).
 func (m *Market) TotalDemand() float64 {
@@ -198,19 +257,97 @@ func (m *Market) Power() float64 {
 
 // classify maps a power reading onto the state machine. Without a TDP
 // configured (Wtdp == 0) the chip stays in the normal state — the paper's
-// "no TDP constraint" configuration.
+// "no TDP constraint" configuration. The boundaries tighten by
+// DegradedGuard while the power sensor is untrusted (EffectiveWtdp).
 func (m *Market) classify(w float64) State {
 	if m.cfg.Wtdp <= 0 {
 		return Normal
 	}
 	switch {
-	case w >= m.cfg.Wtdp:
+	case w >= m.EffectiveWtdp():
 		return Emergency
-	case w >= m.cfg.Wth:
+	case w >= m.EffectiveWth():
 		return Threshold
 	default:
 		return Normal
 	}
+}
+
+// sensorJumpFactor bounds how far a single reading may sit above the EWMA
+// before validation rejects it: legitimate one-round power moves (a V-F
+// step, a cluster powering on) stay well inside ×6, injected spikes do
+// not. Only the upward band is enforced — power-gating a cluster can
+// legitimately collapse chip power within one round.
+const sensorJumpFactor = 6
+
+// validateSensor judges one raw chip-power reading (graceful degradation,
+// DESIGN.md §9) and returns the value the control loop should classify. A
+// reading is rejected when it is non-finite or negative, above the
+// physical envelope (MaxSensorPowerW), a dropout (0 W while tasks run and
+// the chip was just drawing power), or implausibly far above the EWMA.
+// Rejections hold the last trusted value for up to SensorStaleRounds and
+// set the degraded flag; DegradedHealthyRounds consecutive trusted
+// readings clear it. Clean runs take the healthy path on every round and
+// behave exactly as before.
+func (m *Market) validateSensor(w float64, tasks int) float64 {
+	bad := math.IsNaN(w) || math.IsInf(w, 0) || w < 0
+	if !bad && m.cfg.MaxSensorPowerW > 0 && w > m.cfg.MaxSensorPowerW {
+		bad = true
+	}
+	if !bad && w <= 0 && tasks > 0 && m.lastGoodSeeded && m.lastGoodW > 0 {
+		bad = true // dropout: an occupied chip cannot draw nothing
+	}
+	if !bad && m.wSeeded && m.wAvg > 0 && w > m.wAvg*sensorJumpFactor+1 {
+		bad = true // spike far outside anything the EWMA makes plausible
+	}
+	if !bad {
+		m.lastGoodW, m.lastGoodSeeded = w, true
+		m.staleRounds = 0
+		if m.degraded {
+			m.healthyStreak++
+			if m.healthyStreak >= m.cfg.DegradedHealthyRounds {
+				m.degraded = false
+				m.healthyStreak = 0
+				if m.tel.Enabled(telemetry.KindDegraded) {
+					ev := telemetry.E(telemetry.KindDegraded)
+					ev.Round = m.round
+					ev.Name = "exit"
+					ev.Value, ev.Prev = w, m.lastGoodW
+					m.tel.Emit(ev)
+				}
+			}
+		}
+		return w
+	}
+	m.sensorRejects++
+	m.rejectsC.Add(1)
+	m.healthyStreak = 0
+	m.staleRounds++
+	if !m.degraded {
+		m.degraded = true
+		if m.tel.Enabled(telemetry.KindDegraded) {
+			ev := telemetry.E(telemetry.KindDegraded)
+			ev.Round = m.round
+			ev.Name = "enter"
+			ev.Value, ev.Prev = w, m.lastGoodW
+			m.tel.Emit(ev)
+		}
+	}
+	if m.lastGoodSeeded && m.staleRounds <= m.cfg.SensorStaleRounds {
+		return m.lastGoodW
+	}
+	// Stale bound exceeded (or no trusted sample yet): clamp the raw
+	// reading into the physical envelope rather than flying blind on
+	// arbitrarily old data.
+	if math.IsNaN(w) || w < 0 {
+		w = 0
+	}
+	if m.cfg.MaxSensorPowerW > 0 && (w > m.cfg.MaxSensorPowerW || math.IsInf(w, 1)) {
+		w = m.cfg.MaxSensorPowerW
+	} else if math.IsInf(w, 1) {
+		w = m.lastGoodW
+	}
+	return w
 }
 
 // StepOnce runs one complete market round (§3.2): chip-agent allowance
@@ -221,7 +358,12 @@ func (m *Market) classify(w float64) State {
 func (m *Market) StepOnce() {
 	m.round++
 	m.roundsC.Add(1)
-	w := m.Power()
+	tasks := m.taskCount()
+	// Validate the raw sensor reading before anything trusts it; under an
+	// injected sensor fault the validated value is the held last-good (or
+	// envelope-clamped) substitute and the degraded flag tightens the
+	// boundaries below.
+	w := m.validateSensor(m.Power(), tasks)
 	// The TDP is a thermal constraint, so the state machine classifies a
 	// smoothed power reading: with discrete V-F rungs an overloaded system
 	// oscillates around the budget (§3.2.3), and classifying raw samples
@@ -270,9 +412,13 @@ func (m *Market) StepOnce() {
 	case Threshold:
 		// Allowance held: Δ = 0.
 	case Emergency:
-		m.allowance += m.allowance * (m.cfg.Wtdp - m.wAvg) / m.cfg.Wtdp
+		// Curb against the boundary actually in force: while degraded the
+		// tightened budget curbs harder, buying margin the chip agent
+		// cannot verify it has.
+		eff := m.EffectiveWtdp()
+		m.allowance += m.allowance * (eff - m.wAvg) / eff
 	}
-	if floor := m.cfg.MinBid * float64(m.taskCount()+1); m.allowance < floor {
+	if floor := m.cfg.MinBid * float64(tasks+1); m.allowance < floor {
 		m.allowance = floor
 	}
 
@@ -290,9 +436,9 @@ func (m *Market) StepOnce() {
 	// Bidding, price discovery, purchase, price control: cluster-local
 	// phases, concurrent across clusters in parallel mode.
 	m.forEachCluster(func(v *ClusterAgent) {
-		v.runBids(m.cfg, m.round)
+		v.runBids(&m.cfg, m.round)
 		v.discover(m.round)
-		v.controlPrice(m.cfg, m.state, m.round)
+		v.controlPrice(&m.cfg, m.state, m.round)
 	})
 
 	// Emergency backstop: the curbed allowances normally percolate into

@@ -37,6 +37,8 @@ func (m *Market) SetTelemetry(em *telemetry.Emitter) {
 		"Bid revisions clamped by Eq. 1 (floor: b_min, cap: allowance+savings).")
 	m.clampCapC = reg.Counter(`pricepower_bid_clamp_total{bound="cap"}`,
 		"Bid revisions clamped by Eq. 1 (floor: b_min, cap: allowance+savings).")
+	m.rejectsC = reg.Counter("pricepower_sensor_rejects_total",
+		"Chip power readings rejected by sensor validation (degraded mode).")
 	reg.GaugeFunc("pricepower_pool_busy_workers",
 		"Worker-pool goroutines currently running a cluster-phase job.",
 		func() float64 { return float64(PoolBusy()) })
@@ -71,6 +73,7 @@ func (m *Market) fillState(s *telemetry.State) {
 	s.Allowance = m.allowance
 	s.SmoothedW = m.wAvg
 	s.MarketState = m.state.String()
+	s.Degraded = m.degraded
 	for i, v := range m.Clusters {
 		c := s.Cluster(i)
 		c.ID = i

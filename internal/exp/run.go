@@ -110,6 +110,14 @@ type RunOptions struct {
 	// stream; the invariant checker, when also enabled, mirrors violations
 	// into the same stream.
 	Telemetry *telemetry.Emitter
+	// Faults, when set, is attached to the platform before the run starts
+	// so the whole run executes under the injected fault schedule
+	// (internal/fault).
+	Faults platform.FaultInjector
+	// MaxOverRounds overrides the checker's tdp-settled streak tolerance
+	// (fault windows legitimately pin the smoothed power above the band —
+	// a refused down-step has no physical recourse until the window ends).
+	MaxOverRounds int
 }
 
 // RunSet executes one workload set under one governor on a fresh TC2
@@ -144,6 +152,9 @@ func RunSpecs(governor, name string, specs []task.Spec, wtdp float64, dur sim.Ti
 	if opts.Telemetry != nil {
 		p.AttachTelemetry(opts.Telemetry)
 	}
+	if opts.Faults != nil {
+		p.AttachFaults(opts.Faults)
+	}
 	PlaceOnLittle(p, specs)
 	pr := metrics.NewProbe(p, Warmup)
 	pr.Attach()
@@ -156,7 +167,8 @@ func RunSpecs(governor, name string, specs []task.Spec, wtdp float64, dur sim.Ti
 	}
 	var checker *check.Checker
 	if opts.Check || CheckEnabled() {
-		checker = check.New(check.Options{Market: market, Thermal: thermal, TDP: wtdp})
+		checker = check.New(check.Options{Market: market, Thermal: thermal, TDP: wtdp,
+			MaxOverRounds: opts.MaxOverRounds})
 		p.AttachChecker(checker)
 	}
 	if opts.Recorder != nil {

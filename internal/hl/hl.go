@@ -112,7 +112,7 @@ func (g *Governor) Attach(p *platform.Platform) {
 
 // Tick implements platform.Governor.
 func (g *Governor) Tick(now sim.Time) {
-	if g.cfg.Wtdp > 0 && !g.bigOff && g.p.Power() > g.cfg.Wtdp {
+	if g.cfg.Wtdp > 0 && !g.bigOff && g.p.SensorPower() > g.cfg.Wtdp {
 		g.shutBigCluster()
 	}
 	if now >= g.nextMigrate {

@@ -230,7 +230,7 @@ func (g *Governor) controlClusters(now sim.Time, dt float64) {
 // capPower is the outer TDP loop: above budget, push the hungriest cluster
 // down a rung each period.
 func (g *Governor) capPower() {
-	if g.cfg.Wtdp <= 0 || g.p.Power() < g.cfg.Wtdp {
+	if g.cfg.Wtdp <= 0 || g.p.SensorPower() < g.cfg.Wtdp {
 		return
 	}
 	var worst *hw.Cluster
@@ -239,7 +239,7 @@ func (g *Governor) capPower() {
 		if !cl.On {
 			continue
 		}
-		if p := g.p.ClusterPower(i); p > worstP {
+		if p := g.p.SensorClusterPower(i); p > worstP {
 			worst, worstP = cl, p
 		}
 	}

@@ -11,15 +11,23 @@ type Core struct {
 	// Utilization is the fraction of the last tick the core spent executing
 	// task work, in [0,1]. The scheduler sets it; the power model reads it.
 	Utilization float64
+
+	// Offline marks a transiently hot-unplugged core (the kernel's CPU
+	// hotplug path, injected by internal/fault): the core supplies no PUs
+	// and executes nothing, while its cluster — and the other cores behind
+	// the shared regulator — keep running. Tasks still mapped to an offline
+	// core starve until the governor evacuates them.
+	Offline bool
 }
 
 // Type reports the core's micro-architecture.
 func (c *Core) Type() CoreType { return c.Cluster.Spec.Type }
 
 // SupplyPU reports the core's current supply in processing units
-// (== its cluster's frequency in MHz), or 0 if the cluster is off.
+// (== its cluster's frequency in MHz), or 0 if the cluster is off or the
+// core is hot-unplugged.
 func (c *Core) SupplyPU() float64 {
-	if !c.Cluster.On {
+	if !c.Cluster.On || c.Offline {
 		return 0
 	}
 	return float64(c.Cluster.CurLevel().FreqMHz)

@@ -56,6 +56,62 @@ type TelemetryAware interface {
 	AttachTelemetry(em *telemetry.Emitter)
 }
 
+// FaultInjector perturbs the signals governors read from (and the actions
+// they apply to) the hardware — the attach point for internal/fault. Same
+// contract as Checker and the telemetry emitter: with no injector attached
+// every hook site pays one nil check and the steady-state tick stays
+// allocation-free.
+//
+// BeginTick runs sequentially at the start of every platform tick; all
+// other methods may be called from the market's concurrent cluster phases
+// and therefore must be pure reads of injector state (the deterministic
+// injector derives its perturbations from a stateless hash of seed, target
+// and virtual time — never from a shared mutable RNG).
+type FaultInjector interface {
+	// BeginTick applies fault-window transitions (hot-unplug toggles,
+	// stuck-sensor captures) and emits fault telemetry.
+	BeginTick(p *Platform, now sim.Time)
+	// PowerReading perturbs one power-sensor sample; cluster is -1 for the
+	// chip-level sensor.
+	PowerReading(cluster int, w float64, now sim.Time) float64
+	// TempReading perturbs one thermal-sensor sample.
+	TempReading(cluster int, t float64, now sim.Time) float64
+	// DVFSOutcome decides the fate of a requested V-F transition on a
+	// cluster: refused outright, delayed by d, or (false, 0) applied now.
+	DVFSOutcome(cluster int, now sim.Time) (refused bool, delay sim.Time)
+	// MigrationCost perturbs one modeled migration cost.
+	MigrationCost(cost sim.Time, now sim.Time) sim.Time
+}
+
+// StepResult is the outcome of a V-F step request routed through the
+// platform (StepVF), distinguishing ladder ends from injected regulator
+// faults so governors can retry the latter with backoff.
+type StepResult int
+
+const (
+	// StepApplied: the level changed immediately.
+	StepApplied StepResult = iota
+	// StepDeferred: the request was accepted but the transition lands after
+	// an injected regulator latency; further requests on the cluster return
+	// StepBusy until it does.
+	StepDeferred
+	// StepAtLimit: the cluster already sits at the requested end of the
+	// ladder (the hw.Cluster.StepUp/StepDown false case).
+	StepAtLimit
+	// StepBusy: a deferred transition is still in flight.
+	StepBusy
+	// StepRefused: the injected regulator refused the transition.
+	StepRefused
+)
+
+// pendingStep is one in-flight deferred V-F transition (injected regulator
+// latency): the platform applies target when the virtual clock reaches due.
+type pendingStep struct {
+	active bool
+	target int
+	due    sim.Time
+}
+
 // taskState is the platform-side bookkeeping for one task.
 type taskState struct {
 	task   *task.Task
@@ -87,6 +143,11 @@ type Platform struct {
 
 	gov      Governor
 	checkers []Checker
+
+	// Fault injection (nil when detached; every hook site nil-checks).
+	faults       FaultInjector
+	dvfsPend     []pendingStep // per-cluster in-flight deferred transitions
+	dvfsRefusedC *telemetry.Counter
 
 	// Telemetry (nil when detached; every emission site nil-checks, so a
 	// detached run keeps the zero-allocation steady-state tick).
@@ -214,6 +275,110 @@ func (p *Platform) AttachThermal(m *hw.ThermalModel) {
 	p.thermals = append(p.thermals, m)
 }
 
+// AttachFaults plugs a fault injector into the platform: sensor readings
+// (SensorPower, SensorClusterPower, SensorTemp), V-F transitions routed
+// through StepVF, and migration costs are perturbed from then on, and the
+// injector's BeginTick runs at the start of every platform tick (before
+// scheduling, so hot-unplug edges take effect within the same tick).
+// Attaching nil detaches. Same zero-cost contract as AttachChecker: with no
+// injector the hook sites pay one nil check each and the steady-state tick
+// stays allocation-free.
+func (p *Platform) AttachFaults(fi FaultInjector) {
+	p.faults = fi
+	if fi != nil && p.dvfsPend == nil {
+		p.dvfsPend = make([]pendingStep, len(p.Chip.Clusters))
+	}
+	if fi != nil && p.tel != nil && p.dvfsRefusedC == nil {
+		if reg := p.tel.Registry(); reg != nil {
+			p.dvfsRefusedC = reg.Counter("pricepower_dvfs_refused_total",
+				"V-F transition requests refused by an injected regulator fault.")
+		}
+	}
+}
+
+// Faults returns the attached injector (nil when detached).
+func (p *Platform) Faults() FaultInjector { return p.faults }
+
+// CoreOnline reports whether a core is not transiently hot-unplugged.
+func (p *Platform) CoreOnline(core int) bool { return !p.Chip.Cores[core].Offline }
+
+// SensorPower reports the chip power as the governors' sensor sees it: the
+// physical sample of the last tick, routed through the fault injector when
+// one is attached. Measurement probes (internal/metrics) keep reading the
+// physical Power — experiments measure the machine, governors trust sensors.
+func (p *Platform) SensorPower() float64 {
+	w := p.lastPower
+	if p.faults != nil {
+		w = p.faults.PowerReading(-1, w, p.Engine.Now())
+	}
+	return w
+}
+
+// SensorClusterPower reports one cluster's power as its sensor sees it
+// (the reading PPM's market consumes for allowance distribution).
+func (p *Platform) SensorClusterPower(cluster int) float64 {
+	w := hw.ClusterPower(p.Chip.Clusters[cluster])
+	if p.faults != nil {
+		w = p.faults.PowerReading(cluster, w, p.Engine.Now())
+	}
+	return w
+}
+
+// SensorTemp reports one cluster's die temperature as its sensor sees it,
+// from the first attached thermal model; ok is false without one.
+func (p *Platform) SensorTemp(cluster int) (temp float64, ok bool) {
+	if len(p.thermals) == 0 {
+		return 0, false
+	}
+	t := p.thermals[0].Temp(cluster)
+	if p.faults != nil {
+		t = p.faults.TempReading(cluster, t, p.Engine.Now())
+	}
+	return t, true
+}
+
+// Thermals exposes the attached thermal models (read-only use).
+func (p *Platform) Thermals() []*hw.ThermalModel { return p.thermals }
+
+// StepVF requests a one-rung V-F transition on a cluster (dir > 0 steps up,
+// otherwise down), routed through the fault injector when one is attached.
+// Cluster agents run concurrently within a market round, so this only
+// touches the addressed cluster and its own pending-transition slot.
+func (p *Platform) StepVF(cluster, dir int) StepResult {
+	cl := p.Chip.Clusters[cluster]
+	if p.faults != nil {
+		if p.dvfsPend[cluster].active {
+			return StepBusy
+		}
+		refused, delay := p.faults.DVFSOutcome(cluster, p.Engine.Now())
+		if refused {
+			p.dvfsRefusedC.Add(1)
+			return StepRefused
+		}
+		if delay > 0 {
+			target := cl.Level() + 1
+			if dir <= 0 {
+				target = cl.Level() - 1
+			}
+			if target < 0 || target >= cl.NumLevels() {
+				return StepAtLimit
+			}
+			p.dvfsPend[cluster] = pendingStep{active: true, target: target, due: p.Engine.Now() + delay}
+			return StepDeferred
+		}
+	}
+	ok := false
+	if dir > 0 {
+		ok = cl.StepUp()
+	} else {
+		ok = cl.StepDown()
+	}
+	if ok {
+		return StepApplied
+	}
+	return StepAtLimit
+}
+
 // AddTask instantiates spec on the given core and returns the task. The
 // scheduler weight starts at the fair default (nice 0).
 func (p *Platform) AddTask(spec task.Spec, core int) *task.Task {
@@ -333,6 +498,9 @@ func (p *Platform) Migrate(t *task.Task, dstCore int) bool {
 	src := p.Chip.Cores[st.core]
 	dst := p.Chip.Cores[dstCore]
 	cost := hw.MigrationCost(src, dst)
+	if p.faults != nil {
+		cost = p.faults.MigrationCost(cost, p.Engine.Now())
+	}
 	p.queues[st.core].Remove(st.entity)
 	// The task belongs to the destination from the moment affinity is set —
 	// concurrent placement decisions must see it there, or several tasks
@@ -440,6 +608,21 @@ func (p *Platform) mustState(t *task.Task) *taskState {
 func (p *Platform) tick(now sim.Time) {
 	dt := p.Engine.Step()
 	seconds := dt.Seconds()
+
+	// 0. Fault injection: window transitions first (hot-unplug/replug take
+	// effect before this tick's scheduling), then any deferred V-F
+	// transition whose injected regulator latency has elapsed.
+	if p.faults != nil {
+		p.faults.BeginTick(p, now)
+		for i := range p.dvfsPend {
+			if pd := &p.dvfsPend[i]; pd.active && now >= pd.due {
+				pd.active = false
+				if cl := p.Chip.Clusters[i]; cl.On {
+					cl.SetLevel(pd.target)
+				}
+			}
+		}
+	}
 
 	// 1. Scheduling: deliver work per core. Delivered work lands in each
 	// task state's recv slot (consumed and reset in step 2) — no per-tick

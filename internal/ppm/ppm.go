@@ -13,6 +13,7 @@ import (
 	"math"
 
 	"pricepower/internal/core"
+	"pricepower/internal/fault"
 	"pricepower/internal/hw"
 	"pricepower/internal/lbt"
 	"pricepower/internal/platform"
@@ -143,6 +144,13 @@ type Governor struct {
 	round   int
 
 	balances, migrations int
+
+	// offline mirrors each core's hot-unplug state as of the previous bid
+	// round, so the governor sees the offline→online edge and runs the
+	// supply-agent price recovery (Market.RecoverCore). Only consulted when
+	// a fault injector is attached.
+	offline     []bool
+	evacuations int
 }
 
 // New builds a PPM governor with the given configuration.
@@ -177,10 +185,29 @@ func (g *Governor) Moves() (balances, migrations int) { return g.balances, g.mig
 // platform's clusters and registers agents for the existing tasks.
 func (g *Governor) Attach(p *platform.Platform) {
 	g.p = p
+	g.offline = make([]bool, len(p.Chip.Cores))
+	if g.cfg.Market.MaxSensorPowerW <= 0 {
+		// Physical envelope for sensor validation: no trustworthy reading
+		// can exceed every cluster running flat out (plus 5% margin).
+		var env float64
+		for _, cl := range p.Chip.Clusters {
+			env += hw.MaxClusterPower(cl)
+		}
+		g.cfg.Market.MaxSensorPowerW = env * 1.05
+	}
 	controls := make([]core.ClusterControl, len(p.Chip.Clusters))
 	cores := make([]int, len(p.Chip.Clusters))
 	for i, cl := range p.Chip.Clusters {
-		controls[i] = &clusterControl{cl: cl}
+		controls[i] = &clusterControl{cl: cl, p: p, retry: fault.Backoff{
+			// DVFS retry-with-backoff: first retry next round, growing to at
+			// most 8 rounds, jittered per cluster so refused clusters don't
+			// re-converge on the same round.
+			Base:   g.cfg.BidPeriod,
+			Max:    8 * g.cfg.BidPeriod,
+			Factor: 2,
+			Jitter: 0.5,
+			Seed:   uint64(i)*0x9e3779b97f4a7c15 + 0xdf5,
+		}}
 		cores[i] = cl.Spec.NumCores
 	}
 	g.market = core.NewMarket(g.cfg.Market, controls, cores)
@@ -222,6 +249,9 @@ func (g *Governor) Tick(now sim.Time) {
 	g.now = now
 	g.round++
 	g.syncTasks()
+	if g.p.Faults() != nil {
+		g.handleFaultRecovery()
+	}
 	g.observe(now)
 	g.market.StepOnce()
 	g.applyPurchases()
@@ -391,12 +421,105 @@ func (g *Governor) applyPurchases() {
 	}
 }
 
+// Evacuations reports how many tasks the governor has moved off
+// hot-unplugged cores.
+func (g *Governor) Evacuations() int { return g.evacuations }
+
+// handleFaultRecovery runs once per bid round while a fault injector is
+// attached. It evacuates tasks stranded on hot-unplugged cores (they starve
+// there: an offline core supplies no PUs) and, on the offline→online edge,
+// rebuilds the returned core's supply-agent price state
+// (Market.RecoverCore) so a stale pre-fault price does not distort the next
+// clearing.
+func (g *Governor) handleFaultRecovery() {
+	for i, c := range g.p.Chip.Cores {
+		if c.Offline {
+			g.evacuateCore(i)
+		} else if g.offline[i] {
+			g.market.RecoverCore(i)
+			if g.cfg.Trace != nil {
+				g.cfg.Trace("t=%v core %d replugged: supply-agent price state recovered", g.now, i)
+			}
+		}
+		g.offline[i] = c.Offline
+	}
+}
+
+// evacuateCore moves every task off an offline core to the least-loaded
+// online core, preferring the same cluster (no cross-type demand
+// translation). With nowhere to go (every other core offline) tasks stay
+// put and resume when the core replugs — degraded, but nothing is lost.
+func (g *Governor) evacuateCore(core int) {
+	tasks := g.p.TasksOnCore(core)
+	if len(tasks) == 0 {
+		return
+	}
+	wasCluster := g.p.Chip.Cores[core].Cluster
+	// TasksOnCore returns the live per-core slice; migrating mutates it, so
+	// iterate over a copy.
+	evac := append([]*task.Task(nil), tasks...)
+	for _, t := range evac {
+		dst := g.evacTarget(core)
+		if dst < 0 {
+			return
+		}
+		if !g.p.Migrate(t, dst) {
+			continue // frozen mid-migration; retry next round
+		}
+		if a := g.agents[t]; a != nil {
+			newType := g.p.Chip.Cores[dst].Cluster.Spec.Type
+			if newType != wasCluster.Spec.Type {
+				d := g.estimateDemandOnType(t, a.Demand, wasCluster.Spec.Type, newType)
+				g.lastDemand[t] = d
+				if w, ok := g.lbtDemand[t]; ok && a.Demand > 0 {
+					w.scale(d / a.Demand)
+				}
+				a.Demand = d
+				g.holdUntil[t] = g.now + task.DefaultHRMWindow
+			}
+			g.market.MoveTask(a, dst)
+		}
+		g.movedAt[t] = g.now
+		g.evacuations++
+		if g.cfg.Trace != nil {
+			g.cfg.Trace("t=%v evacuated task %s: core %d offline -> core %d", g.now, t.Name, core, dst)
+		}
+	}
+}
+
+// evacTarget picks the least-loaded online core other than `from`,
+// preferring from's own cluster; -1 if every other core is offline.
+func (g *Governor) evacTarget(from int) int {
+	best, bestLoad := -1, 0
+	consider := func(c *hw.Core) {
+		if c.ID == from || c.Offline {
+			return
+		}
+		if n := g.p.NumTasksOnCore(c.ID); best < 0 || n < bestLoad {
+			best, bestLoad = c.ID, n
+		}
+	}
+	for _, c := range g.p.Chip.Cores[from].Cluster.Cores {
+		consider(c)
+	}
+	if best >= 0 {
+		return best
+	}
+	for _, c := range g.p.Chip.Cores {
+		consider(c)
+	}
+	return best
+}
+
 // applyMove performs an approved LBT movement on both the market and the
 // platform.
 func (g *Governor) applyMove(mv *lbt.Move) {
 	t := g.byAgent[mv.Agent]
 	if t == nil {
 		return
+	}
+	if !g.p.CoreOnline(mv.ToCore) {
+		return // LBT planned onto a core that hot-unplugged this round
 	}
 	wasCluster := g.p.ClusterOf(t)
 	if !g.p.Migrate(t, mv.ToCore) {
@@ -500,9 +623,19 @@ func (g *Governor) estimateDemandOn(a *core.TaskAgent, cluster int) float64 {
 	return d * dTarget / dCur
 }
 
-// clusterControl adapts hw.Cluster to the market's ClusterControl.
+// clusterControl adapts hw.Cluster to the market's ClusterControl. V-F
+// requests go through Platform.StepVF so an attached fault injector can
+// refuse or defer them; refusals are retried with exponential backoff
+// (jittered per cluster) instead of hammering a failed regulator every
+// round. Each control only touches its own cluster and backoff state, so
+// the market's concurrent cluster phases stay race-free.
 type clusterControl struct {
-	cl *hw.Cluster
+	cl    *hw.Cluster
+	p     *platform.Platform
+	retry fault.Backoff
+
+	attempts  int
+	holdUntil sim.Time
 }
 
 func (c *clusterControl) SupplyPU() float64 { return c.cl.SupplyPU() }
@@ -515,11 +648,39 @@ func (c *clusterControl) SupplyAt(i int) float64 {
 	}
 	return float64(c.cl.Spec.Levels[i].FreqMHz)
 }
-func (c *clusterControl) Level() int                    { return c.cl.Level() }
-func (c *clusterControl) NumLevels() int                { return c.cl.NumLevels() }
-func (c *clusterControl) StepUp() bool                  { return c.cl.On && c.cl.StepUp() }
-func (c *clusterControl) StepDown() bool                { return c.cl.On && c.cl.StepDown() }
-func (c *clusterControl) Power() float64                { return hw.ClusterPower(c.cl) }
+func (c *clusterControl) Level() int     { return c.cl.Level() }
+func (c *clusterControl) NumLevels() int { return c.cl.NumLevels() }
+func (c *clusterControl) StepUp() bool   { return c.step(1) }
+func (c *clusterControl) StepDown() bool { return c.step(-1) }
+
+// step requests a one-rung transition. Deferred transitions count as
+// accepted (supply will move; the market's frozen-round settling already
+// tolerates actuation lag); refusals arm the backoff hold.
+func (c *clusterControl) step(dir int) bool {
+	if !c.cl.On {
+		return false
+	}
+	now := c.p.Engine.Now()
+	if c.attempts > 0 && now < c.holdUntil {
+		return false // backing off after a refused transition
+	}
+	switch c.p.StepVF(c.cl.ID, dir) {
+	case platform.StepApplied, platform.StepDeferred:
+		c.attempts = 0
+		return true
+	case platform.StepRefused:
+		c.holdUntil = now + c.retry.Next(c.attempts)
+		c.attempts++
+		return false
+	case platform.StepAtLimit:
+		c.attempts = 0
+		return false
+	default: // StepBusy: a deferred transition is still in flight
+		return false
+	}
+}
+
+func (c *clusterControl) Power() float64                { return c.p.SensorClusterPower(c.cl.ID) }
 func (c *clusterControl) PowerAt(level int) float64     { return hw.ClusterPowerAt(c.cl, level, 1) }
 func (c *clusterControl) IdlePowerAt(level int) float64 { return hw.ClusterPowerAt(c.cl, level, 0) }
 

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/json"
 	"io"
+	"log"
 	"sync"
 )
 
@@ -12,10 +13,11 @@ import (
 // mutex-guarded (emission may come from the worker pool); call Flush (or
 // Close) before reading the output.
 type JSONLSink struct {
-	mu  sync.Mutex
-	w   *bufio.Writer
-	c   io.Closer // non-nil when the sink owns the underlying writer
-	err error     // first write error; subsequent emits are dropped
+	mu    sync.Mutex
+	w     *bufio.Writer
+	c     io.Closer // non-nil when the sink owns the underlying writer
+	err   error     // first write error; subsequent emits are dropped
+	onErr func(error)
 }
 
 // NewJSONL builds a sink over w. The caller keeps ownership of w; use
@@ -30,35 +32,58 @@ func NewJSONLCloser(wc io.WriteCloser) *JSONLSink {
 	return &JSONLSink{w: bufio.NewWriter(wc), c: wc}
 }
 
-// Emit implements Sink. Encoding errors are sticky: the first one is
-// retained (see Err) and later events are discarded rather than
-// interleaving partial lines.
-func (s *JSONLSink) Emit(ev Event) {
+// SetOnError registers a callback invoked exactly once, outside the sink's
+// lock, when the first write/encode error makes the sink go dark. Without
+// one, the first failure is logged once via the standard logger — a sink
+// that silently swallows every event after an error turns a full disk into
+// a mysteriously truncated evidence trail. The callback may emit (e.g. a
+// "violation" event recording the loss) — this sink itself drops the
+// re-entrant event because its sticky error is already set.
+func (s *JSONLSink) SetOnError(fn func(error)) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.err != nil {
-		return
-	}
-	b, err := json.Marshal(ev)
-	if err != nil {
-		s.err = err
-		return
-	}
-	if _, err := s.w.Write(b); err != nil {
-		s.err = err
-		return
-	}
-	s.err = s.w.WriteByte('\n')
+	s.onErr = fn
+	s.mu.Unlock()
 }
 
-// Flush drains the buffer to the underlying writer.
+// Emit implements Sink. Encoding errors are sticky: the first one is
+// retained (see Err), surfaced once through the SetOnError hook (or the
+// standard logger), and later events are discarded rather than interleaving
+// partial lines.
+func (s *JSONLSink) Emit(ev Event) {
+	s.mu.Lock()
+	if s.err != nil {
+		s.mu.Unlock()
+		return
+	}
+	if b, err := json.Marshal(ev); err != nil {
+		s.err = err
+	} else if _, err := s.w.Write(b); err != nil {
+		s.err = err
+	} else {
+		s.err = s.w.WriteByte('\n')
+	}
+	err, notify := s.err, s.onErr
+	s.mu.Unlock()
+	if err == nil {
+		return
+	}
+	if notify != nil {
+		notify(err)
+	} else {
+		log.Printf("telemetry: jsonl sink disabled after write error: %v", err)
+	}
+}
+
+// Flush drains the buffer to the underlying writer. A flush failure is
+// sticky like a write failure: the sink goes dark and Err reports it.
 func (s *JSONLSink) Flush() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.err != nil {
 		return s.err
 	}
-	return s.w.Flush()
+	s.err = s.w.Flush()
+	return s.err
 }
 
 // Err reports the first write/encode error, if any.

@@ -76,6 +76,46 @@ type writerFullError struct{}
 
 func (*writerFullError) Error() string { return "writer full" }
 
+// A writer that fails mid-run (full disk) must be surfaced exactly once
+// through the SetOnError hook — not silently truncate the evidence trail —
+// and the hook may safely re-emit through the same emitter: the dark sink
+// drops the re-entrant event instead of recursing.
+//
+// bufio only reports write errors when its 4 KiB buffer flushes, so the
+// test pushes enough events to cross that boundary several times.
+func TestJSONLFailingWriterSurfacesOnce(t *testing.T) {
+	sink := NewJSONL(&errWriter{n: 512})
+	em := NewEmitter(nil, sink)
+	var calls int
+	var surfaced error
+	sink.SetOnError(func(err error) {
+		calls++
+		surfaced = err
+		ev := E(KindViolation)
+		ev.Name = "jsonl-sink"
+		ev.Detail = err.Error()
+		em.Emit(ev)
+	})
+	for i := 0; i < 300; i++ {
+		ev := E(KindViolation)
+		ev.Round = i
+		ev.Detail = "padding so a few dozen events overflow the bufio buffer"
+		em.Emit(ev)
+	}
+	if sink.Err() == nil {
+		t.Fatal("failing writer reported no error after 300 events")
+	}
+	if surfaced == nil || surfaced.Error() != sink.Err().Error() {
+		t.Errorf("hook surfaced %v, Err() holds %v", surfaced, sink.Err())
+	}
+	if calls != 1 {
+		t.Errorf("SetOnError hook called %d times, want exactly 1", calls)
+	}
+	if err := sink.Flush(); err == nil {
+		t.Error("Flush cleared the sticky error")
+	}
+}
+
 func TestJSONLStickyError(t *testing.T) {
 	sink := NewJSONL(&errWriter{n: 10})
 	big := E(KindViolation)

@@ -22,13 +22,17 @@ type ClusterState struct {
 // (platform tick, market round) fill it in place under a mutex with
 // reusable storage, readers copy it out.
 type State struct {
-	Time        sim.Time       `json:"t"`
-	Round       int            `json:"round"`
-	ChipPowerW  float64        `json:"chip_power_w"`
-	SmoothedW   float64        `json:"smoothed_power_w"`
-	Allowance   float64        `json:"allowance"`
-	MarketState string         `json:"market_state,omitempty"`
-	Clusters    []ClusterState `json:"clusters"`
+	Time        sim.Time `json:"t"`
+	Round       int      `json:"round"`
+	ChipPowerW  float64  `json:"chip_power_w"`
+	SmoothedW   float64  `json:"smoothed_power_w"`
+	Allowance   float64  `json:"allowance"`
+	MarketState string   `json:"market_state,omitempty"`
+	// Degraded is the market's sensor-health flag: true while power
+	// readings are failing validation and the TDP guard band is tightened
+	// (internal/fault scenarios; see DESIGN.md §9).
+	Degraded bool           `json:"degraded"`
+	Clusters []ClusterState `json:"clusters"`
 }
 
 // Cluster returns the snapshot row for cluster i, growing the slice as

@@ -78,6 +78,17 @@ const (
 	// KindViolation is an invariant-checker breach (internal/check).
 	// Name = the invariant identifier, Detail = the human-readable detail.
 	KindViolation
+	// KindFault marks one edge of a fault-injection window (internal/fault).
+	// Name = the fault type ("power-dropout", "dvfs-fail", …), Class =
+	// "start" or "end"; Cluster/Core identify the target (-1 = chip-wide),
+	// Value = the scenario magnitude. Low volume: two events per fault.
+	KindFault
+	// KindDegraded marks the market's sensor-health transitions. Name =
+	// "enter" (a power reading failed validation and the market tightened
+	// its TDP guard band) or "exit" (enough consecutive trusted readings);
+	// Value = the raw reading that triggered the edge, Prev = the last
+	// trusted reading the market held instead.
+	KindDegraded
 
 	numKinds
 )
@@ -92,6 +103,8 @@ var kindNames = [numKinds]string{
 	KindMigration: "migration",
 	KindPowerGate: "powergate",
 	KindViolation: "violation",
+	KindFault:     "fault",
+	KindDegraded:  "degraded",
 }
 
 // String names the kind (the value used in JSONL logs and metric labels).
