@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test check race chaos fuzz golden bench bench-quick ci clean
+.PHONY: build vet test check race chaos fuzz golden bench bench-quick fleet-smoke ci clean
 
 # Minutes of fuzzing per property target (see `make fuzz`).
 FUZZTIME ?= 30s
@@ -32,16 +32,24 @@ golden:
 
 # The concurrency-bearing packages under the race detector: the worker-pool
 # market rounds (internal/core), the platform tick/migration machinery
-# (internal/platform) and the telemetry sinks/registry fed from pool
-# workers (internal/telemetry).
+# (internal/platform), the telemetry sinks/registry fed from pool workers
+# (internal/telemetry) and the fleet's board goroutines behind the batch
+# barrier (internal/fleet).
 race:
-	$(GO) test -race ./internal/core ./internal/platform ./internal/telemetry
+	$(GO) test -race ./internal/core ./internal/platform ./internal/telemetry ./internal/fleet
 
 # Fault-injection suite under the race detector: randomized chaos schedules,
 # single-fault recovery acceptance, and the ≥16-cluster run that drives the
 # injector hooks from the parallel worker pool (see internal/fault).
 chaos:
 	$(GO) test -race -count=1 ./internal/fault
+
+# End-to-end fleet smoke: a race-instrumented fleetd with four boards (one
+# under the example sensor-dropout scenario), the canned burst trace
+# batch-submitted over HTTP, convergence to zero-loss asserted via /state,
+# real degradation via /metrics, and a graceful SIGTERM shutdown.
+fleet-smoke:
+	sh scripts/fleet-smoke.sh
 
 # Full scalability sweep (tick throughput to 512 tasks, market rounds to
 # 256 clusters); persists BENCH_scale.json.
@@ -52,7 +60,7 @@ bench:
 bench-quick:
 	$(GO) run ./cmd/bench -quick -out BENCH_scale.json
 
-ci: build vet race chaos test check bench-quick
+ci: build vet race chaos test check bench-quick fleet-smoke
 
 clean:
 	rm -f BENCH_scale.json

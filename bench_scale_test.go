@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"pricepower/internal/exp"
+	"pricepower/internal/fleet"
 	"pricepower/internal/platform"
 	"pricepower/internal/sim"
 	"pricepower/internal/task"
@@ -122,6 +123,94 @@ func BenchmarkMarketRoundTelemetryAttached(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.StepOnce()
+	}
+}
+
+// routingSnaps builds a synthetic fleet view for dispatcher benchmarks:
+// n boards with spread prices and load, a fraction of them inadmissible,
+// mirroring what the barrier publishes in a busy fleet.
+func routingSnaps(n int) []fleet.Snapshot {
+	rng := sim.NewRand(7)
+	snaps := make([]fleet.Snapshot, n)
+	for i := range snaps {
+		snaps[i] = fleet.Snapshot{
+			Board:       i,
+			Price:       rng.Range(0.05, 1.5),
+			DemandPU:    rng.Range(0, 4000),
+			MaxSupplyPU: 5000,
+		}
+		if i%7 == 6 {
+			snaps[i].Degraded = true
+		}
+	}
+	return snaps
+}
+
+// routingSpecs is the canonical 100-submission batch the dispatcher
+// benchmarks route per op (cmd/bench scales the result to cost per 1k
+// submissions for BENCH_scale.json).
+func routingSpecs() []task.Spec {
+	specs := make([]task.Spec, 100)
+	for i := range specs {
+		specs[i] = task.Spec{
+			Name: fmt.Sprintf("r%02d", i), Priority: 1 + i%3, MinHR: 24, MaxHR: 30,
+			Phases: []task.Phase{{HBCostLittle: (120 + 90*float64(i%7)) / 27, SpeedupBig: 2}},
+			Loop:   true,
+		}
+	}
+	return specs
+}
+
+// BenchmarkDispatcherRoute measures one dispatch round — routing a
+// 100-spec batch against the barrier snapshots — as the fleet grows. The
+// cost is per batch: demand projection makes each pick O(boards), so the
+// round is O(boards × batch).
+func BenchmarkDispatcherRoute(b *testing.B) {
+	specs := routingSpecs()
+	for _, n := range []int{4, 16, 64} {
+		b.Run(fmt.Sprintf("boards=%d", n), func(b *testing.B) {
+			snaps := routingSnaps(n)
+			d := fleet.NewDispatcher(fleet.DefaultHysteresis)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d.Route(snaps, specs)
+			}
+		})
+	}
+}
+
+// BenchmarkFleetStep measures one full batch barrier — dispatch, the
+// concurrent board advance (10 virtual ms each), and snapshot collection
+// — at growing fleet sizes with a fixed per-board task load.
+func BenchmarkFleetStep(b *testing.B) {
+	for _, n := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("boards=%d", n), func(b *testing.B) {
+			f, err := fleet.New(fleet.Config{Boards: n, Seed: 42, Batch: 10 * sim.Millisecond})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer f.Close()
+			for i := 0; i < 4*n; i++ {
+				f.Submit(task.Spec{
+					Name: fmt.Sprintf("t%02d", i), Priority: 1, MinHR: 24, MaxHR: 30,
+					Phases: []task.Phase{{HBCostLittle: 8, SpeedupBig: 2}},
+					Loop:   true,
+				})
+			}
+			for i := 0; i < 5; i++ { // let routing settle before timing
+				if err := f.Step(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := f.Step(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

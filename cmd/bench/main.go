@@ -16,6 +16,7 @@ import (
 	"testing"
 
 	"pricepower/internal/exp"
+	"pricepower/internal/fleet"
 	"pricepower/internal/platform"
 	"pricepower/internal/sim"
 	"pricepower/internal/task"
@@ -40,12 +41,22 @@ type overhead struct {
 	OverheadPct float64 `json:"overhead_pct"`
 }
 
+// routing records the dispatcher's cost of admitting work at one fleet
+// size: the measured per-batch (100 submissions) routing time scaled to
+// the cost of 1000 submissions.
+type routing struct {
+	Boards             int     `json:"boards"`
+	NsPerBatch         float64 `json:"ns_per_100_submissions"`
+	NsPer1kSubmissions float64 `json:"ns_per_1k_submissions"`
+}
+
 type report struct {
 	GoMaxProcs int        `json:"gomaxprocs"`
 	GoVersion  string     `json:"go_version"`
 	Quick      bool       `json:"quick"`
 	Results    []result   `json:"results"`
 	Telemetry  []overhead `json:"telemetry_overhead"`
+	Routing    []routing  `json:"dispatcher_routing"`
 }
 
 func main() {
@@ -55,9 +66,11 @@ func main() {
 
 	taskCounts := []int{8, 64, 512}
 	clusterCounts := []int{16, 64, 256}
+	boardCounts := []int{4, 16, 64}
 	if *quick {
 		taskCounts = []int{8, 64}
 		clusterCounts = []int{16, 64}
+		boardCounts = []int{4, 16}
 	}
 
 	rep := report{GoMaxProcs: runtime.GOMAXPROCS(0), GoVersion: runtime.Version(), Quick: *quick}
@@ -133,6 +146,25 @@ func main() {
 	})
 	compare(fmt.Sprintf("tick_throughput/tasks=%d", bigTasks), tickNs[bigTasks], attachedTick)
 
+	// Dispatcher routing cost: one 100-submission batch routed against a
+	// synthetic barrier at each fleet size, recorded per 1k submissions.
+	specs := routingSpecs()
+	for _, n := range boardCounts {
+		n := n
+		ns := add(fmt.Sprintf("dispatcher_route/boards=%d", n), func(b *testing.B) {
+			snaps := routingSnaps(n)
+			d := fleet.NewDispatcher(fleet.DefaultHysteresis)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d.Route(snaps, specs)
+			}
+		})
+		rep.Routing = append(rep.Routing, routing{
+			Boards: n, NsPerBatch: ns, NsPer1kSubmissions: ns * 10,
+		})
+	}
+
 	bigV := clusterCounts[len(clusterCounts)-1]
 	attachedRound := add(fmt.Sprintf("market_round_telemetry/V=%d/pool", bigV), func(b *testing.B) {
 		m, _ := exp.BuildScaledMarket(exp.Table7Config{V: bigV, C: 8, T: 8}, 42)
@@ -156,6 +188,38 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("wrote", *out)
+}
+
+// routingSnaps and routingSpecs mirror the bench_scale_test.go fixtures:
+// a synthetic barrier view with spread prices and some inadmissible
+// boards, and the canonical 100-submission batch.
+func routingSnaps(n int) []fleet.Snapshot {
+	rng := sim.NewRand(7)
+	snaps := make([]fleet.Snapshot, n)
+	for i := range snaps {
+		snaps[i] = fleet.Snapshot{
+			Board:       i,
+			Price:       rng.Range(0.05, 1.5),
+			DemandPU:    rng.Range(0, 4000),
+			MaxSupplyPU: 5000,
+		}
+		if i%7 == 6 {
+			snaps[i].Degraded = true
+		}
+	}
+	return snaps
+}
+
+func routingSpecs() []task.Spec {
+	specs := make([]task.Spec, 100)
+	for i := range specs {
+		specs[i] = task.Spec{
+			Name: fmt.Sprintf("r%02d", i), Priority: 1 + i%3, MinHR: 24, MaxHR: 30,
+			Phases: []task.Phase{{HBCostLittle: (120 + 90*float64(i%7)) / 27, SpeedupBig: 2}},
+			Loop:   true,
+		}
+	}
+	return specs
 }
 
 // loadedPlatform mirrors the bench_scale_test.go fixture: n mixed tasks

@@ -1,0 +1,221 @@
+// Command fleetd runs a fleet of simulated boards behind the price-routing
+// dispatcher and serves the admission-controlled submission API.
+//
+// Usage:
+//
+//	fleetd [-boards N] [-seed S] [-tdp watts] [-batch ms] [-hysteresis frac]
+//	       [-queue cap] [-drain-degraded N] [-faults board:file,...]
+//	       [-trace arrivals.json] [-http ADDR] [-pace ms] [-dur seconds]
+//
+// Without -http, fleetd plays the -trace arrivals for -dur virtual seconds
+// and prints a summary (the batch-mode smoke path). With -http it serves
+// POST /submit, GET /boards, GET /state and GET /metrics while a driver
+// goroutine advances the fleet one batch every -pace milliseconds of real
+// time, until SIGINT/SIGTERM; shutdown drains in-flight requests through
+// the shared internal/httpd path. Virtual time holds at zero until the
+// first task is submitted, so fault-scenario windows and deferred arrivals
+// measure from first load rather than from process start.
+//
+// Examples:
+//
+//	fleetd -boards 4 -trace examples/fleet/burst.json -dur 20
+//	fleetd -boards 8 -tdp 4 -http 127.0.0.1:7070 -faults 2:examples/faults/sensor-dropout.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"pricepower/internal/exp"
+	"pricepower/internal/fault"
+	"pricepower/internal/fleet"
+	"pricepower/internal/httpd"
+	"pricepower/internal/sim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "fleetd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	boards := flag.Int("boards", 4, "number of boards in the fleet")
+	seed := flag.Uint64("seed", 1, "fleet seed (per-board streams derive from it)")
+	tdp := flag.Float64("tdp", 0, "per-board TDP budget in W (0 = unconstrained)")
+	batchMS := flag.Float64("batch", 100, "virtual milliseconds per batch barrier")
+	hyst := flag.Float64("hysteresis", fleet.DefaultHysteresis, "dispatcher price-switch hysteresis fraction")
+	queue := flag.Int("queue", fleet.DefaultQueueCap, "admission queue capacity")
+	drainDegraded := flag.Int("drain-degraded", 0, "auto-drain a board after this many consecutive degraded barriers (0 = off)")
+	faults := flag.String("faults", "", "per-board fault scenarios as board:file[,board:file...]")
+	traceFile := flag.String("trace", "", "arrival trace JSON to submit at startup")
+	httpAddr := flag.String("http", "", "serve the submission API on this address until interrupted")
+	paceMS := flag.Float64("pace", 10, "real milliseconds per batch in -http mode (0 = flat out)")
+	dur := flag.Float64("dur", 10, "virtual seconds to run in batch mode (ignored with -http)")
+	flag.Parse()
+
+	cfg := fleet.Config{
+		Boards:             *boards,
+		Seed:               *seed,
+		TDP:                *tdp,
+		Batch:              sim.FromMillis(*batchMS),
+		Hysteresis:         *hyst,
+		QueueCap:           *queue,
+		DrainDegradedAfter: *drainDegraded,
+		Check:              exp.CheckEnabled(),
+	}
+	var err error
+	if cfg.Faults, err = parseFaults(*faults, *boards); err != nil {
+		return err
+	}
+
+	f, err := fleet.New(cfg)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	if *traceFile != "" {
+		specs, err := fleet.LoadTrace(*traceFile)
+		if err != nil {
+			return err
+		}
+		fleet.SubmitTimed(f, specs)
+		fmt.Printf("fleetd: trace %s: %d arrivals\n", *traceFile, len(specs))
+	}
+
+	if *httpAddr == "" {
+		return runBatch(f, cfg, *dur)
+	}
+	return serve(f, *httpAddr, *paceMS)
+}
+
+// runBatch advances the fleet as fast as the host allows for dur virtual
+// seconds and prints the summary — the smoke-testable path.
+func runBatch(f *fleet.Fleet, cfg fleet.Config, dur float64) error {
+	batches := int(sim.FromSeconds(dur) / cfg.Batch)
+	if batches < 1 {
+		batches = 1
+	}
+	for i := 0; i < batches; i++ {
+		if err := f.Step(); err != nil {
+			return err
+		}
+	}
+	printSummary(f)
+	return nil
+}
+
+// serve runs the API server and a paced driver until SIGINT/SIGTERM,
+// then drains both through the shared shutdown path.
+func serve(f *fleet.Fleet, addr string, paceMS float64) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("fleetd: listening on http://%s (/submit /boards /state /metrics)\n", ln.Addr())
+
+	ctx, stop := httpd.SignalContext()
+	defer stop()
+
+	driverDone := make(chan error, 1)
+	go func() {
+		idle := true
+		pace := time.Duration(paceMS * float64(time.Millisecond))
+		var tick <-chan time.Time
+		if pace > 0 {
+			t := time.NewTicker(pace)
+			defer t.Stop()
+			tick = t.C
+		}
+		for {
+			select {
+			case <-ctx.Done():
+				driverDone <- nil
+				return
+			default:
+			}
+			if tick != nil {
+				select {
+				case <-ctx.Done():
+					driverDone <- nil
+					return
+				case <-tick:
+				}
+			}
+			// Hold virtual time until the first submission: stepping an
+			// empty fleet would burn through fault-scenario windows (an
+			// idle board reads 0 W, so a sensor dropout on it is accepted
+			// as a good reading and becomes undetectable) and would shift
+			// deferred arrivals relative to them.
+			if idle {
+				if f.StateSnapshot().Counters.Submitted == 0 {
+					continue
+				}
+				idle = false
+			}
+			if err := f.Step(); err != nil {
+				driverDone <- err
+				return
+			}
+		}
+	}()
+
+	err = httpd.Serve(ctx, ln, fleet.NewMux(f), httpd.DefaultDrainTimeout)
+	if derr := <-driverDone; derr != nil && err == nil {
+		err = derr
+	}
+	printSummary(f)
+	return err
+}
+
+func printSummary(f *fleet.Fleet) {
+	st := f.StateSnapshot()
+	fmt.Printf("fleet: %d boards, %d batches, t=%.1f s\n",
+		len(st.Boards), st.Batch, st.Time.Seconds())
+	fmt.Printf("  submitted %d  routed %d  live %d  queued %d  shed %d  drained %d\n",
+		st.Counters.Submitted, st.Counters.Routed, st.Live(), st.QueueLen, st.Counters.Shed,
+		st.Counters.Drained)
+	for _, b := range st.Boards {
+		status := b.State
+		if b.Degraded {
+			status += " degraded"
+		}
+		if b.Draining {
+			status += " draining"
+		}
+		fmt.Printf("  board %d: %2d tasks  price %.5f  %5.2f W  %s\n",
+			b.Board, b.Tasks, b.Price, b.PowerW, status)
+	}
+}
+
+// parseFaults decodes -faults "board:file,board:file" into per-board
+// scenarios.
+func parseFaults(arg string, boards int) (map[int]fault.Scenario, error) {
+	if arg == "" {
+		return nil, nil
+	}
+	out := make(map[int]fault.Scenario)
+	for _, part := range strings.Split(arg, ",") {
+		id, path, ok := strings.Cut(part, ":")
+		if !ok {
+			return nil, fmt.Errorf("-faults %q: want board:file", part)
+		}
+		board, err := strconv.Atoi(id)
+		if err != nil || board < 0 || board >= boards {
+			return nil, fmt.Errorf("-faults %q: board index outside [0,%d)", part, boards)
+		}
+		sc, err := fault.LoadScenario(path)
+		if err != nil {
+			return nil, err
+		}
+		out[board] = sc
+	}
+	return out, nil
+}

@@ -20,15 +20,13 @@ import (
 	"flag"
 	"fmt"
 	"net"
-	"net/http"
 	"os"
-	"os/signal"
-	"syscall"
 
 	"pricepower/internal/check"
 	"pricepower/internal/core"
 	"pricepower/internal/exp"
 	"pricepower/internal/fault"
+	"pricepower/internal/httpd"
 	"pricepower/internal/hw"
 	"pricepower/internal/metrics"
 	"pricepower/internal/platform"
@@ -134,6 +132,7 @@ func main() {
 			emitter.Emit(ev)
 		})
 	}
+	var srv *httpd.Server
 	if *httpAddr != "" {
 		ln, err := net.Listen("tcp", *httpAddr)
 		if err != nil {
@@ -141,7 +140,8 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("telemetry: listening on http://%s (/metrics /events /state /debug/pprof)\n", ln.Addr())
-		go http.Serve(ln, telemetry.NewMux(em, ring))
+		srv = httpd.New(telemetry.NewMux(em, ring))
+		srv.Start(ln)
 	}
 
 	var r exp.RunResult
@@ -189,11 +189,17 @@ func main() {
 		}
 		fmt.Printf("  events written to %s\n", *eventsFile)
 	}
-	if *httpAddr != "" {
+	if srv != nil {
+		// Shared shutdown path (internal/httpd): serve until SIGINT or
+		// SIGTERM, then drain in-flight requests within the bounded
+		// timeout instead of dying mid-response.
 		fmt.Println("telemetry: run finished, serving until interrupted (Ctrl-C to exit)")
-		ch := make(chan os.Signal, 1)
-		signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
-		<-ch
+		ctx, stop := httpd.SignalContext()
+		defer stop()
+		if err := srv.WaitShutdown(ctx, httpd.DefaultDrainTimeout); err != nil {
+			fmt.Fprintf(os.Stderr, "ppmsim: http: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }
 

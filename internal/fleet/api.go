@@ -1,0 +1,105 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"pricepower/internal/telemetry"
+)
+
+// SubmitResult is the POST /submit response body.
+type SubmitResult struct {
+	// Accepted counts specs that entered the admission queue now.
+	Accepted int `json:"accepted"`
+	// Scheduled counts specs deferred to a future virtual time (at_ms).
+	Scheduled int `json:"scheduled"`
+	// Shed counts specs dropped against the queue cap.
+	Shed int `json:"shed"`
+}
+
+// NewMux serves the fleet's HTTP surface:
+//
+//	POST /submit   — batch task submission (ArrivalTrace JSON body)
+//	GET  /boards   — per-board snapshots incl. cluster detail
+//	GET  /state    — fleet-wide state (counters, queue, board summaries)
+//	GET  /metrics  — Prometheus text: fleet registry + every board's
+//	                 registry relabeled with board="<id>"
+func NewMux(f *Fleet) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/submit", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		tr, err := ParseTrace(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		specs, err := tr.Resolve()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		var res SubmitResult
+		base := f.Now()
+		for _, ts := range specs {
+			if ts.At <= 0 {
+				if f.Submit(ts.Spec) == 1 {
+					res.Accepted++
+				} else {
+					res.Shed++
+				}
+			} else {
+				f.SubmitAt(base+ts.At, ts.Spec)
+				res.Scheduled++
+			}
+		}
+		writeJSON(w, res)
+	})
+	mux.HandleFunc("/state", func(w http.ResponseWriter, r *http.Request) {
+		st := f.StateSnapshot()
+		// /state is the convergence poll target: keep it lean by
+		// dropping the per-cluster detail (that is /boards' job).
+		for i := range st.Boards {
+			st.Boards[i].Clusters = nil
+		}
+		writeJSON(w, st)
+	})
+	mux.HandleFunc("/boards", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, f.StateSnapshot().Boards)
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		if err := WriteMetrics(w, f); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	return mux
+}
+
+// WriteMetrics renders the merged Prometheus document: the fleet's own
+// registry as-is, plus every board's registry with a board label
+// injected into each series.
+func WriteMetrics(w http.ResponseWriter, f *Fleet) error {
+	merged := f.Registry().Export()
+	for _, b := range f.Boards() {
+		id := strconv.Itoa(b.ID)
+		for _, s := range b.Registry().Export() {
+			s.Name = telemetry.InjectLabel(s.Name, "board", id)
+			merged = append(merged, s)
+		}
+	}
+	return telemetry.WriteSeriesProm(w, merged)
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, fmt.Sprintf("encode: %v", err), http.StatusInternalServerError)
+	}
+}

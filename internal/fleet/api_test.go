@@ -1,0 +1,128 @@
+package fleet
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestAPISubmitStateBoardsMetrics(t *testing.T) {
+	f, err := New(Config{Boards: 2, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	srv := httptest.NewServer(NewMux(f))
+	defer srv.Close()
+
+	// Batch submission with one immediate and one deferred entry.
+	body := `{"tasks":[
+		{"bench":"swaptions","input":"n","count":3},
+		{"bench":"x264","input":"n","at_ms":500}
+	]}`
+	resp, err := http.Post(srv.URL+"/submit", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res SubmitResult
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if res.Accepted != 3 || res.Scheduled != 1 || res.Shed != 0 {
+		t.Fatalf("submit result = %+v, want 3 accepted / 1 scheduled", res)
+	}
+
+	// Drive the fleet manually (no background driver in this test).
+	for i := 0; i < 8; i++ {
+		if err := f.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var st State
+	getJSON(t, srv.URL+"/state", &st)
+	if st.Live() != 4 || st.QueueLen != 0 {
+		t.Errorf("state live=%d queue=%d, want 4/0", st.Live(), st.QueueLen)
+	}
+	if st.Counters.Submitted != 4 {
+		t.Errorf("submitted = %d, want 4 (deferred entry due by now)", st.Counters.Submitted)
+	}
+	for _, b := range st.Boards {
+		if b.Clusters != nil {
+			t.Error("/state carries cluster detail; that belongs to /boards")
+		}
+	}
+
+	var boards []Snapshot
+	getJSON(t, srv.URL+"/boards", &boards)
+	if len(boards) != 2 {
+		t.Fatalf("%d boards, want 2", len(boards))
+	}
+	for _, b := range boards {
+		if len(b.Clusters) == 0 {
+			t.Errorf("board %d snapshot has no cluster detail", b.Board)
+		}
+	}
+
+	resp, err = http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawB, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	raw := string(rawB)
+	for _, want := range []string{
+		"pricepower_fleet_submitted_total 4",
+		"pricepower_fleet_boards 2",
+		`pricepower_ticks_total{board="0"}`,
+		`pricepower_ticks_total{board="1"}`,
+		`pricepower_market_rounds_total{board="1"}`,
+	} {
+		if !strings.Contains(raw, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	// HELP/TYPE headers must appear once per base name despite two
+	// boards exporting the same series.
+	if n := strings.Count(raw, "# TYPE pricepower_ticks_total "); n != 1 {
+		t.Errorf("pricepower_ticks_total TYPE header appears %d times, want 1", n)
+	}
+
+	// Bad submissions are rejected with 400, not absorbed.
+	resp, err = http.Post(srv.URL+"/submit", "application/json",
+		strings.NewReader(`{"tasks":[{"bench":"nope","input":"n"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown benchmark → status %d, want 400", resp.StatusCode)
+	}
+	resp, err = http.Get(srv.URL + "/submit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /submit → status %d, want 405", resp.StatusCode)
+	}
+}
+
+func getJSON(t *testing.T, url string, v interface{}) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s → %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+}

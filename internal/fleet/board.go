@@ -1,0 +1,229 @@
+package fleet
+
+import (
+	"fmt"
+
+	"pricepower/internal/check"
+	"pricepower/internal/exp"
+	"pricepower/internal/fault"
+	"pricepower/internal/hw"
+	"pricepower/internal/platform"
+	"pricepower/internal/ppm"
+	"pricepower/internal/sim"
+	"pricepower/internal/task"
+	"pricepower/internal/telemetry"
+)
+
+// Board is one independent platform instance in the fleet: its own TC2
+// chip, PPM governor, telemetry registry, optional invariant checker,
+// replay recorder and fault injector, advanced by a dedicated goroutine
+// that only moves when the fleet sends it a batch command. All of a
+// board's mutable state is owned by that goroutine — the fleet talks to
+// it exclusively through the command channel, so a board needs no locks
+// and its virtual timeline is bit-reproducible.
+type Board struct {
+	ID   int
+	Seed uint64 // per-board seed, derived from the fleet seed
+
+	p   *platform.Platform
+	gov *ppm.Governor
+	em  *telemetry.Emitter
+	chk *check.Checker
+	rec *check.Recorder
+	inj *fault.Injector
+
+	little []int // LITTLE core IDs, placement targets
+	rr     int   // persistent round-robin cursor over little
+
+	draining bool
+
+	cmd  chan interface{}
+	done chan struct{}
+}
+
+type stepCmd struct {
+	add   []task.Spec // placed (in order) before the batch runs
+	d     sim.Time    // batch length of virtual time
+	batch int
+	reply chan stepReply
+}
+
+type stepReply struct {
+	snap Snapshot
+	err  error // first invariant violation, when checking is on
+}
+
+type drainCmd struct {
+	reply chan []task.Spec // the evacuated specs, in placement order
+}
+
+type resumeCmd struct{ reply chan struct{} }
+
+type stopCmd struct{ reply chan struct{} }
+
+// newBoard assembles one board from the fleet config. The governor is
+// always PPM: clearing prices are the routing signal, so a price-less
+// governor has no place in the fleet.
+func newBoard(id int, cfg Config) (*Board, error) {
+	b := &Board{
+		ID:   id,
+		Seed: sim.DeriveSeed(cfg.Seed, uint64(id)),
+		p:    platform.NewTC2(),
+		cmd:  make(chan interface{}),
+		done: make(chan struct{}),
+	}
+	pcfg := ppm.DefaultConfig(cfg.TDP)
+	pcfg.Profiles = exp.WorkloadProfiles
+	b.gov = ppm.New(pcfg)
+	b.p.SetGovernor(b.gov)
+
+	// Each board owns a registry so /metrics can expose per-board series
+	// under a board label. The emitter carries no sinks and a zero kind
+	// mask: the fleet wants the registry's direct counters (ticks, market
+	// rounds, throttles, sensor rejects), not N boards' event streams.
+	b.em = telemetry.NewEmitter(telemetry.NewRegistry())
+	b.em.SetKinds(0)
+	b.p.AttachTelemetry(b.em)
+
+	maxOver := 0
+	if sc, ok := cfg.Faults[id]; ok {
+		sc.Seed = b.Seed
+		geo := b.p.Chip
+		if err := sc.Validate(len(geo.Clusters), len(geo.Cores)); err != nil {
+			return nil, fmt.Errorf("fleet: board %d fault scenario: %w", id, err)
+		}
+		b.inj = fault.NewInjector(sc)
+		b.p.AttachFaults(b.inj)
+		maxOver = faultMaxOverRounds
+	}
+	if cfg.Check {
+		b.chk = check.New(check.Options{
+			Market:        b.gov.Market(),
+			TDP:           cfg.TDP,
+			MaxOverRounds: maxOver,
+		})
+		b.p.AttachChecker(b.chk)
+	}
+	if cfg.Record {
+		b.rec = check.NewRecorder(fmt.Sprintf("board-%d", id), b.Seed, "fleet",
+			check.RecorderOptions{Market: b.gov.Market()})
+		b.p.AttachChecker(b.rec)
+	}
+
+	for _, c := range b.p.Chip.Cores {
+		if c.Type() == hw.Little {
+			b.little = append(b.little, c.ID)
+		}
+	}
+	if len(b.little) == 0 {
+		b.little = []int{0}
+	}
+
+	go b.loop()
+	return b, nil
+}
+
+// faultMaxOverRounds relaxes the checker's tdp-settled tolerance on
+// fault-injected boards, matching ppmsim: a refused down-step or a stuck
+// sensor legitimately pins smoothed power above the slack band for the
+// length of the fault window.
+const faultMaxOverRounds = 64
+
+// loop is the board goroutine: it owns every mutable field of the board
+// and executes fleet commands in arrival order.
+func (b *Board) loop() {
+	defer close(b.done)
+	for raw := range b.cmd {
+		switch c := raw.(type) {
+		case stepCmd:
+			b.place(c.add)
+			b.p.Run(c.d)
+			r := stepReply{snap: b.snapshot(c.batch)}
+			if b.chk != nil {
+				r.err = b.chk.Err()
+			}
+			c.reply <- r
+		case drainCmd:
+			c.reply <- b.evacuate()
+		case resumeCmd:
+			b.draining = false
+			close(c.reply)
+		case stopCmd:
+			close(c.reply)
+			return
+		}
+	}
+}
+
+// place boots specs on the LITTLE cluster round-robin (the paper's Linux
+// boots tasks there; the governor migrates them as the market dictates).
+// The cursor persists across batches so successive arrivals spread.
+func (b *Board) place(specs []task.Spec) {
+	for _, s := range specs {
+		b.p.AddTask(s, b.little[b.rr%len(b.little)])
+		b.rr++
+	}
+}
+
+// evacuate removes every task from the board and returns their specs so
+// the fleet can resubmit them through the dispatcher. The board keeps
+// ticking while drained — an empty market settles to idle — and marks
+// itself draining so no new work is routed to it.
+func (b *Board) evacuate() []task.Spec {
+	b.draining = true
+	tasks := append([]*task.Task(nil), b.p.Tasks()...)
+	specs := make([]task.Spec, 0, len(tasks))
+	for _, t := range tasks {
+		specs = append(specs, t.Spec)
+		b.p.RemoveTask(t)
+	}
+	return specs
+}
+
+// snapshot publishes the board's routing signal at a batch barrier.
+func (b *Board) snapshot(batch int) Snapshot {
+	m := b.gov.Market()
+	var sum float64
+	var n int
+	for _, cl := range m.Clusters {
+		for _, c := range cl.Cores {
+			sum += c.Price()
+			n++
+		}
+	}
+	price := 0.0
+	if n > 0 {
+		price = sum / float64(n)
+	}
+	st := b.p.Stats()
+	return Snapshot{
+		Board:       b.ID,
+		Time:        b.p.Now(),
+		Batch:       batch,
+		Round:       m.Round(),
+		Price:       price,
+		PowerW:      st.PowerW,
+		SmoothedW:   m.SmoothedPower(),
+		WthW:        m.EffectiveWth(),
+		WtdpW:       m.EffectiveWtdp(),
+		State:       m.State().String(),
+		Degraded:    m.Degraded(),
+		Draining:    b.draining,
+		Tasks:       st.Tasks,
+		DemandPU:    m.TotalDemand(),
+		SupplyPU:    m.TotalSupply(),
+		MaxSupplyPU: b.p.MaxSupplyPU(),
+		Clusters:    st.Clusters,
+	}
+}
+
+// Registry exposes the board's telemetry registry for /metrics merging.
+func (b *Board) Registry() *telemetry.Registry { return b.em.Registry() }
+
+// Trace returns the board's replay trace (nil unless Config.Record).
+func (b *Board) Trace() *check.Trace {
+	if b.rec == nil {
+		return nil
+	}
+	return b.rec.Trace()
+}

@@ -1,0 +1,114 @@
+package fleet
+
+import (
+	"pricepower/internal/task"
+	"pricepower/internal/workload"
+)
+
+// defaultDemandPU is the routing-time demand estimate for a task with no
+// profile and no usable spec data — roughly a medium Table 5 benchmark on
+// a LITTLE core.
+const defaultDemandPU = 300
+
+// EstimateDemandPU predicts the LITTLE-cluster demand of a spec for
+// routing purposes: the off-line profile when the task is registry-known,
+// otherwise the spec's own first-phase cost at its target heart rate,
+// otherwise a flat default. Routing only needs relative magnitudes — the
+// market corrects any misprediction once the task lands.
+func EstimateDemandPU(spec task.Spec) float64 {
+	if p, ok := workload.ProfileFor(spec.Name); ok {
+		return p.DemandLittle
+	}
+	if hr := spec.TargetHR(); hr > 0 && len(spec.Phases) > 0 {
+		if d := spec.Phases[0].HBCostLittle * hr; d > 0 {
+			return d
+		}
+	}
+	return defaultDemandPU
+}
+
+// Dispatcher is the price router: cheapest-clearing-price-first over the
+// admissible boards, with hysteresis so small price wobbles between
+// near-equal boards do not ping-pong consecutive submissions. It is pure
+// state-machine code over Snapshot values — no locks, no board access —
+// so its decisions replay exactly from a recorded snapshot sequence.
+type Dispatcher struct {
+	// Hysteresis is the fractional price advantage a challenger board
+	// must show over the previously chosen board before the dispatcher
+	// switches away from it (default DefaultHysteresis via Fleet).
+	Hysteresis float64
+
+	last int // board chosen by the previous Pick; -1 before any pick
+}
+
+// NewDispatcher builds a dispatcher with the given hysteresis fraction.
+func NewDispatcher(hysteresis float64) *Dispatcher {
+	return &Dispatcher{Hysteresis: hysteresis, last: -1}
+}
+
+// Pick chooses the board for one task given the per-board snapshots:
+// the admissible board with the lowest clearing price, except that the
+// previously picked board is kept while it stays admissible and within
+// the hysteresis band of the cheapest. Returns -1 when no board is
+// admissible (the admission controller then queues or sheds).
+func (d *Dispatcher) Pick(snaps []Snapshot) int {
+	best := -1
+	for i := range snaps {
+		if !snaps[i].Admissible() {
+			continue
+		}
+		if best == -1 || snaps[i].Price < snaps[best].Price {
+			best = i
+		}
+	}
+	if best == -1 {
+		d.last = -1
+		return -1
+	}
+	// Sticky choice: keep the previous board unless the cheapest
+	// undercuts it by more than the hysteresis fraction.
+	if d.last >= 0 && d.last < len(snaps) && d.last != best && snaps[d.last].Admissible() {
+		if snaps[best].Price >= snaps[d.last].Price*(1-d.Hysteresis) {
+			best = d.last
+		}
+	}
+	d.last = best
+	return best
+}
+
+// Route assigns a batch of specs to boards. The snapshots are copied and
+// each assignment projects its estimated demand (and a proportional price
+// bump) onto the copy, so one large batch spreads across boards instead
+// of dog-piling the board that was cheapest at the barrier; real prices
+// take over at the next barrier. Specs that find no admissible board are
+// returned in arrival order as unrouted.
+func (d *Dispatcher) Route(snaps []Snapshot, specs []task.Spec) (assign map[int][]task.Spec, unrouted []task.Spec) {
+	if len(specs) == 0 {
+		return nil, nil
+	}
+	proj := make([]Snapshot, len(snaps))
+	copy(proj, snaps)
+	assign = make(map[int][]task.Spec)
+	for _, spec := range specs {
+		i := d.Pick(proj)
+		if i < 0 {
+			unrouted = append(unrouted, spec)
+			continue
+		}
+		assign[i] = append(assign[i], spec)
+		est := EstimateDemandPU(spec)
+		proj[i].Tasks++
+		proj[i].DemandPU += est
+		// Project the price response: clearing prices grow with
+		// demand over supply, so scale by the added load fraction.
+		// A board that has not discovered a price yet (idle market)
+		// gets a pseudo-price so repeated picks still spread.
+		frac := est / proj[i].MaxSupplyPU
+		if proj[i].Price > 0 {
+			proj[i].Price *= 1 + frac
+		} else {
+			proj[i].Price = frac
+		}
+	}
+	return assign, unrouted
+}

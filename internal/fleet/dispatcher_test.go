@@ -1,0 +1,134 @@
+package fleet
+
+import (
+	"testing"
+
+	"pricepower/internal/task"
+)
+
+func snap(board int, price float64) Snapshot {
+	return Snapshot{Board: board, Price: price, MaxSupplyPU: 5000}
+}
+
+func spec(name string) task.Spec {
+	return task.Spec{Name: name, Priority: 1, MinHR: 1, MaxHR: 2,
+		Phases: []task.Phase{{HBCostLittle: 100, SpeedupBig: 2}}, Loop: true}
+}
+
+func TestPickCheapestFirst(t *testing.T) {
+	d := NewDispatcher(0.10)
+	snaps := []Snapshot{snap(0, 0.5), snap(1, 0.2), snap(2, 0.9)}
+	if got := d.Pick(snaps); got != 1 {
+		t.Fatalf("Pick = %d, want 1 (cheapest)", got)
+	}
+}
+
+func TestPickSkipsInadmissible(t *testing.T) {
+	d := NewDispatcher(0.10)
+	snaps := []Snapshot{snap(0, 0.5), snap(1, 0.2), snap(2, 0.9)}
+	snaps[1].Degraded = true
+	if got := d.Pick(snaps); got != 0 {
+		t.Errorf("Pick = %d, want 0 (cheapest healthy)", got)
+	}
+	snaps[0].Draining = true
+	d = NewDispatcher(0.10)
+	if got := d.Pick(snaps); got != 2 {
+		t.Errorf("Pick = %d, want 2 (only admissible)", got)
+	}
+	snaps[2].SmoothedW, snaps[2].WthW = 4, 3.5 // above threshold boundary
+	d = NewDispatcher(0.10)
+	if got := d.Pick(snaps); got != -1 {
+		t.Errorf("Pick = %d, want -1 (nothing admissible)", got)
+	}
+}
+
+func TestPickHysteresisSticks(t *testing.T) {
+	d := NewDispatcher(0.10)
+	snaps := []Snapshot{snap(0, 0.50), snap(1, 0.60)}
+	if got := d.Pick(snaps); got != 0 {
+		t.Fatalf("first Pick = %d, want 0", got)
+	}
+	// Board 1 becomes cheaper, but within the 10% band: stay on 0.
+	snaps[0].Price, snaps[1].Price = 0.50, 0.47
+	if got := d.Pick(snaps); got != 0 {
+		t.Errorf("Pick = %d, want 0 (challenger within hysteresis band)", got)
+	}
+	// Board 1 undercuts past the band: switch.
+	snaps[1].Price = 0.40
+	if got := d.Pick(snaps); got != 1 {
+		t.Errorf("Pick = %d, want 1 (challenger beyond band)", got)
+	}
+}
+
+func TestPickLeavesStickyBoardWhenInadmissible(t *testing.T) {
+	d := NewDispatcher(0.10)
+	snaps := []Snapshot{snap(0, 0.1), snap(1, 0.2)}
+	if got := d.Pick(snaps); got != 0 {
+		t.Fatalf("first Pick = %d, want 0", got)
+	}
+	snaps[0].Degraded = true
+	if got := d.Pick(snaps); got != 1 {
+		t.Errorf("Pick = %d, want 1 (sticky board went degraded)", got)
+	}
+}
+
+func TestRouteSpreadsLargeBatch(t *testing.T) {
+	d := NewDispatcher(0.10)
+	snaps := []Snapshot{snap(0, 0), snap(1, 0), snap(2, 0)}
+	specs := make([]task.Spec, 9)
+	for i := range specs {
+		specs[i] = spec("swaptions_n")
+	}
+	assign, unrouted := d.Route(snaps, specs)
+	if len(unrouted) != 0 {
+		t.Fatalf("%d unrouted, want 0", len(unrouted))
+	}
+	total := 0
+	for i, got := range assign {
+		total += len(got)
+		if len(got) == 0 {
+			t.Errorf("board %d got no tasks: projection failed to spread", i)
+		}
+	}
+	if total != len(specs) {
+		t.Fatalf("routed %d, want %d", total, len(specs))
+	}
+	// The projected-demand bump must keep the split roughly even: no
+	// board absorbs the whole batch.
+	for i, got := range assign {
+		if len(got) > 5 {
+			t.Errorf("board %d got %d/9 tasks: dog-pile", i, len(got))
+		}
+	}
+}
+
+func TestRouteQueuesWhenSaturated(t *testing.T) {
+	d := NewDispatcher(0.10)
+	snaps := []Snapshot{snap(0, 0.1)}
+	snaps[0].SmoothedW, snaps[0].WthW = 4, 3.5
+	assign, unrouted := d.Route(snaps, []task.Spec{spec("a"), spec("b")})
+	if len(assign) != 0 || len(unrouted) != 2 {
+		t.Fatalf("assign=%v unrouted=%d, want all unrouted", assign, len(unrouted))
+	}
+	if unrouted[0].Name != "a" || unrouted[1].Name != "b" {
+		t.Error("unrouted order not preserved")
+	}
+}
+
+func TestEstimateDemandPU(t *testing.T) {
+	// Registry-known task → profiled demand.
+	known := spec("swaptions_n")
+	if est := EstimateDemandPU(known); est <= 0 {
+		t.Errorf("estimate for profiled task = %v, want > 0", est)
+	}
+	// Unknown task with usable spec → phase cost × target rate.
+	anon := task.Spec{Name: "anon", MinHR: 9, MaxHR: 11,
+		Phases: []task.Phase{{HBCostLittle: 30, SpeedupBig: 2}}}
+	if est := EstimateDemandPU(anon); est < 250 || est > 350 {
+		t.Errorf("estimate for anon task = %v, want ≈300 (30 PU·s × 10 hb/s)", est)
+	}
+	// Nothing to go on → flat default.
+	if est := EstimateDemandPU(task.Spec{Name: "x"}); est != defaultDemandPU {
+		t.Errorf("fallback estimate = %v, want %v", est, defaultDemandPU)
+	}
+}

@@ -1,0 +1,439 @@
+// Package fleet shards the price-theory power market across many boards:
+// N independent platform.Platform instances — each with its own PPM
+// governor, telemetry registry and optional checker/recorder/fault
+// injector — advanced in lockstep batches of virtual time behind a
+// price-routing dispatcher. Task submissions are admitted and routed
+// using each board's market-clearing price, degraded/throttle state and
+// headroom; when every board is saturated the admission controller
+// queues, and sheds only when the queue overflows.
+//
+// Determinism: routing decisions happen only at batch barriers, against
+// the snapshots the previous barrier published, and each board's
+// timeline is advanced by a goroutine that owns it exclusively — so a
+// fixed fleet seed plus a recorded arrival trace replays bit-identically
+// (per-board check.Replay digests match across runs) even though boards
+// execute concurrently within a batch.
+package fleet
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"pricepower/internal/check"
+	"pricepower/internal/fault"
+	"pricepower/internal/sim"
+	"pricepower/internal/task"
+	"pricepower/internal/telemetry"
+)
+
+// Defaults for Config fields left zero.
+const (
+	DefaultBatch      = 100 * sim.Millisecond
+	DefaultHysteresis = 0.10
+	DefaultQueueCap   = 1024
+)
+
+// Config assembles a fleet.
+type Config struct {
+	// Boards is the number of independent platform instances (≥ 1).
+	Boards int
+	// Seed is the fleet seed; each board derives its own stream from it
+	// via sim.DeriveSeed(Seed, boardID).
+	Seed uint64
+	// TDP is the per-board power budget in W (0 = unconstrained).
+	TDP float64
+	// Batch is the virtual time each board advances between barriers
+	// (default DefaultBatch). Routing happens only at barriers.
+	Batch sim.Time
+	// Hysteresis is the dispatcher's sticky-choice band (default
+	// DefaultHysteresis): a challenger board must undercut the previous
+	// choice by this fraction before submissions switch boards.
+	Hysteresis float64
+	// QueueCap bounds the admission queue (default DefaultQueueCap);
+	// submissions beyond it are shed.
+	QueueCap int
+	// DrainDegradedAfter auto-drains a board after this many consecutive
+	// degraded barriers, resubmitting its tasks through the dispatcher;
+	// the board resumes after the same number of healthy barriers.
+	// 0 disables auto-drain.
+	DrainDegradedAfter int
+	// Faults maps board ID → fault scenario injected into that board.
+	// The scenario's seed is overridden with the board's derived seed.
+	Faults map[int]fault.Scenario
+	// Record attaches a replay recorder to every board (check.Trace per
+	// board, exposed via Traces).
+	Record bool
+	// Check attaches the runtime invariant checker to every board; the
+	// first violation fails the batch in Step's error.
+	Check bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Boards <= 0 {
+		c.Boards = 1
+	}
+	if c.Batch <= 0 {
+		c.Batch = DefaultBatch
+	}
+	if c.Hysteresis <= 0 {
+		c.Hysteresis = DefaultHysteresis
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = DefaultQueueCap
+	}
+	return c
+}
+
+// Counters are the fleet's task-accounting totals. The zero-loss
+// invariant — enforced by tests and the fleet-smoke gate — is:
+//
+//	Submitted - Shed == live tasks on boards + Queued
+//
+// (Drained/Resubmitted track evacuations, which conserve tasks.)
+type Counters struct {
+	Submitted   uint64 `json:"submitted"`
+	Routed      uint64 `json:"routed"`
+	Queued      uint64 `json:"queued_total"` // submissions that waited at least one barrier
+	Shed        uint64 `json:"shed"`
+	Drained     uint64 `json:"drained"`
+	Resubmitted uint64 `json:"resubmitted"`
+}
+
+// State is the fleet-wide snapshot served at /state.
+type State struct {
+	Batch    int        `json:"batch"`
+	Time     sim.Time   `json:"t"`
+	Boards   []Snapshot `json:"boards"`
+	QueueLen int        `json:"queue_len"`
+	Counters Counters   `json:"counters"`
+}
+
+// Live sums the tasks currently placed on boards.
+func (s *State) Live() int {
+	n := 0
+	for i := range s.Boards {
+		n += s.Boards[i].Tasks
+	}
+	return n
+}
+
+// Fleet is the coordinator: it owns the admission queue, the dispatcher
+// and the batch barrier. Submit may be called concurrently with Step
+// (the HTTP frontend does); board state is only touched from Step.
+type Fleet struct {
+	cfg  Config
+	disp *Dispatcher
+
+	boards []*Board
+
+	mu       sync.Mutex
+	snaps    []Snapshot  // last barrier's snapshots
+	batch    int         // barriers completed
+	now      sim.Time    // fleet virtual time (batch * cfg.Batch)
+	pending  []task.Spec // FIFO admission queue
+	sched    []timedSpec // trace-scheduled future arrivals, sorted by at
+	counters Counters
+	degraded []int // consecutive degraded barriers per board
+	healthy  []int // consecutive healthy barriers per autodrained board
+	auto     []bool
+	closed   bool
+
+	reg *telemetry.Registry
+}
+
+type timedSpec struct {
+	at   sim.Time
+	seq  int // tie-break: submission order
+	spec task.Spec
+}
+
+// New builds the fleet and boots its boards (each on its own goroutine,
+// idle until the first Step).
+func New(cfg Config) (*Fleet, error) {
+	cfg = cfg.withDefaults()
+	f := &Fleet{
+		cfg:      cfg,
+		disp:     NewDispatcher(cfg.Hysteresis),
+		snaps:    make([]Snapshot, cfg.Boards),
+		degraded: make([]int, cfg.Boards),
+		healthy:  make([]int, cfg.Boards),
+		auto:     make([]bool, cfg.Boards),
+		reg:      telemetry.NewRegistry(),
+	}
+	for i := 0; i < cfg.Boards; i++ {
+		b, err := newBoard(i, cfg)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		f.boards = append(f.boards, b)
+		f.snaps[i] = Snapshot{Board: i, MaxSupplyPU: b.p.MaxSupplyPU()}
+	}
+	f.registerMetrics()
+	return f, nil
+}
+
+func (f *Fleet) registerMetrics() {
+	f.reg.GaugeFunc("pricepower_fleet_boards", "Boards in the fleet.",
+		func() float64 { return float64(len(f.boards)) })
+	f.reg.GaugeFunc("pricepower_fleet_queue_len", "Admission queue length.",
+		func() float64 { f.mu.Lock(); defer f.mu.Unlock(); return float64(len(f.pending)) })
+	f.reg.GaugeFunc("pricepower_fleet_batches", "Batch barriers completed.",
+		func() float64 { f.mu.Lock(); defer f.mu.Unlock(); return float64(f.batch) })
+	counter := func(name, help string, v *uint64) {
+		f.reg.GaugeFunc(name, help, func() float64 {
+			f.mu.Lock()
+			defer f.mu.Unlock()
+			return float64(*v)
+		})
+	}
+	counter("pricepower_fleet_submitted_total", "Task submissions accepted.", &f.counters.Submitted)
+	counter("pricepower_fleet_routed_total", "Tasks routed to a board.", &f.counters.Routed)
+	counter("pricepower_fleet_queued_total", "Submissions that waited in the admission queue.", &f.counters.Queued)
+	counter("pricepower_fleet_shed_total", "Submissions shed on queue overflow.", &f.counters.Shed)
+	counter("pricepower_fleet_drained_total", "Tasks evacuated from draining boards.", &f.counters.Drained)
+	counter("pricepower_fleet_resubmitted_total", "Evacuated tasks re-routed through the dispatcher.", &f.counters.Resubmitted)
+}
+
+// Registry is the fleet-level metrics registry (queue depth, routing
+// counters); board registries merge in via MergedMetrics.
+func (f *Fleet) Registry() *telemetry.Registry { return f.reg }
+
+// NumBoards reports the fleet size.
+func (f *Fleet) NumBoards() int { return len(f.boards) }
+
+// Now reports the fleet's virtual time (batches completed × batch size).
+func (f *Fleet) Now() sim.Time { f.mu.Lock(); defer f.mu.Unlock(); return f.now }
+
+// Submit enqueues specs for routing at the next batch barrier. It never
+// routes immediately — arrival order within a barrier is the submission
+// order, which keeps trace-driven runs reproducible. Returns the number
+// accepted (the rest were shed against the queue cap).
+func (f *Fleet) Submit(specs ...task.Spec) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.submitLocked(specs)
+}
+
+func (f *Fleet) submitLocked(specs []task.Spec) int {
+	accepted := 0
+	for _, s := range specs {
+		f.counters.Submitted++
+		if len(f.pending) >= f.cfg.QueueCap {
+			f.counters.Shed++
+			continue
+		}
+		f.pending = append(f.pending, s)
+		accepted++
+	}
+	return accepted
+}
+
+// SubmitAt schedules a spec for submission when the fleet's virtual time
+// reaches at — the trace-driven arrival path. Entries due at the same
+// barrier are submitted in (at, submission order).
+func (f *Fleet) SubmitAt(at sim.Time, spec task.Spec) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.sched = append(f.sched, timedSpec{at: at, seq: len(f.sched), spec: spec})
+	sort.SliceStable(f.sched, func(i, j int) bool { return f.sched[i].at < f.sched[j].at })
+}
+
+// Step advances every board by one batch of virtual time, concurrently,
+// and runs one dispatch round at the barrier:
+//
+//  1. due trace arrivals and the pending queue are routed (FIFO) against
+//     the snapshots of the previous barrier;
+//  2. each board receives its assignment and advances cfg.Batch;
+//  3. the barrier collects fresh snapshots, applies degraded auto-drain
+//     (evacuated specs re-enter the queue head), and publishes state.
+//
+// Step returns the first invariant violation when Config.Check is on.
+func (f *Fleet) Step() error {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return fmt.Errorf("fleet: stepped after Close")
+	}
+	// Release due trace arrivals into the queue, after any carried
+	// pending work (older submissions route first).
+	horizon := f.now + f.cfg.Batch
+	for len(f.sched) > 0 && f.sched[0].at < horizon {
+		f.submitLocked([]task.Spec{f.sched[0].spec})
+		f.sched = f.sched[1:]
+	}
+	snaps := append([]Snapshot(nil), f.snaps...)
+	specs := f.pending
+	f.pending = nil
+	batch := f.batch
+	f.mu.Unlock()
+
+	assign, unrouted := f.disp.Route(snaps, specs)
+
+	// Fan the batch out; each board advances on its own goroutine.
+	replies := make([]chan stepReply, len(f.boards))
+	for i, b := range f.boards {
+		replies[i] = make(chan stepReply, 1)
+		b.cmd <- stepCmd{add: assign[i], d: f.cfg.Batch, batch: batch + 1, reply: replies[i]}
+	}
+	var firstErr error
+	fresh := make([]Snapshot, len(f.boards))
+	for i := range f.boards {
+		r := <-replies[i]
+		fresh[i] = r.snap
+		if r.err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("fleet: board %d: %w", i, r.err)
+		}
+	}
+
+	resubmit := f.autoDrain(fresh)
+
+	f.mu.Lock()
+	for i := range fresh {
+		f.snaps[i] = fresh[i]
+	}
+	f.batch++
+	f.now += f.cfg.Batch
+	f.counters.Routed += uint64(len(specs) - len(unrouted))
+	f.counters.Queued += uint64(len(unrouted))
+	// Unrouted work re-enters at the queue head, before anything
+	// submitted during this batch, preserving FIFO admission. Drained
+	// tasks go in front of even those: they were already running.
+	requeue := append(resubmit, unrouted...)
+	if len(requeue) > 0 {
+		f.pending = append(requeue, f.pending...)
+		if over := len(f.pending) - f.cfg.QueueCap; over > 0 {
+			f.counters.Shed += uint64(over)
+			f.pending = f.pending[:f.cfg.QueueCap]
+		}
+	}
+	f.mu.Unlock()
+	return firstErr
+}
+
+// autoDrain tracks per-board degraded streaks against the fresh barrier
+// snapshots, evacuating boards that stayed degraded too long and
+// resuming them once they stay healthy equally long. Returns the specs
+// to resubmit through the dispatcher.
+func (f *Fleet) autoDrain(fresh []Snapshot) []task.Spec {
+	if f.cfg.DrainDegradedAfter <= 0 {
+		return nil
+	}
+	var resubmit []task.Spec
+	for i, s := range fresh {
+		if s.Degraded {
+			f.degraded[i]++
+			f.healthy[i] = 0
+		} else {
+			f.degraded[i] = 0
+			if f.auto[i] {
+				f.healthy[i]++
+			}
+		}
+		if !f.auto[i] && f.degraded[i] >= f.cfg.DrainDegradedAfter {
+			specs := f.drainBoard(i)
+			resubmit = append(resubmit, specs...)
+			f.auto[i] = true
+			fresh[i].Draining = true
+			fresh[i].Tasks = 0
+		}
+		if f.auto[i] && f.healthy[i] >= f.cfg.DrainDegradedAfter {
+			f.resumeBoard(i)
+			f.auto[i] = false
+			f.healthy[i] = 0
+			fresh[i].Draining = false
+		}
+	}
+	return resubmit
+}
+
+func (f *Fleet) drainBoard(i int) []task.Spec {
+	reply := make(chan []task.Spec, 1)
+	f.boards[i].cmd <- drainCmd{reply: reply}
+	specs := <-reply
+	f.mu.Lock()
+	f.counters.Drained += uint64(len(specs))
+	f.counters.Resubmitted += uint64(len(specs))
+	f.mu.Unlock()
+	return specs
+}
+
+func (f *Fleet) resumeBoard(i int) {
+	reply := make(chan struct{})
+	f.boards[i].cmd <- resumeCmd{reply: reply}
+	<-reply
+}
+
+// Drain evacuates board i immediately (manual hot-unplug path): its
+// tasks re-enter the admission queue head and the board stops receiving
+// work until Resume. Safe only between Steps (fleetd's driver serializes
+// them).
+func (f *Fleet) Drain(i int) error {
+	if i < 0 || i >= len(f.boards) {
+		return fmt.Errorf("fleet: no board %d", i)
+	}
+	specs := f.drainBoard(i)
+	f.mu.Lock()
+	f.snaps[i].Draining = true
+	f.snaps[i].Tasks = 0
+	f.pending = append(append([]task.Spec(nil), specs...), f.pending...)
+	f.mu.Unlock()
+	return nil
+}
+
+// Resume lets a manually drained board accept work again.
+func (f *Fleet) Resume(i int) error {
+	if i < 0 || i >= len(f.boards) {
+		return fmt.Errorf("fleet: no board %d", i)
+	}
+	f.resumeBoard(i)
+	f.mu.Lock()
+	f.snaps[i].Draining = false
+	f.mu.Unlock()
+	return nil
+}
+
+// StateSnapshot publishes the fleet-wide view of the last barrier.
+func (f *Fleet) StateSnapshot() State {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st := State{
+		Batch:    f.batch,
+		Time:     f.now,
+		Boards:   append([]Snapshot(nil), f.snaps...),
+		QueueLen: len(f.pending),
+		Counters: f.counters,
+	}
+	return st
+}
+
+// Traces returns the per-board replay traces (index = board ID); entries
+// are nil unless Config.Record was set.
+func (f *Fleet) Traces() []*check.Trace {
+	out := make([]*check.Trace, len(f.boards))
+	for i, b := range f.boards {
+		out[i] = b.Trace()
+	}
+	return out
+}
+
+// Boards exposes the boards (read-only use: registries, traces).
+func (f *Fleet) Boards() []*Board { return f.boards }
+
+// Close stops every board goroutine. The fleet is unusable afterwards.
+func (f *Fleet) Close() {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return
+	}
+	f.closed = true
+	f.mu.Unlock()
+	for _, b := range f.boards {
+		reply := make(chan struct{})
+		b.cmd <- stopCmd{reply: reply}
+		<-reply
+		<-b.done
+	}
+}

@@ -1,0 +1,266 @@
+package fleet
+
+import (
+	"strings"
+	"testing"
+
+	"pricepower/internal/fault"
+	"pricepower/internal/sim"
+	"pricepower/internal/task"
+)
+
+// lightSpec is a small CPU-bound looping task: low enough demand that
+// many fit on one board, so saturation in tests is deliberate, not
+// accidental.
+func lightSpec(name string) task.Spec {
+	return task.Spec{Name: name, Priority: 1, MinHR: 4, MaxHR: 6,
+		Phases: []task.Phase{{HBCostLittle: 20, SpeedupBig: 1.8}}, Loop: true}
+}
+
+// checkZeroLoss asserts the fleet's conservation invariant: every
+// accepted task is either live on a board, waiting in the queue, or was
+// explicitly shed — nothing vanishes.
+func checkZeroLoss(t *testing.T, f *Fleet) {
+	t.Helper()
+	st := f.StateSnapshot()
+	want := st.Counters.Submitted - st.Counters.Shed
+	got := uint64(st.Live() + st.QueueLen)
+	if got != want {
+		t.Fatalf("zero-loss violated: live %d + queued %d = %d, want submitted %d - shed %d = %d",
+			st.Live(), st.QueueLen, got, st.Counters.Submitted, st.Counters.Shed, want)
+	}
+}
+
+func TestFleetRoutesAndConserves(t *testing.T) {
+	f, err := New(Config{Boards: 3, Seed: 7, Check: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	for i := 0; i < 12; i++ {
+		f.Submit(lightSpec("t"))
+	}
+	checkZeroLoss(t, f)
+	for i := 0; i < 20; i++ {
+		if err := f.Step(); err != nil {
+			t.Fatal(err)
+		}
+		checkZeroLoss(t, f)
+	}
+	st := f.StateSnapshot()
+	if st.QueueLen != 0 {
+		t.Errorf("queue not drained: %d pending", st.QueueLen)
+	}
+	if st.Live() != 12 {
+		t.Errorf("live = %d, want 12", st.Live())
+	}
+	if st.Counters.Shed != 0 {
+		t.Errorf("shed = %d, want 0", st.Counters.Shed)
+	}
+	// Price routing with projection must spread 12 tasks over 3 equal
+	// boards rather than stacking one.
+	for _, b := range st.Boards {
+		if b.Tasks == 0 {
+			t.Errorf("board %d got no tasks", b.Board)
+		}
+	}
+	if st.Time != 20*f.cfg.Batch {
+		t.Errorf("fleet time = %v, want %v", st.Time, 20*f.cfg.Batch)
+	}
+}
+
+func TestFleetShedsOnQueueOverflow(t *testing.T) {
+	f, err := New(Config{Boards: 1, Seed: 1, QueueCap: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	accepted := f.Submit(lightSpec("a"), lightSpec("b"), lightSpec("c"),
+		lightSpec("d"), lightSpec("e"), lightSpec("f"))
+	if accepted != 4 {
+		t.Fatalf("accepted = %d, want 4 (queue cap)", accepted)
+	}
+	st := f.StateSnapshot()
+	if st.Counters.Shed != 2 || st.Counters.Submitted != 6 {
+		t.Fatalf("counters = %+v, want 6 submitted / 2 shed", st.Counters)
+	}
+	checkZeroLoss(t, f)
+}
+
+func TestFleetManualDrainResubmits(t *testing.T) {
+	f, err := New(Config{Boards: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	for i := 0; i < 6; i++ {
+		f.Submit(lightSpec("t"))
+	}
+	for i := 0; i < 5; i++ {
+		if err := f.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := f.StateSnapshot()
+	victim := 0
+	if st.Boards[1].Tasks > st.Boards[0].Tasks {
+		victim = 1
+	}
+	evacuated := st.Boards[victim].Tasks
+	if evacuated == 0 {
+		t.Fatal("victim board has no tasks; routing failed before the drain test started")
+	}
+
+	if err := f.Drain(victim); err != nil {
+		t.Fatal(err)
+	}
+	checkZeroLoss(t, f)
+	for i := 0; i < 10; i++ {
+		if err := f.Step(); err != nil {
+			t.Fatal(err)
+		}
+		checkZeroLoss(t, f)
+	}
+	st = f.StateSnapshot()
+	if got := st.Boards[victim].Tasks; got != 0 {
+		t.Errorf("drained board still runs %d tasks", got)
+	}
+	if !st.Boards[victim].Draining {
+		t.Error("drained board not marked draining")
+	}
+	other := 1 - victim
+	if st.Boards[other].Tasks != 6 {
+		t.Errorf("surviving board runs %d tasks, want all 6", st.Boards[other].Tasks)
+	}
+	if st.Counters.Drained != uint64(evacuated) || st.Counters.Resubmitted != uint64(evacuated) {
+		t.Errorf("drain counters = %+v, want %d drained/resubmitted", st.Counters, evacuated)
+	}
+
+	// Resume: the board takes new work again.
+	if err := f.Resume(victim); err != nil {
+		t.Fatal(err)
+	}
+	f.Submit(lightSpec("late"))
+	// The revived board is idle (price 0 after settling) so the next
+	// barrier routes the newcomer there or queues it at worst once.
+	for i := 0; i < 3; i++ {
+		if err := f.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st = f.StateSnapshot()
+	if st.Live() != 7 {
+		t.Errorf("live = %d after resume+submit, want 7", st.Live())
+	}
+	checkZeroLoss(t, f)
+}
+
+func TestFleetAutoDrainsDegradedBoard(t *testing.T) {
+	// Board 0's chip power sensor drops out from round 10 onward (the
+	// market must first seed a trusted reading for a dropout to be
+	// detectable); with DrainDegradedAfter set, the fleet must evacuate
+	// it and land its tasks on board 1 without losing any.
+	f, err := New(Config{
+		Boards:             2,
+		Seed:               11,
+		DrainDegradedAfter: 2,
+		Faults: map[int]fault.Scenario{
+			0: {Faults: []fault.Fault{{Type: fault.PowerDropout, Cluster: -1, Start: 10, Rounds: 1 << 20}}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	for i := 0; i < 6; i++ {
+		f.Submit(lightSpec("t"))
+	}
+	drained := false
+	for i := 0; i < 100 && !drained; i++ {
+		if err := f.Step(); err != nil {
+			t.Fatal(err)
+		}
+		checkZeroLoss(t, f)
+		st := f.StateSnapshot()
+		drained = st.Boards[0].Draining && st.Boards[0].Tasks == 0
+	}
+	if !drained {
+		t.Fatal("degraded board was never auto-drained")
+	}
+	// Let the resubmitted tasks route.
+	for i := 0; i < 5; i++ {
+		if err := f.Step(); err != nil {
+			t.Fatal(err)
+		}
+		checkZeroLoss(t, f)
+	}
+	st := f.StateSnapshot()
+	if st.Boards[1].Tasks != 6 {
+		t.Errorf("healthy board runs %d tasks, want all 6", st.Boards[1].Tasks)
+	}
+	if st.Counters.Shed != 0 {
+		t.Errorf("shed = %d during degradation, want 0", st.Counters.Shed)
+	}
+}
+
+func TestFleetScheduledArrivals(t *testing.T) {
+	f, err := New(Config{Boards: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	f.SubmitAt(250*sim.Millisecond, lightSpec("late"))
+	f.Submit(lightSpec("now"))
+	if err := f.Step(); err != nil { // t: 0 → 100ms; only "now" admitted
+		t.Fatal(err)
+	}
+	st := f.StateSnapshot()
+	if st.Counters.Submitted != 1 {
+		t.Fatalf("submitted = %d after first batch, want 1 (late not due)", st.Counters.Submitted)
+	}
+	for i := 0; i < 3; i++ { // through t=400ms: late becomes due
+		if err := f.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st = f.StateSnapshot()
+	if st.Counters.Submitted != 2 || st.Live() != 2 {
+		t.Errorf("submitted=%d live=%d, want 2/2 after due time", st.Counters.Submitted, st.Live())
+	}
+	checkZeroLoss(t, f)
+}
+
+func TestParseTraceRejectsGarbage(t *testing.T) {
+	if _, err := ParseTrace(strings.NewReader(`{"tasks":[{"bench":"nope","input":"n"}]}`)); err != nil {
+		t.Fatalf("ParseTrace rejected structurally valid trace: %v", err)
+	}
+	tr, _ := ParseTrace(strings.NewReader(`{"tasks":[{"bench":"nope","input":"n"}]}`))
+	if _, err := tr.Resolve(); err == nil {
+		t.Error("Resolve accepted unknown benchmark")
+	}
+	if _, err := ParseTrace(strings.NewReader(`{"tasks":[],"typo":1}`)); err == nil {
+		t.Error("ParseTrace accepted unknown field")
+	}
+	if _, err := ParseTrace(strings.NewReader(`{"tasks":[]}`)); err == nil {
+		t.Error("ParseTrace accepted empty trace")
+	}
+}
+
+func TestTraceResolvesCaseInsensitively(t *testing.T) {
+	tr := &ArrivalTrace{Tasks: []Arrival{{Bench: "SWAPTIONS", Input: "N", Count: 2}}}
+	specs, err := tr.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 2 {
+		t.Fatalf("resolved %d specs, want 2", len(specs))
+	}
+	if specs[0].Spec.Name != "swaptions_n" {
+		t.Errorf("task name = %q, want canonical swaptions_n", specs[0].Spec.Name)
+	}
+}

@@ -452,6 +452,76 @@ func removeState(list []*taskState, st *taskState) []*taskState {
 // mutate).
 func (p *Platform) Tasks() []*task.Task { return p.tasks }
 
+// NumTasks reports how many live tasks the platform hosts.
+func (p *Platform) NumTasks() int { return len(p.tasks) }
+
+// ClusterStats is one cluster's row in a platform stats snapshot.
+type ClusterStats struct {
+	ID      int     `json:"id"`
+	Name    string  `json:"name"`
+	Level   int     `json:"level"`
+	FreqMHz float64 `json:"freq_mhz"`
+	On      bool    `json:"on"`
+	PowerW  float64 `json:"power_w"`
+	Tasks   int     `json:"tasks"`
+}
+
+// Stats is a self-contained snapshot of the platform's externally
+// interesting state — what a fleet router (or any out-of-process observer)
+// needs to judge a board without reaching into live simulation structures.
+type Stats struct {
+	Now        sim.Time       `json:"t"`
+	PowerW     float64        `json:"power_w"`
+	EnergyJ    float64        `json:"energy_j"`
+	Tasks      int            `json:"tasks"`
+	Migrations int            `json:"migrations"`
+	CrossMigs  int            `json:"cross_migrations"`
+	Clusters   []ClusterStats `json:"clusters"`
+}
+
+// Stats snapshots the platform. It must be called from the simulation's
+// goroutine (between ticks); the returned value is then safe to hand to
+// other goroutines — it shares no storage with the platform.
+func (p *Platform) Stats() Stats {
+	s := Stats{
+		Now:        p.Engine.Now(),
+		PowerW:     p.lastPower,
+		EnergyJ:    p.meter.Joules(),
+		Tasks:      len(p.tasks),
+		Migrations: p.migrations,
+		CrossMigs:  p.crossMigrations,
+		Clusters:   make([]ClusterStats, len(p.Chip.Clusters)),
+	}
+	for i, cl := range p.Chip.Clusters {
+		n := 0
+		for _, c := range cl.Cores {
+			n += len(p.byCore[c.ID])
+		}
+		s.Clusters[i] = ClusterStats{
+			ID:      cl.ID,
+			Name:    cl.Spec.Name,
+			Level:   cl.Level(),
+			FreqMHz: float64(cl.CurLevel().FreqMHz),
+			On:      cl.On,
+			PowerW:  hw.ClusterPower(cl),
+			Tasks:   n,
+		}
+	}
+	return s
+}
+
+// MaxSupplyPU reports the chip's aggregate supply ceiling: every cluster at
+// its top V-F level, all cores online — the capacity bound fleet admission
+// judges demand against.
+func (p *Platform) MaxSupplyPU() float64 {
+	var total float64
+	for _, cl := range p.Chip.Clusters {
+		top := cl.Spec.Levels[len(cl.Spec.Levels)-1]
+		total += float64(top.FreqMHz) * float64(len(cl.Cores))
+	}
+	return total
+}
+
 // CoreOf reports which core a task is currently mapped to.
 func (p *Platform) CoreOf(t *task.Task) int { return p.mustState(t).core }
 

@@ -417,3 +417,62 @@ func TestMigrationEmitsTelemetryEvents(t *testing.T) {
 		}
 	}
 }
+
+// TestStatsSnapshot pins the router-facing snapshot: it must agree with the
+// live accessors, carry every cluster, and share no storage with the
+// platform (mutating the snapshot must not disturb a later one).
+func TestStatsSnapshot(t *testing.T) {
+	p := NewTC2()
+	p.AddTask(cpuBoundSpec("a", 400), 0)
+	p.AddTask(cpuBoundSpec("b", 400), 3)
+	p.Run(200 * sim.Millisecond)
+
+	s := p.Stats()
+	if s.Now != p.Now() || s.PowerW != p.Power() || s.Tasks != p.NumTasks() {
+		t.Errorf("stats disagree with live accessors: %+v", s)
+	}
+	if s.Tasks != 2 || p.NumTasks() != 2 {
+		t.Errorf("NumTasks = %d, want 2", s.Tasks)
+	}
+	if s.EnergyJ <= 0 {
+		t.Errorf("energy not accumulated: %v", s.EnergyJ)
+	}
+	if len(s.Clusters) != len(p.Chip.Clusters) {
+		t.Fatalf("stats carry %d clusters, want %d", len(s.Clusters), len(p.Chip.Clusters))
+	}
+	total := 0
+	for i, cs := range s.Clusters {
+		if cs.ID != i || cs.Name == "" || cs.FreqMHz <= 0 {
+			t.Errorf("cluster row %d not filled: %+v", i, cs)
+		}
+		total += cs.Tasks
+	}
+	if total != 2 {
+		t.Errorf("per-cluster task counts sum to %d, want 2", total)
+	}
+	s.Clusters[0].Tasks = 99
+	if p.Stats().Clusters[0].Tasks == 99 {
+		t.Error("Stats shares cluster storage with a prior snapshot")
+	}
+}
+
+// TestMaxSupplyPU checks the capacity ceiling against the TC2 geometry:
+// 2 big cores at 1200 MHz + 3 LITTLE cores at 1000 MHz.
+func TestMaxSupplyPU(t *testing.T) {
+	p := NewTC2()
+	var want float64
+	for _, cl := range p.Chip.Clusters {
+		top := cl.Spec.Levels[len(cl.Spec.Levels)-1]
+		want += float64(top.FreqMHz) * float64(len(cl.Cores))
+	}
+	if got := p.MaxSupplyPU(); got != want || got <= 0 {
+		t.Errorf("MaxSupplyPU = %v, want %v", got, want)
+	}
+	// The ceiling is static: stepping clusters down must not change it.
+	for _, cl := range p.Chip.Clusters {
+		cl.StepDown()
+	}
+	if got := p.MaxSupplyPU(); got != want {
+		t.Errorf("MaxSupplyPU after down-steps = %v, want %v", got, want)
+	}
+}

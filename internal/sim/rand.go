@@ -45,3 +45,16 @@ func (r *Rand) Range(lo, hi float64) float64 {
 // Fork derives an independent generator from this one, so components can be
 // given their own streams without sharing state.
 func (r *Rand) Fork() *Rand { return NewRand(r.Uint64()) }
+
+// DeriveSeed deterministically derives an independent stream seed from a
+// parent seed and a stream index — the SplitMix64 finalizer applied to the
+// pair. The fleet layer uses it to give every board (and its fault
+// injector) its own reproducible randomness from one fleet seed: equal
+// (seed, stream) pairs always produce the same derived seed, and distinct
+// streams decorrelate even for adjacent indices.
+func DeriveSeed(seed, stream uint64) uint64 {
+	z := seed + (stream+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}

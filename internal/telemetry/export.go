@@ -1,0 +1,84 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Series is one rendered metric sample — the unit of cross-registry
+// aggregation. The fleet layer exports every board's registry, injects a
+// `board` label into each series, and renders the merged set as one
+// Prometheus document (see WriteSeriesProm).
+type Series struct {
+	Name  string  // full series name, possibly with {labels}
+	Base  string  // name without labels (groups HELP/TYPE headers)
+	Help  string
+	Type  string  // "counter" or "gauge"
+	Value float64
+	Int   bool
+}
+
+// Export snapshots every registered series with its current value. The
+// result is sorted by name and independent of the registry — safe to
+// relabel and merge with other registries' exports.
+func (r *Registry) Export() []Series {
+	r.mu.Lock()
+	list := make([]Series, 0, len(r.metrics))
+	for _, m := range r.metrics {
+		list = append(list, Series{
+			Name: m.name, Base: m.base, Help: m.help, Type: m.typ,
+			Value: m.read(), Int: m.isInt,
+		})
+	}
+	r.mu.Unlock()
+	sort.Slice(list, func(i, j int) bool { return list[i].Name < list[j].Name })
+	return list
+}
+
+// InjectLabel returns the series name with an extra `key="value"` label
+// prepended, preserving any labels already present:
+//
+//	InjectLabel(`x`, "board", "3")        == `x{board="3"}`
+//	InjectLabel(`x{k="v"}`, "board", "3") == `x{board="3",k="v"}`
+func InjectLabel(name, key, value string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return fmt.Sprintf(`%s{%s=%q,%s`, name[:i], key, value, name[i+1:])
+	}
+	return fmt.Sprintf(`%s{%s=%q}`, name, key, value)
+}
+
+// WriteSeriesProm renders a merged series set in the Prometheus text
+// exposition format: sorted by name, HELP/TYPE headers emitted once per
+// base name (from the first series carrying them). This is the multi-
+// registry counterpart of Registry.WriteProm — exports from several
+// registries, relabeled per source, render as one valid document.
+func WriteSeriesProm(w io.Writer, series []Series) error {
+	list := append([]Series(nil), series...)
+	sort.Slice(list, func(i, j int) bool { return list[i].Name < list[j].Name })
+	lastBase := ""
+	for _, s := range list {
+		if s.Base != lastBase {
+			lastBase = s.Base
+			if s.Help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", s.Base, s.Help); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", s.Base, s.Type); err != nil {
+				return err
+			}
+		}
+		var err error
+		if s.Int {
+			_, err = fmt.Fprintf(w, "%s %d\n", s.Name, uint64(s.Value))
+		} else {
+			_, err = fmt.Fprintf(w, "%s %g\n", s.Name, s.Value)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,72 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExportAndInjectLabel(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "A total.").Add(3)
+	r.Counter(`b_total{kind="x"}`, "B total.").Add(1)
+	r.Gauge("c", "C gauge.").Set(2.5)
+
+	series := r.Export()
+	if len(series) != 3 {
+		t.Fatalf("exported %d series, want 3", len(series))
+	}
+	for i := 1; i < len(series); i++ {
+		if series[i-1].Name > series[i].Name {
+			t.Fatalf("export not sorted: %q > %q", series[i-1].Name, series[i].Name)
+		}
+	}
+	byName := map[string]Series{}
+	for _, s := range series {
+		byName[s.Name] = s
+	}
+	if s := byName["a_total"]; s.Value != 3 || !s.Int || s.Type != "counter" || s.Base != "a_total" {
+		t.Errorf("a_total exported wrong: %+v", s)
+	}
+	if s := byName[`b_total{kind="x"}`]; s.Base != "b_total" {
+		t.Errorf("labeled base wrong: %+v", s)
+	}
+	if s := byName["c"]; s.Value != 2.5 || s.Int || s.Type != "gauge" {
+		t.Errorf("gauge exported wrong: %+v", s)
+	}
+
+	if got := InjectLabel("x", "board", "3"); got != `x{board="3"}` {
+		t.Errorf("InjectLabel plain = %s", got)
+	}
+	if got := InjectLabel(`x{k="v"}`, "board", "3"); got != `x{board="3",k="v"}` {
+		t.Errorf("InjectLabel labeled = %s", got)
+	}
+}
+
+// TestWriteSeriesProm merges two relabeled registries into one document:
+// headers must appear once per base, values per label set.
+func TestWriteSeriesProm(t *testing.T) {
+	mk := func(v uint64) *Registry {
+		r := NewRegistry()
+		r.Counter("ticks_total", "Ticks.").Add(v)
+		return r
+	}
+	var merged []Series
+	for i, r := range []*Registry{mk(5), mk(7)} {
+		for _, s := range r.Export() {
+			s.Name = InjectLabel(s.Name, "board", string(rune('0'+i)))
+			merged = append(merged, s)
+		}
+	}
+	var b strings.Builder
+	if err := WriteSeriesProm(&b, merged); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if strings.Count(out, "# TYPE ticks_total counter") != 1 {
+		t.Errorf("TYPE header not deduplicated:\n%s", out)
+	}
+	if !strings.Contains(out, `ticks_total{board="0"} 5`) ||
+		!strings.Contains(out, `ticks_total{board="1"} 7`) {
+		t.Errorf("relabeled samples missing:\n%s", out)
+	}
+}

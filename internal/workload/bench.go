@@ -14,6 +14,7 @@ package workload
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"pricepower/internal/hw"
 	"pricepower/internal/sim"
@@ -58,10 +59,11 @@ type Benchmark struct {
 // Spec builds the task.Spec for this benchmark with the given input key and
 // priority.
 func (b *Benchmark) Spec(input string, priority int) (task.Spec, error) {
-	in, ok := b.Inputs[input]
+	in, canon, ok := b.input(input)
 	if !ok {
 		return task.Spec{}, fmt.Errorf("workload: benchmark %s has no input %q", b.Name, input)
 	}
+	input = canon
 	// Normalize multipliers to a mean of exactly 1.
 	mults := in.PhaseMults
 	if len(mults) == 0 {
@@ -117,9 +119,22 @@ func (p Profile) Demand(ct hw.CoreType) float64 {
 	return p.DemandLittle
 }
 
+// input resolves an input key, case-insensitively: the registry keys are
+// lowercase (the paper's footnote conventions), but "N" must find "n". The
+// returned canon is the registry's own key — composed task names must use
+// it so ProfileFor("bench_input") lookups keep working.
+func (b *Benchmark) input(key string) (in Input, canon string, ok bool) {
+	if in, ok := b.Inputs[key]; ok {
+		return in, key, true
+	}
+	low := strings.ToLower(key)
+	in, ok = b.Inputs[low]
+	return in, low, ok
+}
+
 // ProfileOf derives the off-line profile for a benchmark input.
 func (b *Benchmark) ProfileOf(input string) (Profile, error) {
-	in, ok := b.Inputs[input]
+	in, _, ok := b.input(input)
 	if !ok {
 		return Profile{}, fmt.Errorf("workload: benchmark %s has no input %q", b.Name, input)
 	}
@@ -143,10 +158,12 @@ func ProfileFor(taskName string) (Profile, bool) {
 	return Profile{}, false
 }
 
-// ByName returns the registered benchmark with the given name.
+// ByName returns the registered benchmark with the given name. Lookups are
+// case-insensitive, matching SetByName: registry names are lowercase, but
+// callers (CLI flags, fleet submissions) may spell them otherwise.
 func ByName(name string) (*Benchmark, bool) {
 	for _, b := range Benchmarks {
-		if b.Name == name {
+		if strings.EqualFold(b.Name, name) {
 			return b, true
 		}
 	}

@@ -2,6 +2,7 @@ package workload
 
 import (
 	"fmt"
+	"strings"
 
 	"pricepower/internal/hw"
 	"pricepower/internal/task"
@@ -62,10 +63,12 @@ var Sets = []Set{
 	{"h3", []Member{{"swaptions", "n"}, {"bodytrack", "n"}, {"tracking", "f"}}},
 }
 
-// SetByName looks a workload set up by its Table 6 name.
+// SetByName looks a workload set up by its Table 6 name. Lookups are
+// case-insensitive: the docs (and the ppmsim -set flag) spell the names in
+// lowercase, but "M1" must find the same set as "m1".
 func SetByName(name string) (Set, bool) {
 	for _, s := range Sets {
-		if s.Name == name {
+		if strings.EqualFold(s.Name, name) {
 			return s, true
 		}
 	}

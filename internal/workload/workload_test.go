@@ -3,6 +3,7 @@ package workload
 import (
 	"math"
 	"sort"
+	"strings"
 	"testing"
 
 	"pricepower/internal/hw"
@@ -266,5 +267,59 @@ func TestRandomSpecsValidateHere(t *testing.T) {
 		if s.Priority != 1 {
 			t.Errorf("priority = %d with PriorityMax 0", s.Priority)
 		}
+	}
+}
+
+// TestLookupsCaseInsensitive is the regression test for the case-sensitive
+// registry lookups: the docs spell every set and benchmark name in
+// lowercase, so uppercase (and mixed-case) spellings must resolve to the
+// same entries — across every registered set, benchmark and input.
+func TestLookupsCaseInsensitive(t *testing.T) {
+	for _, s := range Sets {
+		upper, ok := SetByName(strings.ToUpper(s.Name))
+		if !ok {
+			t.Errorf("SetByName(%q) failed", strings.ToUpper(s.Name))
+			continue
+		}
+		if upper.Name != s.Name {
+			t.Errorf("SetByName(%q) resolved to %q, want %q", strings.ToUpper(s.Name), upper.Name, s.Name)
+		}
+	}
+	for _, b := range Benchmarks {
+		got, ok := ByName(strings.ToUpper(b.Name))
+		if !ok || got != b {
+			t.Errorf("ByName(%q) did not resolve to %s", strings.ToUpper(b.Name), b.Name)
+			continue
+		}
+		for input := range b.Inputs {
+			if _, err := b.Spec(strings.ToUpper(input), 1); err != nil {
+				t.Errorf("%s.Spec(%q): %v", b.Name, strings.ToUpper(input), err)
+			}
+			if _, err := b.ProfileOf(strings.ToUpper(input)); err != nil {
+				t.Errorf("%s.ProfileOf(%q): %v", b.Name, strings.ToUpper(input), err)
+			}
+		}
+	}
+	if _, ok := SetByName("nope"); ok {
+		t.Error("unknown set name resolved")
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Error("unknown benchmark name resolved")
+	}
+}
+
+// TestSpecCanonicalizesTaskName pins that a mixed-case input key composes
+// the canonical lowercase task name, so ProfileFor keeps resolving it.
+func TestSpecCanonicalizesTaskName(t *testing.T) {
+	b, _ := ByName("SWAPTIONS")
+	spec, err := b.Spec("N", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Name != "swaptions_n" {
+		t.Fatalf("Spec composed name %q, want swaptions_n", spec.Name)
+	}
+	if _, ok := ProfileFor(spec.Name); !ok {
+		t.Fatal("canonical name does not resolve a profile")
 	}
 }
