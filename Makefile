@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test check race chaos fuzz golden bench bench-quick fleet-smoke ci clean
+.PHONY: build vet test check race chaos fuzz golden bench bench-quick fleet-smoke fleet-saturation ci clean
 
 # Minutes of fuzzing per property target (see `make fuzz`).
 FUZZTIME ?= 30s
@@ -51,6 +51,15 @@ chaos:
 fleet-smoke:
 	sh scripts/fleet-smoke.sh
 
+# Fleet saturation smoke under the race detector: one pass over the
+# price-index routing benchmarks (indexed vs linear-scan oracle, 1000-spec
+# saturation batch) and the bounded-skew stepping benchmarks (K=0 vs K=4),
+# plus the equivalence/replay tests that pin them. -benchtime 1x exercises
+# the paths; the real numbers come from `make bench` → BENCH_scale.json.
+fleet-saturation:
+	$(GO) test -race -run 'TestPropertyIndexMatchesLinearOracle|TestFleetReplaysBitIdentically|TestFleetSkewZeroMatchesLockstep' ./internal/fleet
+	$(GO) test -race -run '^$$' -bench 'BenchmarkDispatcherRoute$$|BenchmarkDispatcherSaturationBatch|BenchmarkFleetSaturation' -benchtime 1x .
+
 # Full scalability sweep (tick throughput to 512 tasks, market rounds to
 # 256 clusters); persists BENCH_scale.json.
 bench:
@@ -60,7 +69,7 @@ bench:
 bench-quick:
 	$(GO) run ./cmd/bench -quick -out BENCH_scale.json
 
-ci: build vet race chaos test check bench-quick fleet-smoke
+ci: build vet race chaos test check bench-quick fleet-smoke fleet-saturation
 
 clean:
 	rm -f BENCH_scale.json

@@ -149,8 +149,15 @@ func routingSnaps(n int) []fleet.Snapshot {
 // routingSpecs is the canonical 100-submission batch the dispatcher
 // benchmarks route per op (cmd/bench scales the result to cost per 1k
 // submissions for BENCH_scale.json).
-func routingSpecs() []task.Spec {
-	specs := make([]task.Spec, 100)
+func routingSpecs() []task.Spec { return routingSpecsN(100) }
+
+// routingSpecsN builds an n-submission batch with the same mix; the
+// fleet_saturation routing comparison uses the full 1000-spec batch so
+// the measured cost is per 1k submissions directly and the index's
+// one-off O(boards) heap rebuild is amortised the way a saturated
+// barrier amortises it.
+func routingSpecsN(n int) []task.Spec {
+	specs := make([]task.Spec, n)
 	for i := range specs {
 		specs[i] = task.Spec{
 			Name: fmt.Sprintf("r%02d", i), Priority: 1 + i%3, MinHR: 24, MaxHR: 30,
@@ -162,12 +169,15 @@ func routingSpecs() []task.Spec {
 }
 
 // BenchmarkDispatcherRoute measures one dispatch round — routing a
-// 100-spec batch against the barrier snapshots — as the fleet grows. The
-// cost is per batch: demand projection makes each pick O(boards), so the
-// round is O(boards × batch).
+// 100-spec batch against the barrier snapshots — as the fleet grows.
+// Route picks through the price-ordered admissibility index: the heap is
+// rebuilt once per barrier (O(boards)) and each pick costs O(log boards)
+// for the fix-up after the projection bump, so the round is
+// O(boards + batch·log boards) instead of the linear scan's
+// O(boards × batch).
 func BenchmarkDispatcherRoute(b *testing.B) {
 	specs := routingSpecs()
-	for _, n := range []int{4, 16, 64} {
+	for _, n := range []int{4, 16, 64, 256} {
 		b.Run(fmt.Sprintf("boards=%d", n), func(b *testing.B) {
 			snaps := routingSnaps(n)
 			d := fleet.NewDispatcher(fleet.DefaultHysteresis)
@@ -177,6 +187,108 @@ func BenchmarkDispatcherRoute(b *testing.B) {
 				d.Route(snaps, specs)
 			}
 		})
+	}
+}
+
+// BenchmarkDispatcherRouteLinear is the pre-index baseline — one full
+// admissibility scan per submission — kept so the fleet_saturation
+// dimension in BENCH_scale.json records the index's speedup against it
+// (the acceptance bar is ≥5× routed submissions/s at 256 boards).
+func BenchmarkDispatcherRouteLinear(b *testing.B) {
+	specs := routingSpecs()
+	for _, n := range []int{4, 16, 64, 256} {
+		b.Run(fmt.Sprintf("boards=%d", n), func(b *testing.B) {
+			snaps := routingSnaps(n)
+			d := fleet.NewDispatcher(fleet.DefaultHysteresis)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d.RouteLinear(snaps, specs)
+			}
+		})
+	}
+}
+
+// BenchmarkDispatcherSaturationBatch is the fleet_saturation routing
+// comparison: the full 1000-spec saturation batch routed through the
+// price index versus the linear-scan baseline at the two saturation
+// fleet sizes. ns/op here is cost per 1k submissions directly — the
+// acceptance bar is indexed ≥5× faster than linear at 256 boards.
+func BenchmarkDispatcherSaturationBatch(b *testing.B) {
+	specs := routingSpecsN(1000)
+	for _, n := range []int{64, 256} {
+		for _, impl := range []string{"indexed", "linear"} {
+			b.Run(fmt.Sprintf("boards=%d/%s", n, impl), func(b *testing.B) {
+				snaps := routingSnaps(n)
+				d := fleet.NewDispatcher(fleet.DefaultHysteresis)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if impl == "indexed" {
+						d.Route(snaps, specs)
+					} else {
+						d.RouteLinear(snaps, specs)
+					}
+				}
+			})
+		}
+	}
+}
+
+// churnSpec is a short-lived (one-batch) task for saturation stepping:
+// arrivals keep the dispatcher busy every barrier while completions stop
+// the boards from accumulating load without bound.
+func churnSpec(i int, batch sim.Time) task.Spec {
+	return task.Spec{
+		Name: fmt.Sprintf("churn%02d", i%32), Priority: 1, MinHR: 24, MaxHR: 30,
+		Phases: []task.Phase{{Duration: batch, HBCostLittle: 2, SpeedupBig: 2}},
+	}
+}
+
+// BenchmarkFleetSaturation measures sustained routed submissions per
+// second through full batch barriers: every op submits one fresh
+// short-lived task per board and advances one barrier (dispatch, the
+// concurrent board advance, collection). K=0 is lockstep; K=4 lets
+// boards pipeline up to four barriers ahead, overlapping the dispatch
+// of barrier n with the board execution of barriers n-4..n-1. cmd/bench
+// converts ns/op into routed/s for BENCH_scale.json.
+func BenchmarkFleetSaturation(b *testing.B) {
+	const batch = 10 * sim.Millisecond
+	for _, n := range []int{64, 256} {
+		for _, skew := range []int{0, 4} {
+			b.Run(fmt.Sprintf("boards=%d/skew=%d", n, skew), func(b *testing.B) {
+				f, err := fleet.New(fleet.Config{
+					Boards: n, Seed: 42, Batch: batch, MaxSkew: skew,
+					QueueCap: 64 * n,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer f.Close()
+				for i := 0; i < 5; i++ { // prime the pipeline and routing state
+					for j := 0; j < n; j++ {
+						f.Submit(churnSpec(j, batch))
+					}
+					if err := f.Step(); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					for j := 0; j < n; j++ {
+						f.Submit(churnSpec(j, batch))
+					}
+					if err := f.Step(); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				if err := f.Flush(); err != nil {
+					b.Fatal(err)
+				}
+			})
+		}
 	}
 }
 

@@ -50,13 +50,32 @@ type routing struct {
 	NsPer1kSubmissions float64 `json:"ns_per_1k_submissions"`
 }
 
+// saturation is one fleet_saturation scale point: the price-index
+// routing cost against the linear-scan baseline (same 1000-spec
+// saturation batch, same snapshots, so ns/op is cost per 1k
+// submissions directly; the acceptance bar is ≥5× at 256 boards), and the
+// sustained routed submissions/s through full batch barriers in
+// lockstep (K=0) versus bounded-skew pipelining (K=4). StepBoards is
+// the fleet size the stepping half ran at — -quick shrinks it while the
+// routing comparison keeps the full board counts.
+type saturation struct {
+	Boards         int     `json:"boards"`
+	LinearNsPer1k  float64 `json:"linear_route_ns_per_1k"`
+	IndexedNsPer1k float64 `json:"indexed_route_ns_per_1k"`
+	RoutingSpeedup float64 `json:"routing_speedup"`
+	StepBoards     int     `json:"step_boards"`
+	RoutedPerSecK0 float64 `json:"routed_per_s_skew0"`
+	RoutedPerSecK4 float64 `json:"routed_per_s_skew4"`
+}
+
 type report struct {
-	GoMaxProcs int        `json:"gomaxprocs"`
-	GoVersion  string     `json:"go_version"`
-	Quick      bool       `json:"quick"`
-	Results    []result   `json:"results"`
-	Telemetry  []overhead `json:"telemetry_overhead"`
-	Routing    []routing  `json:"dispatcher_routing"`
+	GoMaxProcs int          `json:"gomaxprocs"`
+	GoVersion  string       `json:"go_version"`
+	Quick      bool         `json:"quick"`
+	Results    []result     `json:"results"`
+	Telemetry  []overhead   `json:"telemetry_overhead"`
+	Routing    []routing    `json:"dispatcher_routing"`
+	Saturation []saturation `json:"fleet_saturation"`
 }
 
 func main() {
@@ -165,6 +184,63 @@ func main() {
 		})
 	}
 
+	// fleet_saturation: the sublinear-dispatch dimension. The routing
+	// comparison routes the full 1000-spec saturation batch (ns/op is
+	// per-1k cost directly) and keeps the full 64/256-board scale points
+	// even in -quick (it is pure dispatcher state-machine code, cheap to
+	// measure); the full-barrier stepping half shrinks under -quick.
+	specs1k := routingSpecsN(1000)
+	for _, n := range []int{64, 256} {
+		n := n
+		indexed := add(fmt.Sprintf("saturation_route_indexed/boards=%d", n), func(b *testing.B) {
+			snaps := routingSnaps(n)
+			d := fleet.NewDispatcher(fleet.DefaultHysteresis)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d.Route(snaps, specs1k)
+			}
+		})
+		linear := add(fmt.Sprintf("saturation_route_linear/boards=%d", n), func(b *testing.B) {
+			snaps := routingSnaps(n)
+			d := fleet.NewDispatcher(fleet.DefaultHysteresis)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d.RouteLinear(snaps, specs1k)
+			}
+		})
+		stepN := n
+		if *quick && stepN > 16 {
+			stepN = 16
+		}
+		perSec := make(map[int]float64)
+		for _, skew := range []int{0, 4} {
+			skew := skew
+			ns := add(fmt.Sprintf("saturation_step/boards=%d/skew=%d", stepN, skew), func(b *testing.B) {
+				benchFleetSaturation(b, stepN, skew)
+			})
+			if ns > 0 {
+				perSec[skew] = float64(stepN) * 1e9 / ns
+			}
+		}
+		speedup := 0.0
+		if indexed > 0 {
+			speedup = linear / indexed
+		}
+		rep.Saturation = append(rep.Saturation, saturation{
+			Boards:         n,
+			LinearNsPer1k:  linear,
+			IndexedNsPer1k: indexed,
+			RoutingSpeedup: speedup,
+			StepBoards:     stepN,
+			RoutedPerSecK0: perSec[0],
+			RoutedPerSecK4: perSec[4],
+		})
+		fmt.Printf("%-40s %11.2fx indexed-vs-linear routing speedup\n",
+			fmt.Sprintf("fleet_saturation/boards=%d", n), speedup)
+	}
+
 	bigV := clusterCounts[len(clusterCounts)-1]
 	attachedRound := add(fmt.Sprintf("market_round_telemetry/V=%d/pool", bigV), func(b *testing.B) {
 		m, _ := exp.BuildScaledMarket(exp.Table7Config{V: bigV, C: 8, T: 8}, 42)
@@ -190,9 +266,53 @@ func main() {
 	fmt.Println("wrote", *out)
 }
 
-// routingSnaps and routingSpecs mirror the bench_scale_test.go fixtures:
-// a synthetic barrier view with spread prices and some inadmissible
-// boards, and the canonical 100-submission batch.
+// benchFleetSaturation mirrors BenchmarkFleetSaturation: every op
+// submits one fresh short-lived task per board and advances one batch
+// barrier at the given skew; routed/s = boards × 1e9 / (ns/op).
+func benchFleetSaturation(b *testing.B, boards, skew int) {
+	const batch = 10 * sim.Millisecond
+	churn := func(i int) task.Spec {
+		return task.Spec{
+			Name: fmt.Sprintf("churn%02d", i%32), Priority: 1, MinHR: 24, MaxHR: 30,
+			Phases: []task.Phase{{Duration: batch, HBCostLittle: 2, SpeedupBig: 2}},
+		}
+	}
+	f, err := fleet.New(fleet.Config{
+		Boards: boards, Seed: 42, Batch: batch, MaxSkew: skew,
+		QueueCap: 64 * boards,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	for i := 0; i < 5; i++ {
+		for j := 0; j < boards; j++ {
+			f.Submit(churn(j))
+		}
+		if err := f.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < boards; j++ {
+			f.Submit(churn(j))
+		}
+		if err := f.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if err := f.Flush(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// routingSnaps, routingSpecs, and routingSpecsN mirror the
+// bench_scale_test.go fixtures: a synthetic barrier view with spread
+// prices and some inadmissible boards, the canonical 100-submission
+// batch, and the 1000-spec saturation batch.
 func routingSnaps(n int) []fleet.Snapshot {
 	rng := sim.NewRand(7)
 	snaps := make([]fleet.Snapshot, n)
@@ -210,8 +330,10 @@ func routingSnaps(n int) []fleet.Snapshot {
 	return snaps
 }
 
-func routingSpecs() []task.Spec {
-	specs := make([]task.Spec, 100)
+func routingSpecs() []task.Spec { return routingSpecsN(100) }
+
+func routingSpecsN(n int) []task.Spec {
+	specs := make([]task.Spec, n)
 	for i := range specs {
 		specs[i] = task.Spec{
 			Name: fmt.Sprintf("r%02d", i), Priority: 1 + i%3, MinHR: 24, MaxHR: 30,

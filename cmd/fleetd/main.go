@@ -4,7 +4,7 @@
 // Usage:
 //
 //	fleetd [-boards N] [-seed S] [-tdp watts] [-batch ms] [-hysteresis frac]
-//	       [-queue cap] [-drain-degraded N] [-faults board:file,...]
+//	       [-queue cap] [-skew K] [-drain-degraded N] [-faults board:file,...]
 //	       [-trace arrivals.json] [-http ADDR] [-pace ms] [-dur seconds]
 //
 // Without -http, fleetd plays the -trace arrivals for -dur virtual seconds
@@ -52,6 +52,7 @@ func run() error {
 	batchMS := flag.Float64("batch", 100, "virtual milliseconds per batch barrier")
 	hyst := flag.Float64("hysteresis", fleet.DefaultHysteresis, "dispatcher price-switch hysteresis fraction")
 	queue := flag.Int("queue", fleet.DefaultQueueCap, "admission queue capacity")
+	skew := flag.Int("skew", 0, "max barriers a board may run ahead of the slowest (0 = lockstep)")
 	drainDegraded := flag.Int("drain-degraded", 0, "auto-drain a board after this many consecutive degraded barriers (0 = off)")
 	faults := flag.String("faults", "", "per-board fault scenarios as board:file[,board:file...]")
 	traceFile := flag.String("trace", "", "arrival trace JSON to submit at startup")
@@ -67,6 +68,7 @@ func run() error {
 		Batch:              sim.FromMillis(*batchMS),
 		Hysteresis:         *hyst,
 		QueueCap:           *queue,
+		MaxSkew:            *skew,
 		DrainDegradedAfter: *drainDegraded,
 		Check:              exp.CheckEnabled(),
 	}
@@ -107,6 +109,9 @@ func runBatch(f *fleet.Fleet, cfg fleet.Config, dur float64) error {
 		if err := f.Step(); err != nil {
 			return err
 		}
+	}
+	if err := f.Flush(); err != nil { // collect the bounded-skew tail
+		return err
 	}
 	printSummary(f)
 	return nil
@@ -171,17 +176,20 @@ func serve(f *fleet.Fleet, addr string, paceMS float64) error {
 	if derr := <-driverDone; derr != nil && err == nil {
 		err = derr
 	}
+	if ferr := f.Flush(); ferr != nil && err == nil {
+		err = ferr
+	}
 	printSummary(f)
 	return err
 }
 
 func printSummary(f *fleet.Fleet) {
 	st := f.StateSnapshot()
-	fmt.Printf("fleet: %d boards, %d batches, t=%.1f s\n",
-		len(st.Boards), st.Batch, st.Time.Seconds())
-	fmt.Printf("  submitted %d  routed %d  live %d  queued %d  shed %d  drained %d\n",
-		st.Counters.Submitted, st.Counters.Routed, st.Live(), st.QueueLen, st.Counters.Shed,
-		st.Counters.Drained)
+	fmt.Printf("fleet: %d boards, %d batches collected (%d issued), t=%.1f s\n",
+		len(st.Boards), st.Batch, st.Issued, st.Time.Seconds())
+	fmt.Printf("  submitted %d  routed %d  live %d  in-flight %d  queued %d  shed %d  drained %d  redrains %d\n",
+		st.Counters.Submitted, st.Counters.Routed, st.Live(), st.InFlight, st.QueueLen, st.Counters.Shed,
+		st.Counters.Drained, st.Counters.Redrained)
 	for _, b := range st.Boards {
 		status := b.State
 		if b.Degraded {

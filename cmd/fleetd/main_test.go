@@ -29,6 +29,27 @@ func TestSmokeBatch(t *testing.T) {
 	}
 }
 
+// TestSmokeSkewed replays the batch smoke with bounded-skew pipelining:
+// boards running up to 4 barriers ahead must still converge to the same
+// zero-loss end state, with the skew tail flushed before the summary (so
+// in-flight reads 0 and every issued barrier was collected).
+func TestSmokeSkewed(t *testing.T) {
+	out := smoke.Run(t, "-boards", "4", "-seed", "7", "-skew", "4",
+		"-trace", "../../examples/fleet/burst.json", "-dur", "5")
+	if !strings.Contains(out, "shed 0") {
+		t.Errorf("tasks were shed under bounded skew:\n%s", out)
+	}
+	if !strings.Contains(out, "queued 0") {
+		t.Errorf("queue did not drain under bounded skew:\n%s", out)
+	}
+	if !strings.Contains(out, "in-flight 0") {
+		t.Errorf("skew tail not flushed before summary:\n%s", out)
+	}
+	if !strings.Contains(out, "50 batches collected (50 issued)") {
+		t.Errorf("issued barriers not all collected:\n%s", out)
+	}
+}
+
 // TestSmokeFaulted runs the same trace with one board under the example
 // sensor-dropout scenario and degraded auto-drain enabled: the run must
 // still complete with zero shed and must have evacuated the degraded

@@ -69,7 +69,11 @@ func newBoard(id int, cfg Config) (*Board, error) {
 		ID:   id,
 		Seed: sim.DeriveSeed(cfg.Seed, uint64(id)),
 		p:    platform.NewTC2(),
-		cmd:  make(chan interface{}),
+		// Bounded skew queues up to MaxSkew+1 step commands on a board
+		// that is running behind, plus one control command (drain /
+		// resume / stop); the buffer keeps the fleet's issue path from
+		// blocking on a slow board.
+		cmd:  make(chan interface{}, cfg.MaxSkew+2),
 		done: make(chan struct{}),
 	}
 	pcfg := ppm.DefaultConfig(cfg.TDP)
@@ -138,6 +142,14 @@ func (b *Board) loop() {
 		case stepCmd:
 			b.place(c.add)
 			b.p.Run(c.d)
+			if b.rec != nil {
+				// Fold the barrier counter and assignment count into the
+				// replay trace: under bounded skew a run is bit-identical
+				// only if every batch of work landed on the same barrier,
+				// so the counters must be part of the digest chain, not
+				// just the market samples.
+				b.rec.Record(uint64(c.batch)<<20 | uint64(len(c.add)))
+			}
 			r := stepReply{snap: b.snapshot(c.batch)}
 			if b.chk != nil {
 				r.err = b.chk.Err()

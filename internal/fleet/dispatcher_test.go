@@ -107,8 +107,13 @@ func TestRouteQueuesWhenSaturated(t *testing.T) {
 	snaps := []Snapshot{snap(0, 0.1)}
 	snaps[0].SmoothedW, snaps[0].WthW = 4, 3.5
 	assign, unrouted := d.Route(snaps, []task.Spec{spec("a"), spec("b")})
-	if len(assign) != 0 || len(unrouted) != 2 {
-		t.Fatalf("assign=%v unrouted=%d, want all unrouted", assign, len(unrouted))
+	for i := range assign {
+		if len(assign[i]) != 0 {
+			t.Fatalf("board %d got %d tasks, want all unrouted", i, len(assign[i]))
+		}
+	}
+	if len(unrouted) != 2 {
+		t.Fatalf("unrouted=%d, want 2", len(unrouted))
 	}
 	if unrouted[0].Name != "a" || unrouted[1].Name != "b" {
 		t.Error("unrouted order not preserved")

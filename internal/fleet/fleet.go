@@ -1,18 +1,25 @@
 // Package fleet shards the price-theory power market across many boards:
 // N independent platform.Platform instances — each with its own PPM
 // governor, telemetry registry and optional checker/recorder/fault
-// injector — advanced in lockstep batches of virtual time behind a
-// price-routing dispatcher. Task submissions are admitted and routed
-// using each board's market-clearing price, degraded/throttle state and
-// headroom; when every board is saturated the admission controller
-// queues, and sheds only when the queue overflows.
+// injector — advanced in batches of virtual time behind a price-routing
+// dispatcher. Task submissions are admitted and routed using each board's
+// market-clearing price, degraded/throttle state and headroom; when every
+// board is saturated the admission controller queues, and sheds only when
+// the queue overflows.
+//
+// Stepping is pipelined with bounded skew: with Config.MaxSkew = K, Step
+// issues barrier n+1 to every board and only blocks collecting barriers
+// older than n+1-K, so boards may run up to K barriers ahead of the
+// slowest board instead of stalling the whole fleet in lockstep (K = 0).
 //
 // Determinism: routing decisions happen only at batch barriers, against
-// the snapshots the previous barrier published, and each board's
-// timeline is advanced by a goroutine that owns it exclusively — so a
-// fixed fleet seed plus a recorded arrival trace replays bit-identically
-// (per-board check.Replay digests match across runs) even though boards
-// execute concurrently within a batch.
+// the versioned snapshots of the newest *collected* barrier (a fixed
+// K-barrier lag, not a timing-dependent one), and each board's timeline
+// is advanced by a goroutine that owns it exclusively — so a fixed fleet
+// seed plus a recorded arrival trace replays bit-identically (per-board
+// check.Replay digests match across runs, with each board's barrier
+// counter folded into its digest chain) even though boards execute
+// concurrently and skewed.
 package fleet
 
 import (
@@ -34,6 +41,10 @@ const (
 	DefaultQueueCap   = 1024
 )
 
+// drainSeedStream namespaces the per-board drain-cooldown jitter streams
+// off the fleet seed.
+const drainSeedStream = 0xd7a1_0000
+
 // Config assembles a fleet.
 type Config struct {
 	// Boards is the number of independent platform instances (≥ 1).
@@ -53,16 +64,28 @@ type Config struct {
 	// QueueCap bounds the admission queue (default DefaultQueueCap);
 	// submissions beyond it are shed.
 	QueueCap int
+	// MaxSkew lets boards run up to this many barriers ahead of the
+	// slowest board (0 = lockstep). Step issues each barrier without
+	// waiting and only blocks collecting barriers more than MaxSkew
+	// behind, so one transiently slow board no longer stalls issuance;
+	// routing reads the newest collected (versioned) snapshots, a fixed
+	// lag that keeps decisions deterministic.
+	MaxSkew int
 	// DrainDegradedAfter auto-drains a board after this many consecutive
 	// degraded barriers, resubmitting its tasks through the dispatcher;
-	// the board resumes after the same number of healthy barriers.
+	// the board resumes after a cooldown of healthy barriers that starts
+	// at the same number and backs off exponentially on every re-drain
+	// (seeded jitter via fault.Backoff), so a board with a still-broken
+	// sensor cannot thrash drain→resume→re-trip→drain every few barriers.
 	// 0 disables auto-drain.
 	DrainDegradedAfter int
 	// Faults maps board ID → fault scenario injected into that board.
 	// The scenario's seed is overridden with the board's derived seed.
 	Faults map[int]fault.Scenario
 	// Record attaches a replay recorder to every board (check.Trace per
-	// board, exposed via Traces).
+	// board, exposed via Traces). Each board folds its per-barrier
+	// counter and assignment count into the digest chain, so bounded-skew
+	// runs replay bit-identically or fail loudly.
 	Record bool
 	// Check attaches the runtime invariant checker to every board; the
 	// first violation fails the batch in Step's error.
@@ -82,15 +105,21 @@ func (c Config) withDefaults() Config {
 	if c.QueueCap <= 0 {
 		c.QueueCap = DefaultQueueCap
 	}
+	if c.MaxSkew < 0 {
+		c.MaxSkew = 0
+	}
 	return c
 }
 
 // Counters are the fleet's task-accounting totals. The zero-loss
 // invariant — enforced by tests and the fleet-smoke gate — is:
 //
-//	Submitted - Shed == live tasks on boards + Queued
+//	Submitted - Shed == live tasks on boards + Queued + InFlight
 //
-// (Drained/Resubmitted track evacuations, which conserve tasks.)
+// where InFlight covers tasks assigned at barriers still uncollected
+// under bounded skew. (Drained/Resubmitted track evacuations, which
+// conserve tasks; evacuated tasks that overflow the queue are counted
+// once in Shed, never silently dropped.)
 type Counters struct {
 	Submitted   uint64 `json:"submitted"`
 	Routed      uint64 `json:"routed"`
@@ -98,18 +127,26 @@ type Counters struct {
 	Shed        uint64 `json:"shed"`
 	Drained     uint64 `json:"drained"`
 	Resubmitted uint64 `json:"resubmitted"`
+	// Redrained counts auto-drains of a board beyond its first since the
+	// cooldown last reset — the drain/resume flapping signal.
+	Redrained uint64 `json:"redrained"`
 }
 
 // State is the fleet-wide snapshot served at /state.
 type State struct {
-	Batch    int        `json:"batch"`
+	Batch    int        `json:"batch"`  // barriers collected
+	Issued   int        `json:"issued"` // barriers issued (≥ Batch under skew)
 	Time     sim.Time   `json:"t"`
 	Boards   []Snapshot `json:"boards"`
 	QueueLen int        `json:"queue_len"`
-	Counters Counters   `json:"counters"`
+	// InFlight counts tasks assigned to boards at barriers not yet
+	// collected (always 0 in lockstep or after Flush).
+	InFlight int      `json:"in_flight"`
+	Counters Counters `json:"counters"`
 }
 
-// Live sums the tasks currently placed on boards.
+// Live sums the tasks currently placed on boards per the collected
+// snapshots.
 func (s *State) Live() int {
 	n := 0
 	for i := range s.Boards {
@@ -118,28 +155,70 @@ func (s *State) Live() int {
 	return n
 }
 
+// projCarry is one board's not-yet-collected projected load: demand
+// assigned at in-flight barriers that the routing snapshot (one or more
+// barriers stale under skew) cannot see yet. Routing re-applies it so a
+// queued backlog retried over consecutive barriers projects against the
+// board like first-time submissions do, instead of dog-piling a board
+// whose stale snapshot still looks empty.
+type projCarry struct {
+	tasks    int
+	demandPU float64
+}
+
+// inflightBarrier is one issued-but-uncollected barrier: its reply
+// channels and the per-board assignment stats to unwind from the carry
+// once its snapshots arrive.
+type inflightBarrier struct {
+	batch   int
+	replies []chan stepReply
+	add     []projCarry
+	total   int // tasks assigned at this barrier
+}
+
+// drainOp is a deferred drain/resume decision, executed only once the
+// pipeline is flushed so the board is quiescent.
+type drainOp struct {
+	board   int
+	resume  bool
+	redrain bool
+}
+
 // Fleet is the coordinator: it owns the admission queue, the dispatcher
-// and the batch barrier. Submit may be called concurrently with Step
-// (the HTTP frontend does); board state is only touched from Step.
+// and the batch barrier pipeline. Submit may be called concurrently with
+// Step (the HTTP frontend does); board state is only touched from Step /
+// Drain / Resume / Flush, which the driver serializes.
 type Fleet struct {
 	cfg  Config
 	disp *Dispatcher
 
 	boards []*Board
 
-	mu       sync.Mutex
-	snaps    []Snapshot  // last barrier's snapshots
-	batch    int         // barriers completed
-	now      sim.Time    // fleet virtual time (batch * cfg.Batch)
-	pending  []task.Spec // FIFO admission queue
-	sched    []timedSpec // trace-scheduled future arrivals, sorted by at
-	counters Counters
+	// Pipeline state, touched only by the (serialized) stepping calls.
+	inflight []inflightBarrier
+	ops      []drainOp
 	degraded []int // consecutive degraded barriers per board
 	healthy  []int // consecutive healthy barriers per autodrained board
 	auto     []bool
-	closed   bool
+	// Drain-cooldown state (see Config.DrainDegradedAfter).
+	drainCount  []int // drains since the cooldown last reset
+	resumeAfter []int // healthy barriers required before resume
+	sinceResume []int // barriers survived since the last resume
+
+	mu            sync.Mutex
+	snaps         []Snapshot  // newest collected barrier's snapshots
+	carry         []projCarry // in-flight projected load per board
+	batch         int         // barriers collected
+	issued        int         // barriers issued
+	now           sim.Time    // fleet virtual time (issued * cfg.Batch)
+	inflightTasks int         // tasks assigned at uncollected barriers
+	pending       []task.Spec // FIFO admission queue
+	sched         []timedSpec // trace-scheduled future arrivals, sorted by at
+	counters      Counters
+	closed        bool
 
 	reg *telemetry.Registry
+	em  *telemetry.Emitter // optional event stream (KindDrain), nil-safe
 }
 
 type timedSpec struct {
@@ -153,13 +232,17 @@ type timedSpec struct {
 func New(cfg Config) (*Fleet, error) {
 	cfg = cfg.withDefaults()
 	f := &Fleet{
-		cfg:      cfg,
-		disp:     NewDispatcher(cfg.Hysteresis),
-		snaps:    make([]Snapshot, cfg.Boards),
-		degraded: make([]int, cfg.Boards),
-		healthy:  make([]int, cfg.Boards),
-		auto:     make([]bool, cfg.Boards),
-		reg:      telemetry.NewRegistry(),
+		cfg:         cfg,
+		disp:        NewDispatcher(cfg.Hysteresis),
+		snaps:       make([]Snapshot, cfg.Boards),
+		carry:       make([]projCarry, cfg.Boards),
+		degraded:    make([]int, cfg.Boards),
+		healthy:     make([]int, cfg.Boards),
+		auto:        make([]bool, cfg.Boards),
+		drainCount:  make([]int, cfg.Boards),
+		resumeAfter: make([]int, cfg.Boards),
+		sinceResume: make([]int, cfg.Boards),
+		reg:         telemetry.NewRegistry(),
 	}
 	for i := 0; i < cfg.Boards; i++ {
 		b, err := newBoard(i, cfg)
@@ -179,8 +262,10 @@ func (f *Fleet) registerMetrics() {
 		func() float64 { return float64(len(f.boards)) })
 	f.reg.GaugeFunc("pricepower_fleet_queue_len", "Admission queue length.",
 		func() float64 { f.mu.Lock(); defer f.mu.Unlock(); return float64(len(f.pending)) })
-	f.reg.GaugeFunc("pricepower_fleet_batches", "Batch barriers completed.",
+	f.reg.GaugeFunc("pricepower_fleet_batches", "Batch barriers collected.",
 		func() float64 { f.mu.Lock(); defer f.mu.Unlock(); return float64(f.batch) })
+	f.reg.GaugeFunc("pricepower_fleet_inflight_tasks", "Tasks assigned at uncollected barriers (bounded skew).",
+		func() float64 { f.mu.Lock(); defer f.mu.Unlock(); return float64(f.inflightTasks) })
 	counter := func(name, help string, v *uint64) {
 		f.reg.GaugeFunc(name, help, func() float64 {
 			f.mu.Lock()
@@ -194,16 +279,25 @@ func (f *Fleet) registerMetrics() {
 	counter("pricepower_fleet_shed_total", "Submissions shed on queue overflow.", &f.counters.Shed)
 	counter("pricepower_fleet_drained_total", "Tasks evacuated from draining boards.", &f.counters.Drained)
 	counter("pricepower_fleet_resubmitted_total", "Evacuated tasks re-routed through the dispatcher.", &f.counters.Resubmitted)
+	counter("pricepower_fleet_redrains_total", "Auto-drains of a board beyond its first (flapping).", &f.counters.Redrained)
 }
 
 // Registry is the fleet-level metrics registry (queue depth, routing
 // counters); board registries merge in via MergedMetrics.
 func (f *Fleet) Registry() *telemetry.Registry { return f.reg }
 
+// AttachTelemetry connects an event emitter to the fleet's own lifecycle
+// events (KindDrain: drain / redrain / resume per board). The emitter's
+// clock is bound to the fleet's virtual time.
+func (f *Fleet) AttachTelemetry(em *telemetry.Emitter) {
+	f.em = em
+	em.SetClock(f.Now)
+}
+
 // NumBoards reports the fleet size.
 func (f *Fleet) NumBoards() int { return len(f.boards) }
 
-// Now reports the fleet's virtual time (batches completed × batch size).
+// Now reports the fleet's virtual time (batches issued × batch size).
 func (f *Fleet) Now() sim.Time { f.mu.Lock(); defer f.mu.Unlock(); return f.now }
 
 // Submit enqueues specs for routing at the next batch barrier. It never
@@ -230,6 +324,24 @@ func (f *Fleet) submitLocked(specs []task.Spec) int {
 	return accepted
 }
 
+// requeueLocked puts evacuated / unrouted specs back at the queue head —
+// before anything submitted during the batch, preserving FIFO admission
+// (drained tasks were already running, so they go first) — and trims the
+// overflow from the tail with Shed accounting. Every path that re-enters
+// work (barrier retry, auto-drain, manual Drain) funnels through here so
+// an evacuation overlapping a full queue sheds exactly once instead of
+// silently exceeding the cap.
+func (f *Fleet) requeueLocked(requeue []task.Spec) {
+	if len(requeue) == 0 {
+		return
+	}
+	f.pending = append(requeue, f.pending...)
+	if over := len(f.pending) - f.cfg.QueueCap; over > 0 {
+		f.counters.Shed += uint64(over)
+		f.pending = f.pending[:f.cfg.QueueCap]
+	}
+}
+
 // SubmitAt schedules a spec for submission when the fleet's virtual time
 // reaches at — the trace-driven arrival path. Entries due at the same
 // barrier are submitted in (at, submission order).
@@ -240,14 +352,18 @@ func (f *Fleet) SubmitAt(at sim.Time, spec task.Spec) {
 	sort.SliceStable(f.sched, func(i, j int) bool { return f.sched[i].at < f.sched[j].at })
 }
 
-// Step advances every board by one batch of virtual time, concurrently,
-// and runs one dispatch round at the barrier:
+// Step issues one batch barrier and keeps the pipeline within the skew
+// bound:
 //
 //  1. due trace arrivals and the pending queue are routed (FIFO) against
-//     the snapshots of the previous barrier;
-//  2. each board receives its assignment and advances cfg.Batch;
-//  3. the barrier collects fresh snapshots, applies degraded auto-drain
-//     (evacuated specs re-enter the queue head), and publishes state.
+//     the newest collected snapshots, with the in-flight carry projected
+//     on top so uncollected assignments still count against a board;
+//  2. each board receives its assignment and advances cfg.Batch on its
+//     own goroutine — Step does not wait for it;
+//  3. barriers older than MaxSkew are collected (blocking): snapshots
+//     and versions publish, degraded streaks update, and drain/resume
+//     decisions execute on a flushed pipeline (evacuated specs re-enter
+//     the queue head).
 //
 // Step returns the first invariant violation when Config.Check is on.
 func (f *Fleet) Step() error {
@@ -264,63 +380,178 @@ func (f *Fleet) Step() error {
 		f.sched = f.sched[1:]
 	}
 	snaps := append([]Snapshot(nil), f.snaps...)
+	for i := range snaps {
+		if c := f.carry[i]; c.tasks > 0 {
+			snaps[i].Tasks += c.tasks
+			snaps[i].DemandPU += c.demandPU
+			frac := c.demandPU / snaps[i].MaxSupplyPU
+			if snaps[i].Price > 0 {
+				snaps[i].Price *= 1 + frac
+			} else {
+				snaps[i].Price = frac
+			}
+		}
+	}
 	specs := f.pending
 	f.pending = nil
-	batch := f.batch
+	issued := f.issued
 	f.mu.Unlock()
 
 	assign, unrouted := f.disp.Route(snaps, specs)
 
-	// Fan the batch out; each board advances on its own goroutine.
-	replies := make([]chan stepReply, len(f.boards))
-	for i, b := range f.boards {
-		replies[i] = make(chan stepReply, 1)
-		b.cmd <- stepCmd{add: assign[i], d: f.cfg.Batch, batch: batch + 1, reply: replies[i]}
+	// Fan the batch out; each board advances on its own goroutine and the
+	// barrier joins the pipeline instead of blocking here.
+	bar := inflightBarrier{
+		batch:   issued + 1,
+		replies: make([]chan stepReply, len(f.boards)),
+		add:     make([]projCarry, len(f.boards)),
 	}
-	var firstErr error
+	for i, b := range f.boards {
+		var add []task.Spec
+		if assign != nil { // nil when the batch had no submissions
+			add = assign[i]
+		}
+		bar.replies[i] = make(chan stepReply, 1)
+		b.cmd <- stepCmd{add: add, d: f.cfg.Batch, batch: issued + 1, reply: bar.replies[i]}
+		var dpu float64
+		for _, s := range add {
+			dpu += EstimateDemandPU(s)
+		}
+		bar.add[i] = projCarry{tasks: len(add), demandPU: dpu}
+		bar.total += len(add)
+	}
+	f.inflight = append(f.inflight, bar)
+
+	f.mu.Lock()
+	f.issued++
+	f.now += f.cfg.Batch
+	f.inflightTasks += bar.total
+	for i := range f.carry {
+		f.carry[i].tasks += bar.add[i].tasks
+		f.carry[i].demandPU += bar.add[i].demandPU
+	}
+	f.counters.Routed += uint64(len(specs) - len(unrouted))
+	f.counters.Queued += uint64(len(unrouted))
+	f.mu.Unlock()
+
+	resubmit, firstErr := f.collectTo(f.cfg.MaxSkew)
+
+	f.mu.Lock()
+	f.requeueLocked(append(resubmit, unrouted...))
+	f.mu.Unlock()
+	return firstErr
+}
+
+// collectTo collects outstanding barriers until at most maxOutstanding
+// remain and no drain/resume decision is pending. Decisions flush the
+// pipeline first (drain/resume must see a quiescent board), then execute
+// in decision order; evacuated specs are returned for requeueing.
+func (f *Fleet) collectTo(maxOutstanding int) (resubmit []task.Spec, firstErr error) {
+	for len(f.inflight) > maxOutstanding || len(f.ops) > 0 {
+		if len(f.ops) > 0 && len(f.inflight) == 0 {
+			ops := f.ops
+			f.ops = nil
+			for _, op := range ops {
+				if op.resume {
+					f.resumeBoard(op.board)
+					f.mu.Lock()
+					f.snaps[op.board].Draining = false
+					f.mu.Unlock()
+					f.emitDrainEvent(op.board, "resume", 0)
+					continue
+				}
+				specs := f.drainBoard(op.board)
+				resubmit = append(resubmit, specs...)
+				f.mu.Lock()
+				f.snaps[op.board].Draining = true
+				f.snaps[op.board].Tasks = 0
+				if op.redrain {
+					f.counters.Redrained++
+				}
+				f.mu.Unlock()
+				class := "drain"
+				if op.redrain {
+					class = "redrain"
+				}
+				f.emitDrainEvent(op.board, class, len(specs))
+			}
+			continue
+		}
+		if err := f.collectOldest(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return resubmit, firstErr
+}
+
+// collectOldest blocks on the oldest in-flight barrier, publishes its
+// versioned snapshots, unwinds its projection carry, and records any
+// drain/resume decisions its snapshots trigger.
+func (f *Fleet) collectOldest() error {
+	bar := f.inflight[0]
+	f.inflight = f.inflight[1:]
 	fresh := make([]Snapshot, len(f.boards))
+	var firstErr error
 	for i := range f.boards {
-		r := <-replies[i]
+		r := <-bar.replies[i]
 		fresh[i] = r.snap
 		if r.err != nil && firstErr == nil {
 			firstErr = fmt.Errorf("fleet: board %d: %w", i, r.err)
 		}
 	}
-
-	resubmit := f.autoDrain(fresh)
-
+	f.noteDrainStreaks(fresh)
 	f.mu.Lock()
-	for i := range fresh {
-		f.snaps[i] = fresh[i]
-	}
+	copy(f.snaps, fresh)
 	f.batch++
-	f.now += f.cfg.Batch
-	f.counters.Routed += uint64(len(specs) - len(unrouted))
-	f.counters.Queued += uint64(len(unrouted))
-	// Unrouted work re-enters at the queue head, before anything
-	// submitted during this batch, preserving FIFO admission. Drained
-	// tasks go in front of even those: they were already running.
-	requeue := append(resubmit, unrouted...)
-	if len(requeue) > 0 {
-		f.pending = append(requeue, f.pending...)
-		if over := len(f.pending) - f.cfg.QueueCap; over > 0 {
-			f.counters.Shed += uint64(over)
-			f.pending = f.pending[:f.cfg.QueueCap]
-		}
+	f.inflightTasks -= bar.total
+	for i := range f.carry {
+		f.carry[i].tasks -= bar.add[i].tasks
+		f.carry[i].demandPU -= bar.add[i].demandPU
 	}
 	f.mu.Unlock()
 	return firstErr
 }
 
-// autoDrain tracks per-board degraded streaks against the fresh barrier
-// snapshots, evacuating boards that stayed degraded too long and
-// resuming them once they stay healthy equally long. Returns the specs
-// to resubmit through the dispatcher.
-func (f *Fleet) autoDrain(fresh []Snapshot) []task.Spec {
-	if f.cfg.DrainDegradedAfter <= 0 {
-		return nil
+// Flush collects every outstanding barrier and executes pending
+// drain/resume decisions, bringing the published state fully current
+// (bounded-skew runs leave up to MaxSkew barriers in flight). A no-op in
+// lockstep steady state.
+func (f *Fleet) Flush() error {
+	resubmit, err := f.collectTo(0)
+	f.mu.Lock()
+	f.requeueLocked(resubmit)
+	f.mu.Unlock()
+	return err
+}
+
+// cooldownBarriers derives the healthy-barrier streak a board must show
+// before its next resume: DrainDegradedAfter barriers on the first drain,
+// doubling per re-drain (capped at 32×), with deterministic seeded jitter
+// so a fleet of flapping boards doesn't resume in thundering-herd unison.
+func (f *Fleet) cooldownBarriers(board int) int {
+	n := f.cfg.DrainDegradedAfter
+	bo := fault.Backoff{
+		Base:   sim.Time(n) * f.cfg.Batch,
+		Factor: 2,
+		Jitter: 0.25,
+		Seed:   sim.DeriveSeed(f.cfg.Seed, drainSeedStream+uint64(board)),
 	}
-	var resubmit []task.Spec
+	barriers := int((bo.Next(f.drainCount[board]) + f.cfg.Batch - 1) / f.cfg.Batch)
+	if barriers < n {
+		barriers = n
+	}
+	return barriers
+}
+
+// noteDrainStreaks tracks per-board degraded streaks against one
+// collected barrier, queueing drain decisions for boards that stayed
+// degraded too long and resume decisions once a drained board stays
+// healthy through its cooldown. Decisions are deferred (drainOp) so they
+// execute on a flushed pipeline.
+func (f *Fleet) noteDrainStreaks(fresh []Snapshot) {
+	if f.cfg.DrainDegradedAfter <= 0 {
+		return
+	}
 	for i, s := range fresh {
 		if s.Degraded {
 			f.degraded[i]++
@@ -331,21 +562,45 @@ func (f *Fleet) autoDrain(fresh []Snapshot) []task.Spec {
 				f.healthy[i]++
 			}
 		}
-		if !f.auto[i] && f.degraded[i] >= f.cfg.DrainDegradedAfter {
-			specs := f.drainBoard(i)
-			resubmit = append(resubmit, specs...)
-			f.auto[i] = true
-			fresh[i].Draining = true
-			fresh[i].Tasks = 0
+		// Cooldown decay: surviving twice the last cooldown after a
+		// resume earns the exponential counter back. Only trusted
+		// (non-degraded) barriers count as surviving.
+		if !f.auto[i] && f.drainCount[i] > 0 && !s.Degraded {
+			f.sinceResume[i]++
+			if f.sinceResume[i] >= 2*f.resumeAfter[i] {
+				f.drainCount[i] = 0
+			}
 		}
-		if f.auto[i] && f.healthy[i] >= f.cfg.DrainDegradedAfter {
-			f.resumeBoard(i)
+		if !f.auto[i] && f.degraded[i] >= f.cfg.DrainDegradedAfter {
+			f.auto[i] = true
+			f.healthy[i] = 0
+			f.resumeAfter[i] = f.cooldownBarriers(i)
+			f.drainCount[i]++
+			f.sinceResume[i] = 0
+			f.ops = append(f.ops, drainOp{board: i, redrain: f.drainCount[i] > 1})
+			continue
+		}
+		if f.auto[i] && f.healthy[i] >= f.resumeAfter[i] {
 			f.auto[i] = false
 			f.healthy[i] = 0
-			fresh[i].Draining = false
+			f.sinceResume[i] = 0
+			f.ops = append(f.ops, drainOp{board: i, resume: true})
 		}
 	}
-	return resubmit
+}
+
+// emitDrainEvent publishes one KindDrain lifecycle event (class = drain /
+// redrain / resume / manual-drain / manual-resume).
+func (f *Fleet) emitDrainEvent(board int, class string, evacuated int) {
+	if !f.em.Enabled(telemetry.KindDrain) {
+		return
+	}
+	ev := telemetry.E(telemetry.KindDrain)
+	ev.Name = fmt.Sprintf("board-%d", board)
+	ev.Class = class
+	ev.Value = float64(evacuated)
+	ev.Prev = float64(f.resumeAfter[board])
+	f.em.Emit(ev)
 }
 
 func (f *Fleet) drainBoard(i int) []task.Spec {
@@ -365,20 +620,25 @@ func (f *Fleet) resumeBoard(i int) {
 	<-reply
 }
 
-// Drain evacuates board i immediately (manual hot-unplug path): its
-// tasks re-enter the admission queue head and the board stops receiving
-// work until Resume. Safe only between Steps (fleetd's driver serializes
-// them).
+// Drain evacuates board i immediately (manual hot-unplug path): the
+// pipeline is flushed, the board's tasks re-enter the admission queue
+// head (overflow sheds with accounting, like every requeue), and the
+// board stops receiving work until Resume. Safe only between Steps
+// (fleetd's driver serializes them).
 func (f *Fleet) Drain(i int) error {
 	if i < 0 || i >= len(f.boards) {
 		return fmt.Errorf("fleet: no board %d", i)
+	}
+	if err := f.Flush(); err != nil {
+		return err
 	}
 	specs := f.drainBoard(i)
 	f.mu.Lock()
 	f.snaps[i].Draining = true
 	f.snaps[i].Tasks = 0
-	f.pending = append(append([]task.Spec(nil), specs...), f.pending...)
+	f.requeueLocked(specs)
 	f.mu.Unlock()
+	f.emitDrainEvent(i, "manual-drain", len(specs))
 	return nil
 }
 
@@ -387,22 +647,29 @@ func (f *Fleet) Resume(i int) error {
 	if i < 0 || i >= len(f.boards) {
 		return fmt.Errorf("fleet: no board %d", i)
 	}
+	if err := f.Flush(); err != nil {
+		return err
+	}
 	f.resumeBoard(i)
 	f.mu.Lock()
 	f.snaps[i].Draining = false
 	f.mu.Unlock()
+	f.emitDrainEvent(i, "manual-resume", 0)
 	return nil
 }
 
-// StateSnapshot publishes the fleet-wide view of the last barrier.
+// StateSnapshot publishes the fleet-wide view of the newest collected
+// barrier.
 func (f *Fleet) StateSnapshot() State {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	st := State{
 		Batch:    f.batch,
+		Issued:   f.issued,
 		Time:     f.now,
 		Boards:   append([]Snapshot(nil), f.snaps...),
 		QueueLen: len(f.pending),
+		InFlight: f.inflightTasks,
 		Counters: f.counters,
 	}
 	return st
@@ -422,6 +689,8 @@ func (f *Fleet) Traces() []*check.Trace {
 func (f *Fleet) Boards() []*Board { return f.boards }
 
 // Close stops every board goroutine. The fleet is unusable afterwards.
+// Outstanding pipelined steps drain through each board's command queue
+// before the stop executes.
 func (f *Fleet) Close() {
 	f.mu.Lock()
 	if f.closed {

@@ -7,6 +7,7 @@ import (
 	"pricepower/internal/fault"
 	"pricepower/internal/sim"
 	"pricepower/internal/task"
+	"pricepower/internal/telemetry"
 )
 
 // lightSpec is a small CPU-bound looping task: low enough demand that
@@ -18,16 +19,17 @@ func lightSpec(name string) task.Spec {
 }
 
 // checkZeroLoss asserts the fleet's conservation invariant: every
-// accepted task is either live on a board, waiting in the queue, or was
-// explicitly shed — nothing vanishes.
+// accepted task is either live on a board, waiting in the queue, in
+// flight at an uncollected barrier (bounded skew), or was explicitly
+// shed — nothing vanishes.
 func checkZeroLoss(t *testing.T, f *Fleet) {
 	t.Helper()
 	st := f.StateSnapshot()
 	want := st.Counters.Submitted - st.Counters.Shed
-	got := uint64(st.Live() + st.QueueLen)
+	got := uint64(st.Live() + st.QueueLen + st.InFlight)
 	if got != want {
-		t.Fatalf("zero-loss violated: live %d + queued %d = %d, want submitted %d - shed %d = %d",
-			st.Live(), st.QueueLen, got, st.Counters.Submitted, st.Counters.Shed, want)
+		t.Fatalf("zero-loss violated: live %d + queued %d + inflight %d = %d, want submitted %d - shed %d = %d",
+			st.Live(), st.QueueLen, st.InFlight, got, st.Counters.Submitted, st.Counters.Shed, want)
 	}
 }
 
@@ -248,6 +250,293 @@ func TestParseTraceRejectsGarbage(t *testing.T) {
 	}
 	if _, err := ParseTrace(strings.NewReader(`{"tasks":[]}`)); err == nil {
 		t.Error("ParseTrace accepted empty trace")
+	}
+}
+
+// TestFleetBoundedSkewConserves steps a skewed fleet and asserts the
+// zero-loss invariant holds at every barrier — with up to MaxSkew
+// barriers in flight, assigned-but-uncollected tasks must be accounted
+// in InFlight, and Flush must bring the pipeline fully current.
+func TestFleetBoundedSkewConserves(t *testing.T) {
+	f, err := New(Config{Boards: 3, Seed: 7, MaxSkew: 4, Check: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	for i := 0; i < 12; i++ {
+		f.Submit(lightSpec("t"))
+	}
+	for i := 0; i < 20; i++ {
+		if err := f.Step(); err != nil {
+			t.Fatal(err)
+		}
+		checkZeroLoss(t, f)
+	}
+	st := f.StateSnapshot()
+	if st.Issued != 20 {
+		t.Errorf("issued = %d, want 20", st.Issued)
+	}
+	if st.Batch != 20-f.cfg.MaxSkew {
+		t.Errorf("collected = %d, want %d (MaxSkew barriers in flight)", st.Batch, 20-f.cfg.MaxSkew)
+	}
+	if err := f.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st = f.StateSnapshot()
+	if st.Batch != st.Issued || st.InFlight != 0 {
+		t.Errorf("after Flush: collected %d issued %d inflight %d, want fully current", st.Batch, st.Issued, st.InFlight)
+	}
+	if st.Live() != 12 || st.QueueLen != 0 || st.Counters.Shed != 0 {
+		t.Errorf("after Flush: live %d queued %d shed %d, want 12/0/0", st.Live(), st.QueueLen, st.Counters.Shed)
+	}
+	checkZeroLoss(t, f)
+	// Price routing must still spread across equal boards under skew.
+	for _, b := range st.Boards {
+		if b.Tasks == 0 {
+			t.Errorf("board %d got no tasks under bounded skew", b.Board)
+		}
+	}
+}
+
+// TestFleetSkewedRetryProjectsInFlight is the admission-queue retry
+// regression: with stale snapshots (bounded skew), queued submissions
+// retried at later barriers must project the demand already assigned at
+// in-flight barriers — otherwise a board whose stale snapshot still
+// looks idle absorbs the whole backlog many times over its capacity.
+func TestFleetSkewedRetryProjectsInFlight(t *testing.T) {
+	f, err := New(Config{Boards: 2, Seed: 5, MaxSkew: 3, QueueCap: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	// Board 1 out of the picture: every admissible path leads to board 0,
+	// whose supply ceiling (5400 PU on TC2) fits ~54 of these 100-PU
+	// estimated tasks.
+	if err := f.Drain(1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		f.Submit(lightSpec("t"))
+	}
+	// Route over MaxSkew barriers while the collected snapshot is still
+	// the idle barrier-0 view: without the in-flight carry these steps
+	// would each re-route the queued remainder onto "idle" board 0.
+	for i := 0; i < 3; i++ {
+		if err := f.Step(); err != nil {
+			t.Fatal(err)
+		}
+		checkZeroLoss(t, f)
+	}
+	if err := f.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st := f.StateSnapshot()
+	got := st.Boards[0].Tasks
+	if got == 0 {
+		t.Fatal("board 0 got nothing: routing is broken before the regression even applies")
+	}
+	if got > 60 {
+		t.Errorf("board 0 absorbed %d tasks, want ≤ 60 (supply ceiling ≈ 54 estimated tasks): in-flight demand not projected on retry", got)
+	}
+	if st.Boards[1].Tasks != 0 {
+		t.Errorf("drained board 1 runs %d tasks, want 0", st.Boards[1].Tasks)
+	}
+	if want := 100 - got; st.QueueLen != want {
+		t.Errorf("queue holds %d, want the %d that did not fit", st.QueueLen, want)
+	}
+	checkZeroLoss(t, f)
+}
+
+// TestFleetDrainOverflowShedsOnce pins the drain-overlapping-overflow
+// accounting: evacuating a board into a full admission queue must shed
+// the overflow exactly once — counted, queue cap respected — instead of
+// silently growing the queue past its cap (the old manual-Drain path) or
+// losing tasks from the conservation ledger.
+func TestFleetDrainOverflowShedsOnce(t *testing.T) {
+	f, err := New(Config{Boards: 1, Seed: 2, QueueCap: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	for i := 0; i < 3; i++ {
+		f.Submit(lightSpec("live"))
+	}
+	if err := f.Step(); err != nil { // 3 tasks land on the board
+		t.Fatal(err)
+	}
+	st := f.StateSnapshot()
+	if st.Live() != 3 {
+		t.Fatalf("live = %d before drain, want 3", st.Live())
+	}
+	// Fill the queue to its cap, then force the drain: 3 evacuated + 4
+	// queued = 7 into a 4-slot queue.
+	for i := 0; i < 4; i++ {
+		f.Submit(lightSpec("queued"))
+	}
+	if err := f.Drain(0); err != nil {
+		t.Fatal(err)
+	}
+	st = f.StateSnapshot()
+	if st.QueueLen != 4 {
+		t.Errorf("queue len = %d after drain, want cap 4", st.QueueLen)
+	}
+	if st.Counters.Shed != 3 {
+		t.Errorf("shed = %d, want 3 (7 requeue candidates, 4 slots)", st.Counters.Shed)
+	}
+	if st.Counters.Drained != 3 {
+		t.Errorf("drained = %d, want 3", st.Counters.Drained)
+	}
+	checkZeroLoss(t, f)
+}
+
+// TestFleetDrainCooldownBacksOff drives the drain/resume flapping fix
+// through the streak state machine directly: a board that keeps
+// re-tripping its degraded streak right after each resume must pay an
+// exponentially growing healthy-barrier cooldown before the next resume
+// (fault.Backoff with seeded jitter), count each repeat in Redrained,
+// and emit a KindDrain event per transition.
+func TestFleetDrainCooldownBacksOff(t *testing.T) {
+	f, err := New(Config{Boards: 2, Seed: 13, DrainDegradedAfter: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ring := telemetry.NewRing(64)
+	f.AttachTelemetry(telemetry.NewEmitter(nil, ring))
+
+	// Synthetic collected barriers: board 0 degraded or healthy, board 1
+	// always fine. Feeding noteDrainStreaks directly decouples the
+	// cooldown machine from the market's sensor heuristics; Flush
+	// executes the queued drain/resume ops against the (empty) boards.
+	barrier := func(deg bool) []Snapshot {
+		s := make([]Snapshot, 2)
+		for i := range s {
+			s[i].Board = i
+		}
+		s[0].Degraded = deg
+		return s
+	}
+
+	const cycles = 4
+	var cooldowns []int
+	for c := 0; c < cycles; c++ {
+		// Re-trip immediately after the previous resume: the degraded
+		// streak needs DrainDegradedAfter consecutive barriers.
+		for j := 0; j < f.cfg.DrainDegradedAfter; j++ {
+			f.noteDrainStreaks(barrier(true))
+		}
+		if !f.auto[0] {
+			t.Fatalf("cycle %d: degraded streak did not trip auto-drain", c)
+		}
+		cooldowns = append(cooldowns, f.resumeAfter[0])
+		if err := f.Flush(); err != nil { // executes the drain op
+			t.Fatal(err)
+		}
+		// Idle healthy through exactly the cooldown; the board must not
+		// resume a single barrier earlier.
+		for j := 0; j < cooldowns[c]; j++ {
+			if !f.auto[0] {
+				t.Fatalf("cycle %d: resumed after %d healthy barriers, want cooldown %d", c, j, cooldowns[c])
+			}
+			f.noteDrainStreaks(barrier(false))
+		}
+		if f.auto[0] {
+			t.Fatalf("cycle %d: still drained after full cooldown of %d", c, cooldowns[c])
+		}
+		if err := f.Flush(); err != nil { // executes the resume op
+			t.Fatal(err)
+		}
+	}
+
+	if got := f.StateSnapshot().Counters.Redrained; got != cycles-1 {
+		t.Errorf("redrained = %d, want %d (every drain after the first is a repeat)", got, cycles-1)
+	}
+	// Backoff with Factor 2 and Jitter 0.25 grows strictly: the shortest
+	// possible next cooldown (1.5× base) exceeds the longest previous one.
+	for c := 1; c < len(cooldowns); c++ {
+		if cooldowns[c] <= cooldowns[c-1] {
+			t.Errorf("cooldown did not back off: %v", cooldowns)
+			break
+		}
+	}
+
+	var drains, redrains, resumes int
+	for _, ev := range ring.Snapshot() {
+		if ev.Kind != telemetry.KindDrain {
+			continue
+		}
+		switch ev.Class {
+		case "drain":
+			drains++
+		case "redrain":
+			redrains++
+		case "resume":
+			resumes++
+		}
+	}
+	if drains != 1 || redrains != cycles-1 || resumes != cycles {
+		t.Errorf("drain events = %d drain / %d redrain / %d resume, want 1 / %d / %d",
+			drains, redrains, resumes, cycles-1, cycles)
+	}
+}
+
+// TestFleetDrainCooldownDecays pins the counterpart: a board that
+// survives twice its last cooldown of trusted barriers after a resume
+// earns its exponential counter back, so the next (unrelated) drain
+// starts from the base cooldown again.
+func TestFleetDrainCooldownDecays(t *testing.T) {
+	f, err := New(Config{Boards: 2, Seed: 13, DrainDegradedAfter: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	barrier := func(deg bool) []Snapshot {
+		s := make([]Snapshot, 2)
+		for i := range s {
+			s[i].Board = i
+		}
+		s[0].Degraded = deg
+		return s
+	}
+	trip := func() int {
+		for j := 0; j < f.cfg.DrainDegradedAfter; j++ {
+			f.noteDrainStreaks(barrier(true))
+		}
+		if !f.auto[0] {
+			t.Fatal("degraded streak did not trip auto-drain")
+		}
+		cd := f.resumeAfter[0]
+		if err := f.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < cd; j++ {
+			f.noteDrainStreaks(barrier(false))
+		}
+		if err := f.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return cd
+	}
+
+	first := trip()
+	second := trip()
+	if second <= first {
+		t.Fatalf("second cooldown %d did not back off from first %d", second, first)
+	}
+	// Survive 2× the last cooldown healthy: the counter resets and the
+	// next drain is charged like a first offense again.
+	for j := 0; j < 2*second; j++ {
+		f.noteDrainStreaks(barrier(false))
+	}
+	if f.drainCount[0] != 0 {
+		t.Fatalf("drain count = %d after surviving 2×cooldown, want 0", f.drainCount[0])
+	}
+	if third := trip(); third != first {
+		t.Errorf("cooldown after decay = %d, want base %d again", third, first)
 	}
 }
 

@@ -1,0 +1,130 @@
+package fleet
+
+// priceIndex is the dispatcher's price-ordered admissibility index: an
+// indexed min-heap over the projected snapshots of the boards that are
+// admissible at the current barrier, ordered by (projected price, board
+// ID). It is rebuilt once per barrier — Route builds it over its local
+// projection copy — and adjusted in place as demand projection bumps a
+// board's projected price, so choosing the cheapest admissible board for
+// one submission costs O(log B) instead of the former O(B) scan.
+//
+// The board-ID tie-break makes the heap's minimum exactly the board the
+// linear scan would have found (the scan keeps the first strict minimum),
+// which is what lets TestPropertyIndexMatchesLinearOracle demand bitwise
+// identical routing from the two implementations.
+type priceIndex struct {
+	snaps []Snapshot // the caller's projection; entries mutate between ops
+	heap  []int      // board IDs ordered by (snaps[i].Price, i)
+	pos   []int      // board ID → heap slot, -1 when evicted/inadmissible
+}
+
+// reset rebuilds the index over proj, admitting only boards that are
+// admissible right now. O(B). The heap and position slices are reused
+// across barriers — the per-barrier rebuild allocates nothing once the
+// dispatcher's scratch has grown to the fleet size.
+func (x *priceIndex) reset(proj []Snapshot) {
+	x.snaps = proj
+	x.heap = x.heap[:0]
+	if cap(x.pos) < len(proj) {
+		x.pos = make([]int, len(proj))
+	}
+	x.pos = x.pos[:len(proj)]
+	for i := range proj {
+		x.pos[i] = -1
+		if proj[i].Admissible() {
+			x.pos[i] = len(x.heap)
+			x.heap = append(x.heap, i)
+		}
+	}
+	for s := len(x.heap)/2 - 1; s >= 0; s-- {
+		x.down(s)
+	}
+}
+
+// less orders heap slots a,b by (price, board ID): ties resolve to the
+// lower board ID, matching the linear scan's first-minimum rule.
+func (x *priceIndex) less(a, b int) bool {
+	i, j := x.heap[a], x.heap[b]
+	if x.snaps[i].Price != x.snaps[j].Price {
+		return x.snaps[i].Price < x.snaps[j].Price
+	}
+	return i < j
+}
+
+func (x *priceIndex) swap(a, b int) {
+	x.heap[a], x.heap[b] = x.heap[b], x.heap[a]
+	x.pos[x.heap[a]] = a
+	x.pos[x.heap[b]] = b
+}
+
+func (x *priceIndex) up(s int) {
+	for s > 0 {
+		parent := (s - 1) / 2
+		if !x.less(s, parent) {
+			return
+		}
+		x.swap(s, parent)
+		s = parent
+	}
+}
+
+func (x *priceIndex) down(s int) {
+	n := len(x.heap)
+	for {
+		l := 2*s + 1
+		if l >= n {
+			return
+		}
+		min := l
+		if r := l + 1; r < n && x.less(r, l) {
+			min = r
+		}
+		if !x.less(min, s) {
+			return
+		}
+		x.swap(s, min)
+		s = min
+	}
+}
+
+// min returns the cheapest admissible board, or -1 when none remains.
+func (x *priceIndex) min() int {
+	if len(x.heap) == 0 {
+		return -1
+	}
+	return x.heap[0]
+}
+
+// contains reports whether board i is still in the index (admissible).
+func (x *priceIndex) contains(i int) bool {
+	return i >= 0 && i < len(x.pos) && x.pos[i] >= 0
+}
+
+// fix restores heap order after snaps[i].Price changed. O(log B).
+func (x *priceIndex) fix(i int) {
+	s := x.pos[i]
+	if s < 0 {
+		return
+	}
+	x.up(s)
+	x.down(s)
+}
+
+// remove evicts board i — it projected past its supply ceiling and is no
+// longer admissible this barrier. O(log B).
+func (x *priceIndex) remove(i int) {
+	s := x.pos[i]
+	if s < 0 {
+		return
+	}
+	last := len(x.heap) - 1
+	if s != last {
+		x.swap(s, last)
+	}
+	x.heap = x.heap[:last]
+	x.pos[i] = -1
+	if s != last {
+		x.up(s)
+		x.down(s)
+	}
+}

@@ -8,14 +8,15 @@ import (
 
 // runRecordedFleet boots an 8-board recorded fleet from a fixed seed,
 // plays the same arrival trace into it, advances it a fixed number of
-// batches, and returns the per-board replay traces. One board carries a
-// sensor-dropout fault so the degraded/drain path is inside the recorded
-// timeline, not just the happy path.
-func runRecordedFleet(t *testing.T) []uint64 {
+// batches at the given barrier skew, and returns the per-board replay
+// traces. One board carries a sensor-dropout fault so the degraded/drain
+// path is inside the recorded timeline, not just the happy path.
+func runRecordedFleet(t *testing.T, skew int) []uint64 {
 	t.Helper()
 	f, err := New(Config{
 		Boards:             8,
 		Seed:               0xfee1de7e, // fixed fleet seed
+		MaxSkew:            skew,
 		Record:             true,
 		DrainDegradedAfter: 3,
 		Faults: map[int]fault.Scenario{
@@ -44,6 +45,9 @@ func runRecordedFleet(t *testing.T) []uint64 {
 			t.Fatal(err)
 		}
 	}
+	if err := f.Flush(); err != nil { // collect the skew tail before reading traces
+		t.Fatal(err)
+	}
 	checkZeroLoss(t, f)
 
 	finals := make([]uint64, 0, 8)
@@ -62,13 +66,60 @@ func runRecordedFleet(t *testing.T) []uint64 {
 // TestFleetReplaysBitIdentically is the PR's determinism acceptance
 // criterion: a fixed fleet seed plus a recorded arrival trace must
 // reproduce bit-identical per-board digests across two full runs, even
-// though boards advance on concurrent goroutines.
+// though boards advance on concurrent goroutines — in lockstep (K=0) and
+// pipelined up to 4 barriers ahead (K=4, the faulted bounded-skew run),
+// with each board's barrier counter folded into its digest chain.
 func TestFleetReplaysBitIdentically(t *testing.T) {
-	a := runRecordedFleet(t)
-	b := runRecordedFleet(t)
-	for i := range a {
-		if a[i] != b[i] {
-			t.Errorf("board %d digests diverge across runs: %016x vs %016x", i, a[i], b[i])
+	for _, skew := range []int{0, 4} {
+		a := runRecordedFleet(t, skew)
+		b := runRecordedFleet(t, skew)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Errorf("skew %d: board %d digests diverge across runs: %016x vs %016x", skew, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestFleetSkewZeroMatchesLockstep pins the pipeline refactor against
+// the legacy stepping: with MaxSkew explicitly 0 the bounded-skew
+// machinery must produce the same per-board digests as the default
+// (zero-value) lockstep config — routing decisions, barrier counters and
+// market timelines all bit-identical.
+func TestFleetSkewZeroMatchesLockstep(t *testing.T) {
+	a := runRecordedFleet(t, 0) // explicit K=0 through the pipeline path
+	f, err := New(Config{       // zero-value skew: the pre-pipeline config shape
+		Boards:             8,
+		Seed:               0xfee1de7e,
+		Record:             true,
+		DrainDegradedAfter: 3,
+		Faults: map[int]fault.Scenario{
+			2: {Faults: []fault.Fault{{Type: fault.PowerDropout, Cluster: -1, Start: 10, Rounds: 200}}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	arrivals := &ArrivalTrace{Tasks: []Arrival{
+		{Bench: "swaptions", Input: "n", Count: 4},
+		{Bench: "blackscholes", Input: "l", Count: 3},
+		{Bench: "x264", Input: "n", Count: 3, AtMS: 300},
+		{Bench: "bodytrack", Input: "n", Count: 2, AtMS: 800},
+	}}
+	specs, err := arrivals.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	SubmitTimed(f, specs)
+	for i := 0; i < 20; i++ {
+		if err := f.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, tr := range f.Traces() {
+		if tr.Final != a[i] {
+			t.Errorf("board %d: zero-value config digest %016x != explicit K=0 digest %016x", i, tr.Final, a[i])
 		}
 	}
 }

@@ -83,6 +83,12 @@ const (
 	// "start" or "end"; Cluster/Core identify the target (-1 = chip-wide),
 	// Value = the scenario magnitude. Low volume: two events per fault.
 	KindFault
+	// KindDrain marks a fleet board drain-lifecycle transition
+	// (internal/fleet). Name = "board-N"; Class = "drain", "redrain"
+	// (a repeat drain inside the cooldown window), "resume",
+	// "manual-drain" or "manual-resume"; Value = tasks evacuated;
+	// Prev = the resume cooldown in barriers.
+	KindDrain
 	// KindDegraded marks the market's sensor-health transitions. Name =
 	// "enter" (a power reading failed validation and the market tightened
 	// its TDP guard band) or "exit" (enough consecutive trusted readings);
@@ -104,6 +110,7 @@ var kindNames = [numKinds]string{
 	KindPowerGate: "powergate",
 	KindViolation: "violation",
 	KindFault:     "fault",
+	KindDrain:     "drain",
 	KindDegraded:  "degraded",
 }
 

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"pricepower/internal/hw"
 	"pricepower/internal/sim"
@@ -144,18 +145,29 @@ func (b *Benchmark) ProfileOf(input string) (Profile, error) {
 	}, nil
 }
 
+var (
+	profileOnce sync.Once
+	profileTab  map[string]Profile
+)
+
 // ProfileFor looks a profile up by full task name ("bench_input"). It is the
-// registry-wide profiling table handed to the LBT module.
+// registry-wide profiling table handed to the LBT module. The table is built
+// once from the (immutable) registry: the lookup sits on the fleet
+// dispatcher's per-submission path, where rebuilding the composed names on
+// every call dominated the routing cost.
 func ProfileFor(taskName string) (Profile, bool) {
-	for _, b := range Benchmarks {
-		for input := range b.Inputs {
-			if b.Name+"_"+input == taskName {
-				p, err := b.ProfileOf(input)
-				return p, err == nil
+	profileOnce.Do(func() {
+		profileTab = make(map[string]Profile)
+		for _, b := range Benchmarks {
+			for input := range b.Inputs {
+				if p, err := b.ProfileOf(input); err == nil {
+					profileTab[b.Name+"_"+input] = p
+				}
 			}
 		}
-	}
-	return Profile{}, false
+	})
+	p, ok := profileTab[taskName]
+	return p, ok
 }
 
 // ByName returns the registered benchmark with the given name. Lookups are
