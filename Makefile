@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test check race chaos fuzz golden bench bench-quick fleet-smoke fleet-saturation ci clean
+.PHONY: build vet test check race chaos fuzz golden bench bench-quick fleet-smoke fleet-saturation fleet-shards ci clean
 
 # Minutes of fuzzing per property target (see `make fuzz`).
 FUZZTIME ?= 30s
@@ -19,11 +19,13 @@ test:
 check:
 	PRICEPOWER_CHECK=1 $(GO) test ./...
 
-# Property fuzzing of the V-F ladder clamping contract and the run-queue
-# scheduling contract. FUZZTIME bounds each target.
+# Property fuzzing of the V-F ladder clamping contract, the run-queue
+# scheduling contract, and the sharded dispatcher against the linear
+# routing oracle. FUZZTIME bounds each target.
 fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzLadderLookup -fuzztime=$(FUZZTIME) ./internal/core
 	$(GO) test -run=^$$ -fuzz=FuzzQueuePickNext -fuzztime=$(FUZZTIME) ./internal/sched
+	$(GO) test -run=^$$ -fuzz=FuzzRouteShardedVsLinear -fuzztime=$(FUZZTIME) ./internal/fleet
 
 # Regenerate the pinned experiment digests after an intentional numerical
 # change (see EXPERIMENTS.md, "Bisecting a digest mismatch").
@@ -51,14 +53,27 @@ chaos:
 fleet-smoke:
 	sh scripts/fleet-smoke.sh
 
+# Dispatcher shard count for the sharded saturation benchmarks (the
+# EXPERIMENTS.md recipe runs `make fleet-saturation SHARDS=8`).
+SHARDS ?= 8
+
 # Fleet saturation smoke under the race detector: one pass over the
 # price-index routing benchmarks (indexed vs linear-scan oracle, 1000-spec
-# saturation batch) and the bounded-skew stepping benchmarks (K=0 vs K=4),
-# plus the equivalence/replay tests that pin them. -benchtime 1x exercises
-# the paths; the real numbers come from `make bench` → BENCH_scale.json.
+# saturation batch), the sharded-dispatcher sweep point at S=$(SHARDS),
+# and the bounded-skew stepping benchmarks (K=0 vs K=4), plus the
+# equivalence/replay tests that pin them. -benchtime 1x exercises the
+# paths; the real numbers come from `make bench` → BENCH_scale.json.
 fleet-saturation:
-	$(GO) test -race -run 'TestPropertyIndexMatchesLinearOracle|TestFleetReplaysBitIdentically|TestFleetSkewZeroMatchesLockstep' ./internal/fleet
-	$(GO) test -race -run '^$$' -bench 'BenchmarkDispatcherRoute$$|BenchmarkDispatcherSaturationBatch|BenchmarkFleetSaturation' -benchtime 1x .
+	$(GO) test -race -run 'TestPropertyIndexMatchesLinearOracle|TestPropertyShardedMatchesLinearOracle|TestFleetReplaysBitIdentically|TestFleetSkewZeroMatchesLockstep' ./internal/fleet
+	$(GO) test -race -run '^$$' -bench 'BenchmarkDispatcherRoute$$|BenchmarkDispatcherSaturationBatch|BenchmarkDispatcherSharded/boards=256/S=$(SHARDS)$$|BenchmarkFleetSaturation' -benchtime 1x .
+
+# Sharded-dispatcher suite under the race detector: the cross-shard
+# equivalence property, the steal/interleaving determinism stresses, the
+# conservation property across shard counts, the fuzz seed corpus, and
+# one -benchtime 1x pass over the full shard sweep.
+fleet-shards:
+	$(GO) test -race -count=1 -run 'TestPropertySharded|TestSharded|TestFleetSharded|FuzzRouteShardedVsLinear' ./internal/fleet
+	$(GO) test -race -run '^$$' -bench 'BenchmarkDispatcherSharded' -benchtime 1x .
 
 # Full scalability sweep (tick throughput to 512 tasks, market rounds to
 # 256 clusters); persists BENCH_scale.json.

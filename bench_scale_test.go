@@ -235,6 +235,74 @@ func BenchmarkDispatcherSaturationBatch(b *testing.B) {
 	}
 }
 
+// clusteredSnaps builds the sharded-dispatcher fixture: n boards whose
+// prices sit in a tight band (0.9–1.1, the homogeneous steady-state fleet
+// the market drives toward), one in seven degraded. Under the default
+// steal band (θ = 1) a clustered fleet routes almost entirely
+// shard-locally, which is the regime the shard speedup claim is about;
+// the spread fixture (routingSnaps) instead pushes most submissions
+// through the sequential steal pass and is measured separately.
+func clusteredSnaps(n int) []fleet.Snapshot {
+	rng := sim.NewRand(11)
+	snaps := make([]fleet.Snapshot, n)
+	for i := range snaps {
+		snaps[i] = fleet.Snapshot{
+			Board:       i,
+			Price:       rng.Range(0.9, 1.1),
+			DemandPU:    rng.Range(0, 4000),
+			MaxSupplyPU: 5000,
+		}
+		if i%7 == 6 {
+			snaps[i].Degraded = true
+		}
+	}
+	return snaps
+}
+
+// routingSubsN is routingSpecsN with demand pre-estimated at admission,
+// the sharded dispatcher's input shape.
+func routingSubsN(n int) []fleet.Submission {
+	specs := routingSpecsN(n)
+	subs := make([]fleet.Submission, len(specs))
+	for i := range specs {
+		subs[i] = fleet.NewSubmission(specs[i])
+	}
+	return subs
+}
+
+// BenchmarkDispatcherSharded is the shard sweep of the fleet_saturation
+// routing dimension: the 1000-submission saturation batch routed through
+// S price-index shards at 256 boards on the clustered fixture, plus the
+// unsharded indexed Route on the same fixture as the speedup baseline
+// (labelled S=0). ns/op is cost per 1k submissions; cmd/bench converts it
+// to routed/s for BENCH_scale.json — the acceptance bar is ≥1M routed
+// submissions/s and ≥3× over the single-index dispatcher at S=8.
+func BenchmarkDispatcherSharded(b *testing.B) {
+	const boards = 256
+	subs := routingSubsN(1000)
+	specs := routingSpecsN(1000)
+	b.Run("boards=256/S=0", func(b *testing.B) { // single-index baseline
+		snaps := clusteredSnaps(boards)
+		d := fleet.NewDispatcher(fleet.DefaultHysteresis)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			d.Route(snaps, specs)
+		}
+	})
+	for _, s := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("boards=256/S=%d", s), func(b *testing.B) {
+			snaps := clusteredSnaps(boards)
+			d := fleet.NewShardedDispatcher(s, fleet.DefaultHysteresis, 42)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d.Route(snaps, subs)
+			}
+		})
+	}
+}
+
 // churnSpec is a short-lived (one-batch) task for saturation stepping:
 // arrivals keep the dispatcher busy every barrier while completions stop
 // the boards from accumulating load without bound.

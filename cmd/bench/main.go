@@ -57,15 +57,37 @@ type routing struct {
 // sustained routed submissions/s through full batch barriers in
 // lockstep (K=0) versus bounded-skew pipelining (K=4). StepBoards is
 // the fleet size the stepping half ran at — -quick shrinks it while the
-// routing comparison keeps the full board counts.
+// routing comparison keeps the full board counts. At 256 boards the
+// shard sweep (ShardSweep, vs. ShardBaseNsPer1k) measures the sharded
+// dispatcher on the clustered-price fixture; the acceptance bar is
+// ≥1M routed submissions/s and ≥3× over the single index at S=8.
 type saturation struct {
-	Boards         int     `json:"boards"`
-	LinearNsPer1k  float64 `json:"linear_route_ns_per_1k"`
-	IndexedNsPer1k float64 `json:"indexed_route_ns_per_1k"`
-	RoutingSpeedup float64 `json:"routing_speedup"`
-	StepBoards     int     `json:"step_boards"`
-	RoutedPerSecK0 float64 `json:"routed_per_s_skew0"`
-	RoutedPerSecK4 float64 `json:"routed_per_s_skew4"`
+	Boards           int          `json:"boards"`
+	LinearNsPer1k    float64      `json:"linear_route_ns_per_1k"`
+	IndexedNsPer1k   float64      `json:"indexed_route_ns_per_1k"`
+	RoutingSpeedup   float64      `json:"routing_speedup"`
+	StepBoards       int          `json:"step_boards"`
+	RoutedPerSecK0   float64      `json:"routed_per_s_skew0"`
+	RoutedPerSecK4   float64      `json:"routed_per_s_skew4"`
+	ShardBaseNsPer1k float64      `json:"sharded_baseline_ns_per_1k,omitempty"`
+	ShardSweep       []shardPoint `json:"shard_sweep,omitempty"`
+}
+
+// shardPoint is one entry of the 256-board shard sweep: the sharded
+// dispatcher's cost per 1k submissions at S shards, the implied routed
+// submissions/s, the measured speedup over the single-index dispatcher on
+// the same clustered fixture, and the barrier's routing critical path
+// (max lane local phase + sequential steal pass, from the dispatcher's
+// Timing instrumentation) — what the wall clock would be with one CPU
+// per lane. Lane-parallel wall-clock gains need GOMAXPROCS > 1; on a
+// single-CPU host the sweep still runs (lanes serialize) and the speedup
+// reported is the genuinely measured single-thread one.
+type shardPoint struct {
+	Shards          int     `json:"shards"`
+	NsPer1k         float64 `json:"ns_per_1k"`
+	RoutedPerSec    float64 `json:"routed_per_s"`
+	SpeedupVsSingle float64 `json:"speedup_vs_single_index"`
+	CriticalPathNs  float64 `json:"critical_path_ns_per_1k"`
 }
 
 type report struct {
@@ -228,7 +250,7 @@ func main() {
 		if indexed > 0 {
 			speedup = linear / indexed
 		}
-		rep.Saturation = append(rep.Saturation, saturation{
+		sat := saturation{
 			Boards:         n,
 			LinearNsPer1k:  linear,
 			IndexedNsPer1k: indexed,
@@ -236,7 +258,11 @@ func main() {
 			StepBoards:     stepN,
 			RoutedPerSecK0: perSec[0],
 			RoutedPerSecK4: perSec[4],
-		})
+		}
+		if n == 256 {
+			sat.ShardBaseNsPer1k, sat.ShardSweep = runShardSweep(add)
+		}
+		rep.Saturation = append(rep.Saturation, sat)
 		fmt.Printf("%-40s %11.2fx indexed-vs-linear routing speedup\n",
 			fmt.Sprintf("fleet_saturation/boards=%d", n), speedup)
 	}
@@ -264,6 +290,89 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("wrote", *out)
+}
+
+// runShardSweep measures the 256-board shard sweep on the clustered
+// fixture: the single-index Route baseline, then the sharded dispatcher
+// at S ∈ {1, 2, 4, 8}, each routing the 1000-submission saturation batch.
+// The critical path per point is the best-of-32 (max lane + steal) from
+// the dispatcher's Timing instrumentation — the barrier's routing wall
+// clock if every lane had its own CPU.
+func runShardSweep(add func(string, func(b *testing.B)) float64) (float64, []shardPoint) {
+	const boards = 256
+	specs1k := routingSpecsN(1000)
+	subs1k := make([]fleet.Submission, len(specs1k))
+	for i := range specs1k {
+		subs1k[i] = fleet.NewSubmission(specs1k[i])
+	}
+	base := add("saturation_route_sharded_base/boards=256", func(b *testing.B) {
+		snaps := clusteredSnaps(boards)
+		d := fleet.NewDispatcher(fleet.DefaultHysteresis)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			d.Route(snaps, specs1k)
+		}
+	})
+	var sweep []shardPoint
+	for _, s := range []int{1, 2, 4, 8} {
+		s := s
+		ns := add(fmt.Sprintf("saturation_route_sharded/boards=256/S=%d", s), func(b *testing.B) {
+			snaps := clusteredSnaps(boards)
+			d := fleet.NewShardedDispatcher(s, fleet.DefaultHysteresis, 42)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d.Route(snaps, subs1k)
+			}
+		})
+		snaps := clusteredSnaps(boards)
+		d := fleet.NewShardedDispatcher(s, fleet.DefaultHysteresis, 42)
+		d.Timing = true
+		crit := 0.0
+		for rep := 0; rep < 32; rep++ {
+			d.Route(snaps, subs1k)
+			lanes, steal := d.LaneTimings()
+			var maxLane int64
+			for _, ln := range lanes {
+				if ln > maxLane {
+					maxLane = ln
+				}
+			}
+			if c := float64(maxLane + steal); rep == 0 || c < crit {
+				crit = c
+			}
+		}
+		sp := shardPoint{Shards: s, NsPer1k: ns, CriticalPathNs: crit}
+		if ns > 0 {
+			sp.RoutedPerSec = 1000 * 1e9 / ns
+			sp.SpeedupVsSingle = base / ns
+		}
+		sweep = append(sweep, sp)
+		fmt.Printf("%-40s %11.2fx vs single index, %.2fM routed/s\n",
+			fmt.Sprintf("shard_sweep/boards=256/S=%d", s), sp.SpeedupVsSingle, sp.RoutedPerSec/1e6)
+	}
+	return base, sweep
+}
+
+// clusteredSnaps mirrors the bench_scale_test.go fixture: a tight price
+// band (0.9–1.1) so the default steal band keeps routing shard-local —
+// the homogeneous steady-state fleet the shard speedup claim is about.
+func clusteredSnaps(n int) []fleet.Snapshot {
+	rng := sim.NewRand(11)
+	snaps := make([]fleet.Snapshot, n)
+	for i := range snaps {
+		snaps[i] = fleet.Snapshot{
+			Board:       i,
+			Price:       rng.Range(0.9, 1.1),
+			DemandPU:    rng.Range(0, 4000),
+			MaxSupplyPU: 5000,
+		}
+		if i%7 == 6 {
+			snaps[i].Degraded = true
+		}
+	}
+	return snaps
 }
 
 // benchFleetSaturation mirrors BenchmarkFleetSaturation: every op

@@ -53,6 +53,7 @@ func run() error {
 	hyst := flag.Float64("hysteresis", fleet.DefaultHysteresis, "dispatcher price-switch hysteresis fraction")
 	queue := flag.Int("queue", fleet.DefaultQueueCap, "admission queue capacity")
 	skew := flag.Int("skew", 0, "max barriers a board may run ahead of the slowest (0 = lockstep)")
+	shards := flag.Int("shards", 1, "dispatcher shards; boards partition into S price indexes with work stealing (clamped to the board count)")
 	drainDegraded := flag.Int("drain-degraded", 0, "auto-drain a board after this many consecutive degraded barriers (0 = off)")
 	faults := flag.String("faults", "", "per-board fault scenarios as board:file[,board:file...]")
 	traceFile := flag.String("trace", "", "arrival trace JSON to submit at startup")
@@ -69,6 +70,7 @@ func run() error {
 		Hysteresis:         *hyst,
 		QueueCap:           *queue,
 		MaxSkew:            *skew,
+		Shards:             *shards,
 		DrainDegradedAfter: *drainDegraded,
 		Check:              exp.CheckEnabled(),
 	}

@@ -42,8 +42,9 @@ type Board struct {
 }
 
 type stepCmd struct {
-	add   []task.Spec // placed (in order) before the batch runs
-	d     sim.Time    // batch length of virtual time
+	subs  []Submission // the barrier's full submission batch (shared, read-only)
+	mine  []int32      // indexes into subs placed (in order) before the batch runs
+	d     sim.Time     // batch length of virtual time
 	batch int
 	reply chan stepReply
 }
@@ -140,7 +141,7 @@ func (b *Board) loop() {
 	for raw := range b.cmd {
 		switch c := raw.(type) {
 		case stepCmd:
-			b.place(c.add)
+			b.place(c.subs, c.mine)
 			b.p.Run(c.d)
 			if b.rec != nil {
 				// Fold the barrier counter and assignment count into the
@@ -148,7 +149,7 @@ func (b *Board) loop() {
 				// only if every batch of work landed on the same barrier,
 				// so the counters must be part of the digest chain, not
 				// just the market samples.
-				b.rec.Record(uint64(c.batch)<<20 | uint64(len(c.add)))
+				b.rec.Record(uint64(c.batch)<<20 | uint64(len(c.mine)))
 			}
 			r := stepReply{snap: b.snapshot(c.batch)}
 			if b.chk != nil {
@@ -167,12 +168,15 @@ func (b *Board) loop() {
 	}
 }
 
-// place boots specs on the LITTLE cluster round-robin (the paper's Linux
-// boots tasks there; the governor migrates them as the market dictates).
-// The cursor persists across batches so successive arrivals spread.
-func (b *Board) place(specs []task.Spec) {
-	for _, s := range specs {
-		b.p.AddTask(s, b.little[b.rr%len(b.little)])
+// place boots the board's share of the barrier batch on the LITTLE
+// cluster round-robin (the paper's Linux boots tasks there; the governor
+// migrates them as the market dictates). The dispatcher hands every board
+// the shared submission slice plus its pick-index list, so placement
+// copies nothing. The cursor persists across batches so successive
+// arrivals spread.
+func (b *Board) place(subs []Submission, mine []int32) {
+	for _, si := range mine {
+		b.p.AddTask(subs[si].Spec, b.little[b.rr%len(b.little)])
 		b.rr++
 	}
 }

@@ -45,6 +45,10 @@ const (
 // off the fleet seed.
 const drainSeedStream = 0xd7a1_0000
 
+// routeSeedStream namespaces the sharded dispatcher's submission→shard
+// hash seed off the fleet seed.
+const routeSeedStream = 0x5a4d_0000
+
 // Config assembles a fleet.
 type Config struct {
 	// Boards is the number of independent platform instances (≥ 1).
@@ -64,6 +68,13 @@ type Config struct {
 	// QueueCap bounds the admission queue (default DefaultQueueCap);
 	// submissions beyond it are shed.
 	QueueCap int
+	// Shards partitions the dispatcher into this many price-index shards
+	// over disjoint board ranges (default 1): each shard routes its own
+	// hash-assigned share of every barrier's submissions against its own
+	// index, with work stealing to the globally cheapest board when a
+	// shard saturates or prices out (see ShardedDispatcher). Shards clamp
+	// to the board count. Routing stays deterministic at any setting.
+	Shards int
 	// MaxSkew lets boards run up to this many barriers ahead of the
 	// slowest board (0 = lockstep). Step issues each barrier without
 	// waiting and only blocks collecting barriers more than MaxSkew
@@ -108,6 +119,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxSkew < 0 {
 		c.MaxSkew = 0
 	}
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
 	return c
 }
 
@@ -143,6 +157,9 @@ type State struct {
 	// collected (always 0 in lockstep or after Flush).
 	InFlight int      `json:"in_flight"`
 	Counters Counters `json:"counters"`
+	// Shards is the dispatcher's effective shard count (configured value
+	// clamped to the board count).
+	Shards int `json:"shards"`
 }
 
 // Live sums the tasks currently placed on boards per the collected
@@ -190,7 +207,7 @@ type drainOp struct {
 // Drain / Resume / Flush, which the driver serializes.
 type Fleet struct {
 	cfg  Config
-	disp *Dispatcher
+	disp *ShardedDispatcher
 
 	boards []*Board
 
@@ -211,9 +228,9 @@ type Fleet struct {
 	batch         int         // barriers collected
 	issued        int         // barriers issued
 	now           sim.Time    // fleet virtual time (issued * cfg.Batch)
-	inflightTasks int         // tasks assigned at uncollected barriers
-	pending       []task.Spec // FIFO admission queue
-	sched         []timedSpec // trace-scheduled future arrivals, sorted by at
+	inflightTasks int          // tasks assigned at uncollected barriers
+	pending       []Submission // FIFO admission queue (demand pre-estimated)
+	sched         []timedSpec  // trace-scheduled future arrivals, sorted by at
 	counters      Counters
 	closed        bool
 
@@ -222,9 +239,9 @@ type Fleet struct {
 }
 
 type timedSpec struct {
-	at   sim.Time
-	seq  int // tie-break: submission order
-	spec task.Spec
+	at  sim.Time
+	seq int // tie-break: submission order
+	sub Submission
 }
 
 // New builds the fleet and boots its boards (each on its own goroutine,
@@ -233,7 +250,7 @@ func New(cfg Config) (*Fleet, error) {
 	cfg = cfg.withDefaults()
 	f := &Fleet{
 		cfg:         cfg,
-		disp:        NewDispatcher(cfg.Hysteresis),
+		disp:        NewShardedDispatcher(cfg.Shards, cfg.Hysteresis, sim.DeriveSeed(cfg.Seed, routeSeedStream)),
 		snaps:       make([]Snapshot, cfg.Boards),
 		carry:       make([]projCarry, cfg.Boards),
 		degraded:    make([]int, cfg.Boards),
@@ -303,16 +320,22 @@ func (f *Fleet) Now() sim.Time { f.mu.Lock(); defer f.mu.Unlock(); return f.now 
 // Submit enqueues specs for routing at the next batch barrier. It never
 // routes immediately — arrival order within a barrier is the submission
 // order, which keeps trace-driven runs reproducible. Returns the number
-// accepted (the rest were shed against the queue cap).
+// accepted (the rest were shed against the queue cap). Demand estimation
+// happens here, once per submission lifetime — not per routing attempt —
+// so barrier retries route on the cached estimate.
 func (f *Fleet) Submit(specs ...task.Spec) int {
+	subs := make([]Submission, len(specs))
+	for i, s := range specs {
+		subs[i] = NewSubmission(s)
+	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	return f.submitLocked(specs)
+	return f.submitLocked(subs)
 }
 
-func (f *Fleet) submitLocked(specs []task.Spec) int {
+func (f *Fleet) submitLocked(subs []Submission) int {
 	accepted := 0
-	for _, s := range specs {
+	for _, s := range subs {
 		f.counters.Submitted++
 		if len(f.pending) >= f.cfg.QueueCap {
 			f.counters.Shed++
@@ -331,7 +354,7 @@ func (f *Fleet) submitLocked(specs []task.Spec) int {
 // work (barrier retry, auto-drain, manual Drain) funnels through here so
 // an evacuation overlapping a full queue sheds exactly once instead of
 // silently exceeding the cap.
-func (f *Fleet) requeueLocked(requeue []task.Spec) {
+func (f *Fleet) requeueLocked(requeue []Submission) {
 	if len(requeue) == 0 {
 		return
 	}
@@ -346,9 +369,10 @@ func (f *Fleet) requeueLocked(requeue []task.Spec) {
 // reaches at — the trace-driven arrival path. Entries due at the same
 // barrier are submitted in (at, submission order).
 func (f *Fleet) SubmitAt(at sim.Time, spec task.Spec) {
+	sub := NewSubmission(spec)
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	f.sched = append(f.sched, timedSpec{at: at, seq: len(f.sched), spec: spec})
+	f.sched = append(f.sched, timedSpec{at: at, seq: len(f.sched), sub: sub})
 	sort.SliceStable(f.sched, func(i, j int) bool { return f.sched[i].at < f.sched[j].at })
 }
 
@@ -376,7 +400,7 @@ func (f *Fleet) Step() error {
 	// pending work (older submissions route first).
 	horizon := f.now + f.cfg.Batch
 	for len(f.sched) > 0 && f.sched[0].at < horizon {
-		f.submitLocked([]task.Spec{f.sched[0].spec})
+		f.submitLocked([]Submission{f.sched[0].sub})
 		f.sched = f.sched[1:]
 	}
 	snaps := append([]Snapshot(nil), f.snaps...)
@@ -392,33 +416,42 @@ func (f *Fleet) Step() error {
 			}
 		}
 	}
-	specs := f.pending
+	subs := f.pending
 	f.pending = nil
 	issued := f.issued
 	f.mu.Unlock()
 
-	assign, unrouted := f.disp.Route(snaps, specs)
+	rb := f.disp.Route(snaps, subs)
+	// Materialize the unrouted tail before anything can call Route again
+	// (rb's slices are dispatcher scratch).
+	var unrouted []Submission
+	if len(rb.Unrouted) > 0 {
+		unrouted = make([]Submission, 0, len(rb.Unrouted))
+		for _, si := range rb.Unrouted {
+			unrouted = append(unrouted, subs[si])
+		}
+	}
 
 	// Fan the batch out; each board advances on its own goroutine and the
-	// barrier joins the pipeline instead of blocking here.
+	// barrier joins the pipeline instead of blocking here. Boards receive
+	// the shared read-only submission slice plus their pick-index list —
+	// no per-board spec copies on the barrier's critical path.
 	bar := inflightBarrier{
 		batch:   issued + 1,
 		replies: make([]chan stepReply, len(f.boards)),
 		add:     make([]projCarry, len(f.boards)),
 	}
 	for i, b := range f.boards {
-		var add []task.Spec
-		if assign != nil { // nil when the batch had no submissions
-			add = assign[i]
+		var mine []int32
+		var dpu float64
+		if rb.PerBoard != nil { // nil when the batch had no submissions
+			mine = rb.PerBoard[i]
+			dpu = rb.AddDemandPU[i]
 		}
 		bar.replies[i] = make(chan stepReply, 1)
-		b.cmd <- stepCmd{add: add, d: f.cfg.Batch, batch: issued + 1, reply: bar.replies[i]}
-		var dpu float64
-		for _, s := range add {
-			dpu += EstimateDemandPU(s)
-		}
-		bar.add[i] = projCarry{tasks: len(add), demandPU: dpu}
-		bar.total += len(add)
+		b.cmd <- stepCmd{subs: subs, mine: mine, d: f.cfg.Batch, batch: issued + 1, reply: bar.replies[i]}
+		bar.add[i] = projCarry{tasks: len(mine), demandPU: dpu}
+		bar.total += len(mine)
 	}
 	f.inflight = append(f.inflight, bar)
 
@@ -430,7 +463,7 @@ func (f *Fleet) Step() error {
 		f.carry[i].tasks += bar.add[i].tasks
 		f.carry[i].demandPU += bar.add[i].demandPU
 	}
-	f.counters.Routed += uint64(len(specs) - len(unrouted))
+	f.counters.Routed += uint64(rb.Routed)
 	f.counters.Queued += uint64(len(unrouted))
 	f.mu.Unlock()
 
@@ -446,7 +479,7 @@ func (f *Fleet) Step() error {
 // remain and no drain/resume decision is pending. Decisions flush the
 // pipeline first (drain/resume must see a quiescent board), then execute
 // in decision order; evacuated specs are returned for requeueing.
-func (f *Fleet) collectTo(maxOutstanding int) (resubmit []task.Spec, firstErr error) {
+func (f *Fleet) collectTo(maxOutstanding int) (resubmit []Submission, firstErr error) {
 	for len(f.inflight) > maxOutstanding || len(f.ops) > 0 {
 		if len(f.ops) > 0 && len(f.inflight) == 0 {
 			ops := f.ops
@@ -460,8 +493,8 @@ func (f *Fleet) collectTo(maxOutstanding int) (resubmit []task.Spec, firstErr er
 					f.emitDrainEvent(op.board, "resume", 0)
 					continue
 				}
-				specs := f.drainBoard(op.board)
-				resubmit = append(resubmit, specs...)
+				subs := f.drainBoard(op.board)
+				resubmit = append(resubmit, subs...)
 				f.mu.Lock()
 				f.snaps[op.board].Draining = true
 				f.snaps[op.board].Tasks = 0
@@ -473,7 +506,7 @@ func (f *Fleet) collectTo(maxOutstanding int) (resubmit []task.Spec, firstErr er
 				if op.redrain {
 					class = "redrain"
 				}
-				f.emitDrainEvent(op.board, class, len(specs))
+				f.emitDrainEvent(op.board, class, len(subs))
 			}
 			continue
 		}
@@ -603,15 +636,19 @@ func (f *Fleet) emitDrainEvent(board int, class string, evacuated int) {
 	f.em.Emit(ev)
 }
 
-func (f *Fleet) drainBoard(i int) []task.Spec {
+func (f *Fleet) drainBoard(i int) []Submission {
 	reply := make(chan []task.Spec, 1)
 	f.boards[i].cmd <- drainCmd{reply: reply}
 	specs := <-reply
+	subs := make([]Submission, len(specs))
+	for j, s := range specs {
+		subs[j] = NewSubmission(s)
+	}
 	f.mu.Lock()
-	f.counters.Drained += uint64(len(specs))
-	f.counters.Resubmitted += uint64(len(specs))
+	f.counters.Drained += uint64(len(subs))
+	f.counters.Resubmitted += uint64(len(subs))
 	f.mu.Unlock()
-	return specs
+	return subs
 }
 
 func (f *Fleet) resumeBoard(i int) {
@@ -632,13 +669,13 @@ func (f *Fleet) Drain(i int) error {
 	if err := f.Flush(); err != nil {
 		return err
 	}
-	specs := f.drainBoard(i)
+	subs := f.drainBoard(i)
 	f.mu.Lock()
 	f.snaps[i].Draining = true
 	f.snaps[i].Tasks = 0
-	f.requeueLocked(specs)
+	f.requeueLocked(subs)
 	f.mu.Unlock()
-	f.emitDrainEvent(i, "manual-drain", len(specs))
+	f.emitDrainEvent(i, "manual-drain", len(subs))
 	return nil
 }
 
@@ -663,6 +700,13 @@ func (f *Fleet) Resume(i int) error {
 func (f *Fleet) StateSnapshot() State {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	shards := f.cfg.Shards
+	if shards > len(f.boards) {
+		shards = len(f.boards)
+	}
+	if shards < 1 {
+		shards = 1
+	}
 	st := State{
 		Batch:    f.batch,
 		Issued:   f.issued,
@@ -671,6 +715,7 @@ func (f *Fleet) StateSnapshot() State {
 		QueueLen: len(f.pending),
 		InFlight: f.inflightTasks,
 		Counters: f.counters,
+		Shards:   shards,
 	}
 	return st
 }

@@ -14,7 +14,8 @@ package fleet
 // identical routing from the two implementations.
 type priceIndex struct {
 	snaps []Snapshot // the caller's projection; entries mutate between ops
-	heap  []int      // board IDs ordered by (snaps[i].Price, i)
+	price []float64  // board ID → cached projected price, kept in sync by reset/fix
+	heap  []int      // board IDs ordered by (price[i], i)
 	pos   []int      // board ID → heap slot, -1 when evicted/inadmissible
 }
 
@@ -23,14 +24,28 @@ type priceIndex struct {
 // across barriers — the per-barrier rebuild allocates nothing once the
 // dispatcher's scratch has grown to the fleet size.
 func (x *priceIndex) reset(proj []Snapshot) {
+	x.resetRange(proj, 0, len(proj))
+}
+
+// resetRange rebuilds the index over the board range [lo, hi) of proj —
+// the per-shard form: a sharded dispatcher gives every shard its own
+// priceIndex over its contiguous board slice, so S shards rebuild S small
+// heaps (independently, in parallel) instead of one fleet-wide heap. Heap
+// entries and the order relation still use global board IDs, which keeps
+// the (price, board ID) tie-break identical to the unsharded index; pos
+// entries outside [lo, hi) are never read by a range-scoped index.
+func (x *priceIndex) resetRange(proj []Snapshot, lo, hi int) {
 	x.snaps = proj
 	x.heap = x.heap[:0]
 	if cap(x.pos) < len(proj) {
 		x.pos = make([]int, len(proj))
+		x.price = make([]float64, len(proj))
 	}
 	x.pos = x.pos[:len(proj)]
-	for i := range proj {
+	x.price = x.price[:len(proj)]
+	for i := lo; i < hi; i++ {
 		x.pos[i] = -1
+		x.price[i] = proj[i].Price
 		if proj[i].Admissible() {
 			x.pos[i] = len(x.heap)
 			x.heap = append(x.heap, i)
@@ -42,11 +57,14 @@ func (x *priceIndex) reset(proj []Snapshot) {
 }
 
 // less orders heap slots a,b by (price, board ID): ties resolve to the
-// lower board ID, matching the linear scan's first-minimum rule.
+// lower board ID, matching the linear scan's first-minimum rule. Prices
+// come from the flat per-board cache, not the snapshots — a sift touches
+// a handful of contiguous float64s instead of scattered ~150-byte
+// Snapshot structs, which is most of the heap's cost at fleet scale.
 func (x *priceIndex) less(a, b int) bool {
 	i, j := x.heap[a], x.heap[b]
-	if x.snaps[i].Price != x.snaps[j].Price {
-		return x.snaps[i].Price < x.snaps[j].Price
+	if x.price[i] != x.price[j] {
+		return x.price[i] < x.price[j]
 	}
 	return i < j
 }
@@ -100,12 +118,16 @@ func (x *priceIndex) contains(i int) bool {
 	return i >= 0 && i < len(x.pos) && x.pos[i] >= 0
 }
 
-// fix restores heap order after snaps[i].Price changed. O(log B).
+// fix restores heap order after snaps[i].Price changed, refreshing the
+// price cache from the projection. O(log B). Within a barrier projection
+// only raises prices, so the up-sift exits immediately; it stays for
+// generality.
 func (x *priceIndex) fix(i int) {
 	s := x.pos[i]
 	if s < 0 {
 		return
 	}
+	x.price[i] = x.snaps[i].Price
 	x.up(s)
 	x.down(s)
 }

@@ -8,15 +8,17 @@ import (
 
 // runRecordedFleet boots an 8-board recorded fleet from a fixed seed,
 // plays the same arrival trace into it, advances it a fixed number of
-// batches at the given barrier skew, and returns the per-board replay
-// traces. One board carries a sensor-dropout fault so the degraded/drain
-// path is inside the recorded timeline, not just the happy path.
-func runRecordedFleet(t *testing.T, skew int) []uint64 {
+// batches at the given barrier skew and dispatcher shard count, and
+// returns the per-board replay traces. One board carries a sensor-dropout
+// fault so the degraded/drain path is inside the recorded timeline, not
+// just the happy path.
+func runRecordedFleet(t *testing.T, skew, shards int) []uint64 {
 	t.Helper()
 	f, err := New(Config{
 		Boards:             8,
 		Seed:               0xfee1de7e, // fixed fleet seed
 		MaxSkew:            skew,
+		Shards:             shards,
 		Record:             true,
 		DrainDegradedAfter: 3,
 		Faults: map[int]fault.Scenario{
@@ -66,16 +68,22 @@ func runRecordedFleet(t *testing.T, skew int) []uint64 {
 // TestFleetReplaysBitIdentically is the PR's determinism acceptance
 // criterion: a fixed fleet seed plus a recorded arrival trace must
 // reproduce bit-identical per-board digests across two full runs, even
-// though boards advance on concurrent goroutines — in lockstep (K=0) and
-// pipelined up to 4 barriers ahead (K=4, the faulted bounded-skew run),
-// with each board's barrier counter folded into its digest chain.
+// though boards advance on concurrent goroutines — swept over barrier
+// skew K ∈ {0, 4} (lockstep vs. the faulted bounded-skew pipeline) ×
+// dispatcher shards S ∈ {1, 2, 4, 8}, with each board's barrier counter
+// folded into its digest chain. Digests are comparable run-vs-run at the
+// same (K, S) only: different shard counts legitimately make different
+// (equally admissible) routing decisions.
 func TestFleetReplaysBitIdentically(t *testing.T) {
 	for _, skew := range []int{0, 4} {
-		a := runRecordedFleet(t, skew)
-		b := runRecordedFleet(t, skew)
-		for i := range a {
-			if a[i] != b[i] {
-				t.Errorf("skew %d: board %d digests diverge across runs: %016x vs %016x", skew, i, a[i], b[i])
+		for _, shards := range []int{1, 2, 4, 8} {
+			a := runRecordedFleet(t, skew, shards)
+			b := runRecordedFleet(t, skew, shards)
+			for i := range a {
+				if a[i] != b[i] {
+					t.Errorf("skew %d shards %d: board %d digests diverge across runs: %016x vs %016x",
+						skew, shards, i, a[i], b[i])
+				}
 			}
 		}
 	}
@@ -87,7 +95,7 @@ func TestFleetReplaysBitIdentically(t *testing.T) {
 // (zero-value) lockstep config — routing decisions, barrier counters and
 // market timelines all bit-identical.
 func TestFleetSkewZeroMatchesLockstep(t *testing.T) {
-	a := runRecordedFleet(t, 0) // explicit K=0 through the pipeline path
+	a := runRecordedFleet(t, 0, 1) // explicit K=0 through the pipeline path
 	f, err := New(Config{       // zero-value skew: the pre-pipeline config shape
 		Boards:             8,
 		Seed:               0xfee1de7e,
