@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test check race chaos fuzz golden bench bench-quick fleet-smoke fleet-saturation fleet-shards ci clean
+.PHONY: build vet test check race chaos fuzz golden bench bench-quick fleet-smoke fleet-saturation fleet-shards trace-smoke ci clean
 
 # Minutes of fuzzing per property target (see `make fuzz`).
 FUZZTIME ?= 30s
@@ -53,6 +53,15 @@ chaos:
 fleet-smoke:
 	sh scripts/fleet-smoke.sh
 
+# Observability gate: the deterministic-tracing replay tests under the
+# race detector (bit-identical digests at K ∈ {0,4} × S ∈ {1,8}, span
+# conservation under shed + drain), then a race-instrumented fleetd run
+# twice per (K, S) point diffing the printed digest vectors, plus the
+# /trace and /histograms HTTP surface (see scripts/trace-smoke.sh).
+trace-smoke:
+	$(GO) test -race -count=1 -run 'TestFleetTraceReplaysBitIdentically|TestFleetTraceSpanConservation|TestFleetJSONLEventOrdering' ./internal/fleet
+	sh scripts/trace-smoke.sh
+
 # Dispatcher shard count for the sharded saturation benchmarks (the
 # EXPERIMENTS.md recipe runs `make fleet-saturation SHARDS=8`).
 SHARDS ?= 8
@@ -84,7 +93,7 @@ bench:
 bench-quick:
 	$(GO) run ./cmd/bench -quick -out BENCH_scale.json
 
-ci: build vet race chaos test check bench-quick fleet-smoke fleet-saturation
+ci: build vet race chaos test check bench-quick fleet-smoke fleet-saturation trace-smoke
 
 clean:
 	rm -f BENCH_scale.json

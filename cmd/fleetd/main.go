@@ -5,7 +5,7 @@
 //
 //	fleetd [-boards N] [-seed S] [-tdp watts] [-batch ms] [-hysteresis frac]
 //	       [-queue cap] [-skew K] [-drain-degraded N] [-faults board:file,...]
-//	       [-trace arrivals.json] [-http ADDR] [-pace ms] [-dur seconds]
+//	       [-trace arrivals.json] [-tracing] [-http ADDR] [-pace ms] [-dur seconds]
 //
 // Without -http, fleetd plays the -trace arrivals for -dur virtual seconds
 // and prints a summary (the batch-mode smoke path). With -http it serves
@@ -15,6 +15,12 @@
 // the shared internal/httpd path. Virtual time holds at zero until the
 // first task is submitted, so fault-scenario windows and deferred arrivals
 // measure from first load rather than from process start.
+//
+// -tracing attaches deterministic causal tracing and latency histograms:
+// with -http the mux additionally serves GET /trace, GET /trace?id= and
+// GET /histograms; either mode prints the span ledger and the replay
+// digest vector in the exit summary (batch-mode digests are reproducible
+// run to run — the trace-smoke gate diffs them).
 //
 // Examples:
 //
@@ -57,6 +63,7 @@ func run() error {
 	drainDegraded := flag.Int("drain-degraded", 0, "auto-drain a board after this many consecutive degraded barriers (0 = off)")
 	faults := flag.String("faults", "", "per-board fault scenarios as board:file[,board:file...]")
 	traceFile := flag.String("trace", "", "arrival trace JSON to submit at startup")
+	tracing := flag.Bool("tracing", false, "attach causal tracing + latency histograms (/trace, /histograms)")
 	httpAddr := flag.String("http", "", "serve the submission API on this address until interrupted")
 	paceMS := flag.Float64("pace", 10, "real milliseconds per batch in -http mode (0 = flat out)")
 	dur := flag.Float64("dur", 10, "virtual seconds to run in batch mode (ignored with -http)")
@@ -72,6 +79,7 @@ func run() error {
 		MaxSkew:            *skew,
 		Shards:             *shards,
 		DrainDegradedAfter: *drainDegraded,
+		Trace:              *tracing,
 		Check:              exp.CheckEnabled(),
 	}
 	var err error
@@ -126,7 +134,11 @@ func serve(f *fleet.Fleet, addr string, paceMS float64) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("fleetd: listening on http://%s (/submit /boards /state /metrics)\n", ln.Addr())
+	endpoints := "/submit /boards /state /metrics"
+	if f.Tracer() != nil {
+		endpoints += " /trace /histograms"
+	}
+	fmt.Printf("fleetd: listening on http://%s (%s)\n", ln.Addr(), endpoints)
 
 	ctx, stop := httpd.SignalContext()
 	defer stop()
@@ -202,6 +214,17 @@ func printSummary(f *fleet.Fleet) {
 		}
 		fmt.Printf("  board %d: %2d tasks  price %.5f  %5.2f W  %s\n",
 			b.Board, b.Tasks, b.Price, b.PowerW, status)
+	}
+	if tr := f.Tracer(); tr != nil {
+		c := tr.Counts()
+		fmt.Printf("  trace: opened %d closed %d attributed %d open %d mismatched %d\n",
+			c.Opened, c.Closed, c.Attributed, c.Open, c.Mismatched)
+		ds := tr.Digests()
+		parts := make([]string, len(ds))
+		for i, d := range ds {
+			parts[i] = fmt.Sprintf("%016x", d)
+		}
+		fmt.Printf("  trace digests: %s\n", strings.Join(parts, " "))
 	}
 }
 

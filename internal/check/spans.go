@@ -1,0 +1,37 @@
+package check
+
+import "fmt"
+
+// Span conservation
+//
+// The causal-tracing layer (internal/telemetry/trace) opens a span for
+// every leg of a submission's life and must account for each one: a span
+// either closes normally (routed, completed, collected) or is attributed
+// to an explicit eviction (shed at admission, drained off a board). The
+// ledger also counts mismatches — closes with no matching open, or
+// duplicate opens — which indicate a threading bug in the fleet's span
+// plumbing rather than lost work.
+
+// SpanLedger is anything that can report its span accounting. The shape is
+// structural — implemented by trace.Tracer and trace.Buffer — so the trace
+// layer does not depend on this package.
+type SpanLedger interface {
+	SpanCounts() (opened, closed, attributed, open, mismatched uint64)
+}
+
+// CheckSpanConservation asserts the ledger balances: no mismatched
+// open/close pairs, and opened == closed + attributed + open. Open spans
+// are legitimate mid-run (queued submissions, resident tasks, in-flight
+// barriers); callers wanting a fully-settled ledger additionally assert
+// open == 0 after a drain.
+func CheckSpanConservation(l SpanLedger) error {
+	opened, closed, attributed, open, mismatched := l.SpanCounts()
+	if mismatched != 0 {
+		return fmt.Errorf("check: span ledger has %d mismatched open/close pairs", mismatched)
+	}
+	if opened != closed+attributed+open {
+		return fmt.Errorf("check: span conservation violated: opened %d != closed %d + attributed %d + open %d",
+			opened, closed, attributed, open)
+	}
+	return nil
+}

@@ -7,6 +7,7 @@ import (
 	"strconv"
 
 	"pricepower/internal/telemetry"
+	"pricepower/internal/telemetry/trace"
 )
 
 // SubmitResult is the POST /submit response body.
@@ -21,11 +22,15 @@ type SubmitResult struct {
 
 // NewMux serves the fleet's HTTP surface:
 //
-//	POST /submit   — batch task submission (ArrivalTrace JSON body)
-//	GET  /boards   — per-board snapshots incl. cluster detail
-//	GET  /state    — fleet-wide state (counters, queue, board summaries)
-//	GET  /metrics  — Prometheus text: fleet registry + every board's
-//	                 registry relabeled with board="<id>"
+//	POST /submit      — batch task submission (ArrivalTrace JSON body)
+//	GET  /boards      — per-board snapshots incl. cluster detail
+//	GET  /state       — fleet-wide state (counters, queue, board summaries)
+//	GET  /metrics     — Prometheus text: fleet registry + every board's
+//	                    registry relabeled with board="<id>"
+//	GET  /trace       — span ledger + replay digest vector (Config.Trace)
+//	GET  /trace?id=   — one trace's merged JSON timeline
+//	GET  /histograms  — stage latency histograms: fleet-level, per-board
+//	                    (board label) and the fleet-wide k-way merge
 func NewMux(f *Fleet) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/submit", func(w http.ResponseWriter, r *http.Request) {
@@ -77,7 +82,58 @@ func NewMux(f *Fleet) *http.ServeMux {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		tr := f.Tracer()
+		if tr == nil {
+			http.Error(w, "tracing detached (run with Config.Trace / -tracing)", http.StatusNotFound)
+			return
+		}
+		idStr := r.URL.Query().Get("id")
+		if idStr == "" {
+			// Summary view: the span ledger and the replay digest vector
+			// (index 0 = fleet, i+1 = board i) — what the smoke gate curls
+			// to assert conservation and replay identity.
+			writeJSON(w, TraceSummary{Counts: tr.Counts(), Digests: digestStrings(tr.Digests())})
+			return
+		}
+		id, err := trace.ParseID(idStr)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		tl := tr.Timeline(id)
+		if len(tl.Spans) == 0 && len(tl.Open) == 0 {
+			http.Error(w, fmt.Sprintf("no spans for trace %s", id), http.StatusNotFound)
+			return
+		}
+		writeJSON(w, tl)
+	})
+	mux.HandleFunc("/histograms", func(w http.ResponseWriter, r *http.Request) {
+		if f.Tracer() == nil {
+			http.Error(w, "tracing detached (run with Config.Trace / -tracing)", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		if err := f.WriteHistograms(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
 	return mux
+}
+
+// TraceSummary is the GET /trace (no id) response: the aggregated span
+// ledger plus the replay digest vector, hex-encoded.
+type TraceSummary struct {
+	Counts  trace.Counts `json:"counts"`
+	Digests []string     `json:"digests"`
+}
+
+func digestStrings(ds []uint64) []string {
+	out := make([]string, len(ds))
+	for i, d := range ds {
+		out[i] = fmt.Sprintf("%016x", d)
+	}
+	return out
 }
 
 // WriteMetrics renders the merged Prometheus document: the fleet's own

@@ -2,16 +2,22 @@ package fleet
 
 import (
 	"fmt"
+	"sort"
+	"sync"
+	"time"
 
 	"pricepower/internal/check"
+	"pricepower/internal/core"
 	"pricepower/internal/exp"
 	"pricepower/internal/fault"
 	"pricepower/internal/hw"
+	"pricepower/internal/metrics"
 	"pricepower/internal/platform"
 	"pricepower/internal/ppm"
 	"pricepower/internal/sim"
 	"pricepower/internal/task"
 	"pricepower/internal/telemetry"
+	"pricepower/internal/telemetry/trace"
 )
 
 // Board is one independent platform instance in the fleet: its own TC2
@@ -37,8 +43,83 @@ type Board struct {
 
 	draining bool
 
+	// Causal tracing (nil when Config.Trace is off — the zero-cost
+	// detached state). All fields are owned by the board goroutine; trc's
+	// own mutex covers the HTTP layer's concurrent reads.
+	trc      *trace.Buffer
+	capture  *captureSink
+	obs      *boardObserver
+	traceOf  map[*task.Task]trace.ID
+	histStep *metrics.Histogram // wall ns per batch step (place + run)
+
 	cmd  chan interface{}
 	done chan struct{}
+}
+
+// traceCaptureKinds is the lifecycle-event mask a traced board captures
+// for its timeline points: the low-volume kinds only, so the capture path
+// never sees the per-round price/bid/clearing firehose.
+var traceCaptureKinds = telemetry.Kinds(telemetry.KindDVFS, telemetry.KindMigration,
+	telemetry.KindThrottle, telemetry.KindPowerGate, telemetry.KindDegraded, telemetry.KindFault)
+
+// captureSink buffers a traced board's lifecycle events during p.Run.
+// Market phases emit from pool workers, so the append is mutex-guarded;
+// the board drains and sorts the batch into a total content order before
+// folding, which is what keeps the trace digest replay-stable.
+type captureSink struct {
+	mu  sync.Mutex
+	evs []telemetry.Event
+}
+
+func (c *captureSink) Emit(ev telemetry.Event) {
+	c.mu.Lock()
+	c.evs = append(c.evs, ev)
+	c.mu.Unlock()
+}
+
+func (c *captureSink) drain() []telemetry.Event {
+	c.mu.Lock()
+	evs := c.evs
+	c.evs = nil
+	c.mu.Unlock()
+	return evs
+}
+
+// sortEvents imposes the total content order used before folding captured
+// events into the trace digest (pool-worker emission order is not
+// deterministic; the content order is).
+func sortEvents(evs []telemetry.Event) {
+	sort.Slice(evs, func(i, j int) bool {
+		a, b := evs[i], evs[j]
+		if a.Time != b.Time {
+			return a.Time < b.Time
+		}
+		if a.Round != b.Round {
+			return a.Round < b.Round
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.Cluster != b.Cluster {
+			return a.Cluster < b.Cluster
+		}
+		if a.Core != b.Core {
+			return a.Core < b.Core
+		}
+		if a.Task != b.Task {
+			return a.Task < b.Task
+		}
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		if a.Class != b.Class {
+			return a.Class < b.Class
+		}
+		if a.Value != b.Value {
+			return a.Value < b.Value
+		}
+		return a.Prev < b.Prev
+	})
 }
 
 type stepCmd struct {
@@ -51,11 +132,23 @@ type stepCmd struct {
 
 type stepReply struct {
 	snap Snapshot
-	err  error // first invariant violation, when checking is on
+	// events are the batch's captured lifecycle events, content-sorted
+	// (nil unless tracing): the fleet's per-barrier fold stamps board IDs
+	// and emits them in (round, board, kind) order to its event sink.
+	events []telemetry.Event
+	err    error // first invariant violation, when checking is on
+}
+
+// evacuated pairs an evacuated spec with its causal trace ID (0 when
+// untraced or already completed) so a drained task keeps its identity
+// across the requeue.
+type evacuated struct {
+	spec task.Spec
+	id   trace.ID
 }
 
 type drainCmd struct {
-	reply chan []task.Spec // the evacuated specs, in placement order
+	reply chan []evacuated // the evacuated specs, in placement order
 }
 
 type resumeCmd struct{ reply chan struct{} }
@@ -64,8 +157,9 @@ type stopCmd struct{ reply chan struct{} }
 
 // newBoard assembles one board from the fleet config. The governor is
 // always PPM: clearing prices are the routing signal, so a price-less
-// governor has no place in the fleet.
-func newBoard(id int, cfg Config) (*Board, error) {
+// governor has no place in the fleet. trc is the board's trace buffer
+// (nil when tracing is detached).
+func newBoard(id int, cfg Config, trc *trace.Buffer) (*Board, error) {
 	b := &Board{
 		ID:   id,
 		Seed: sim.DeriveSeed(cfg.Seed, uint64(id)),
@@ -86,8 +180,20 @@ func newBoard(id int, cfg Config) (*Board, error) {
 	// under a board label. The emitter carries no sinks and a zero kind
 	// mask: the fleet wants the registry's direct counters (ticks, market
 	// rounds, throttles, sensor rejects), not N boards' event streams.
-	b.em = telemetry.NewEmitter(telemetry.NewRegistry())
-	b.em.SetKinds(0)
+	// With tracing on, a capture sink collects the low-volume lifecycle
+	// kinds for the board's trace timeline — the per-round kinds stay
+	// masked so the bid/route hot loops remain untouched.
+	if trc != nil {
+		b.trc = trc
+		b.capture = &captureSink{}
+		b.traceOf = make(map[*task.Task]trace.ID)
+		b.histStep = metrics.NewLog(1000, 2, 26) // 1µs .. ~34s wall per step
+		b.em = telemetry.NewEmitter(telemetry.NewRegistry(), b.capture)
+		b.em.SetKinds(traceCaptureKinds)
+	} else {
+		b.em = telemetry.NewEmitter(telemetry.NewRegistry())
+		b.em.SetKinds(0)
+	}
 	b.p.AttachTelemetry(b.em)
 
 	maxOver := 0
@@ -113,6 +219,18 @@ func newBoard(id int, cfg Config) (*Board, error) {
 		b.rec = check.NewRecorder(fmt.Sprintf("board-%d", id), b.Seed, "fleet",
 			check.RecorderOptions{Market: b.gov.Market()})
 		b.p.AttachChecker(b.rec)
+	}
+	if trc != nil {
+		// The observer rides the existing per-tick checker hook: one round
+		// comparison per tick, span work only on round boundaries and task
+		// completions — nothing on the bid/route loops.
+		b.obs = &boardObserver{
+			b:             b,
+			m:             b.gov.Market(),
+			histRound:     metrics.NewLog(1, 2, 16),  // 1ms .. ~33s virtual
+			histResidency: metrics.NewLog(10, 2, 20), // 10ms .. ~3h virtual
+		}
+		b.p.AttachChecker(b.obs)
 	}
 
 	for _, c := range b.p.Chip.Cores {
@@ -141,6 +259,10 @@ func (b *Board) loop() {
 	for raw := range b.cmd {
 		switch c := raw.(type) {
 		case stepCmd:
+			var w0 time.Time
+			if b.trc != nil {
+				w0 = time.Now()
+			}
 			b.place(c.subs, c.mine)
 			b.p.Run(c.d)
 			if b.rec != nil {
@@ -152,6 +274,26 @@ func (b *Board) loop() {
 				b.rec.Record(uint64(c.batch)<<20 | uint64(len(c.mine)))
 			}
 			r := stepReply{snap: b.snapshot(c.batch)}
+			if b.trc != nil {
+				// Per-round fold: drain the batch's captured lifecycle
+				// events, sort into the total content order (pool-worker
+				// emission order is nondeterministic), and fold them as
+				// timeline points. Wall-clock step time goes only to the
+				// histogram, never the digest.
+				b.histStep.Record(float64(time.Since(w0).Nanoseconds()))
+				evs := b.capture.drain()
+				sortEvents(evs)
+				for _, ev := range evs {
+					b.trc.Mark(trace.Point{
+						Kind:  ev.Kind.String(),
+						Board: b.ID,
+						Time:  ev.Time,
+						Class: ev.Class,
+						Value: ev.Value,
+					})
+				}
+				r.events = evs
+			}
 			if b.chk != nil {
 				r.err = b.chk.Err()
 			}
@@ -175,9 +317,23 @@ func (b *Board) loop() {
 // copies nothing. The cursor persists across batches so successive
 // arrivals spread.
 func (b *Board) place(subs []Submission, mine []int32) {
+	now := b.p.Now()
 	for _, si := range mine {
-		b.p.AddTask(subs[si].Spec, b.little[b.rr%len(b.little)])
+		t := b.p.AddTask(subs[si].Spec, b.little[b.rr%len(b.little)])
 		b.rr++
+		if b.trc == nil || subs[si].Trace == 0 {
+			continue
+		}
+		// Open the residency span on the board's own buffer (single
+		// writer); the observer closes it on completion, evacuate on
+		// drain. Looping tasks never finish, so only finite tasks join
+		// the completion watch list.
+		id := subs[si].Trace
+		b.traceOf[t] = id
+		b.trc.Open(trace.Span{Trace: id, Stage: trace.StageBoard, Board: b.ID, Start: now})
+		if !t.Spec.Loop {
+			b.obs.watch = append(b.obs.watch, watchedTask{t: t, id: id, placed: now})
+		}
 	}
 }
 
@@ -185,15 +341,28 @@ func (b *Board) place(subs []Submission, mine []int32) {
 // the fleet can resubmit them through the dispatcher. The board keeps
 // ticking while drained — an empty market settles to idle — and marks
 // itself draining so no new work is routed to it.
-func (b *Board) evacuate() []task.Spec {
+func (b *Board) evacuate() []evacuated {
 	b.draining = true
+	now := b.p.Now()
 	tasks := append([]*task.Task(nil), b.p.Tasks()...)
-	specs := make([]task.Spec, 0, len(tasks))
+	out := make([]evacuated, 0, len(tasks))
 	for _, t := range tasks {
-		specs = append(specs, t.Spec)
+		e := evacuated{spec: t.Spec}
+		if id := b.traceOf[t]; id != 0 {
+			// The residency span ends here, attributed to the drain; the
+			// fleet reopens a queue span under the same trace ID when it
+			// requeues the spec.
+			e.id = id
+			b.trc.CloseAttributed(id, trace.StageBoard, now, "drain")
+			delete(b.traceOf, t)
+		}
+		out = append(out, e)
 		b.p.RemoveTask(t)
 	}
-	return specs
+	if b.obs != nil {
+		b.obs.watch = b.obs.watch[:0] // every watched task just left the board
+	}
+	return out
 }
 
 // snapshot publishes the board's routing signal at a batch barrier.
@@ -231,6 +400,59 @@ func (b *Board) snapshot(batch int) Snapshot {
 		MaxSupplyPU: b.p.MaxSupplyPU(),
 		Clusters:    st.Clusters,
 	}
+}
+
+// watchedTask is one finite task awaiting completion detection.
+type watchedTask struct {
+	t      *task.Task
+	id     trace.ID
+	placed sim.Time
+}
+
+// boardObserver is the traced board's per-tick hook (platform.Checker):
+// it turns market-round boundaries into StageRound spans + the round
+// histogram, and closes residency spans the tick a finite task finishes —
+// tick-granular virtual timestamps, no market-loop instrumentation. Runs
+// on the board goroutine inside p.Run, so it may touch board-owned state.
+type boardObserver struct {
+	b *Board
+	m *core.Market
+
+	lastRound  int
+	roundStart sim.Time
+	watch      []watchedTask
+
+	histRound     *metrics.Histogram // virtual ms per market round
+	histResidency *metrics.Histogram // virtual ms placement → completion
+}
+
+func (o *boardObserver) CheckTick(p *platform.Platform, now sim.Time) {
+	if r := o.m.Round(); r != o.lastRound {
+		o.b.trc.Add(trace.Span{
+			Stage: trace.StageRound,
+			Board: o.b.ID,
+			Start: o.roundStart,
+			End:   now,
+			Round: r,
+		})
+		o.histRound.Record(float64(now-o.roundStart) / float64(sim.Millisecond))
+		o.lastRound = r
+		o.roundStart = now
+	}
+	if len(o.watch) == 0 {
+		return
+	}
+	kept := o.watch[:0]
+	for _, w := range o.watch {
+		if !w.t.Finished() {
+			kept = append(kept, w)
+			continue
+		}
+		o.b.trc.Close(w.id, trace.StageBoard, now, "completed")
+		o.histResidency.RecordExemplar(float64(now-w.placed)/float64(sim.Millisecond), uint64(w.id))
+		delete(o.b.traceOf, w.t)
+	}
+	o.watch = kept
 }
 
 // Registry exposes the board's telemetry registry for /metrics merging.

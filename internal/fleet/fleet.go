@@ -26,12 +26,15 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"pricepower/internal/check"
 	"pricepower/internal/fault"
+	"pricepower/internal/metrics"
 	"pricepower/internal/sim"
 	"pricepower/internal/task"
 	"pricepower/internal/telemetry"
+	"pricepower/internal/telemetry/trace"
 )
 
 // Defaults for Config fields left zero.
@@ -48,6 +51,10 @@ const drainSeedStream = 0xd7a1_0000
 // routeSeedStream namespaces the sharded dispatcher's submission→shard
 // hash seed off the fleet seed.
 const routeSeedStream = 0x5a4d_0000
+
+// traceSeedStream namespaces the causal-trace ID stream off the fleet
+// seed: submission i gets trace.DeriveID(DeriveSeed(Seed, traceSeedStream), i).
+const traceSeedStream = 0x7ace_0000
 
 // Config assembles a fleet.
 type Config struct {
@@ -101,6 +108,16 @@ type Config struct {
 	// Check attaches the runtime invariant checker to every board; the
 	// first violation fails the batch in Step's error.
 	Check bool
+	// Trace attaches deterministic causal tracing: every submission gets
+	// a trace ID derived from (Seed, admission position), spans open and
+	// close in virtual time at each stage (admission queue, routing,
+	// barrier wait, board residency, market rounds), lifecycle events fold
+	// into per-board timelines, and latency histograms record per stage.
+	// For trace-driven runs the resulting digests replay bit-identically
+	// (TestFleetTraceReplaysBitIdentically); concurrent HTTP submission is
+	// inherently nondeterministic input, so only safety — not digest
+	// equality — is guaranteed there. Off = the zero-cost detached state.
+	Trace bool
 }
 
 func (c Config) withDefaults() Config {
@@ -236,6 +253,19 @@ type Fleet struct {
 
 	reg *telemetry.Registry
 	em  *telemetry.Emitter // optional event stream (KindDrain), nil-safe
+
+	// Causal tracing (nil unless Config.Trace). The fleet buffer's folds
+	// all happen on the stepping goroutine, so trace digests are
+	// deterministic for trace-driven runs.
+	tracer    *trace.Tracer
+	traceSeed uint64
+	// Stage latency histograms (nil when detached; Record is nil-safe).
+	histRouting    *metrics.Histogram // wall ns per Route call
+	histQueueWait  *metrics.Histogram // virtual ms enqueue → routed (exemplars)
+	histBarrierLag *metrics.Histogram // barriers of skew at collect
+	// evSink, when set, receives each collected barrier's board lifecycle
+	// events in (round, board, kind) order (see SetEventSink).
+	evSink telemetry.Sink
 }
 
 type timedSpec struct {
@@ -261,8 +291,15 @@ func New(cfg Config) (*Fleet, error) {
 		sinceResume: make([]int, cfg.Boards),
 		reg:         telemetry.NewRegistry(),
 	}
+	if cfg.Trace {
+		f.tracer = trace.NewTracer(cfg.Boards)
+		f.traceSeed = sim.DeriveSeed(cfg.Seed, traceSeedStream)
+		f.histRouting = metrics.NewLog(100, 2, 24)  // 100ns .. ~800ms wall
+		f.histQueueWait = metrics.NewLog(1, 2, 20)  // 1ms .. ~9min virtual
+		f.histBarrierLag = metrics.NewLog(0.5, 2, 8) // 0 lag lands ≤0.5
+	}
 	for i := 0; i < cfg.Boards; i++ {
-		b, err := newBoard(i, cfg)
+		b, err := newBoard(i, cfg, f.tracer.Board(i))
 		if err != nil {
 			f.Close()
 			return nil, err
@@ -311,6 +348,17 @@ func (f *Fleet) AttachTelemetry(em *telemetry.Emitter) {
 	em.SetClock(f.Now)
 }
 
+// Tracer exposes the causal tracer (nil unless Config.Trace): per-trace
+// timelines, span-conservation counts, and the replay digest vector.
+func (f *Fleet) Tracer() *trace.Tracer { return f.tracer }
+
+// SetEventSink installs the ordered fleet event stream: each collected
+// barrier's board lifecycle events (requires Config.Trace, which enables
+// board-side capture) are stamped with their board ID and emitted sorted
+// by (round, board, kind). Call before stepping; the sink is read from the
+// stepping goroutine without synchronization.
+func (f *Fleet) SetEventSink(s telemetry.Sink) { f.evSink = s }
+
 // NumBoards reports the fleet size.
 func (f *Fleet) NumBoards() int { return len(f.boards) }
 
@@ -336,10 +384,28 @@ func (f *Fleet) Submit(specs ...task.Spec) int {
 func (f *Fleet) submitLocked(subs []Submission) int {
 	accepted := 0
 	for _, s := range subs {
+		pos := f.counters.Submitted
 		f.counters.Submitted++
 		if len(f.pending) >= f.cfg.QueueCap {
 			f.counters.Shed++
+			if f.tracer != nil {
+				// The shed still gets its deterministic ID and a
+				// zero-length attributed queue span, so conservation and
+				// the replay digest see every admission outcome.
+				f.tracer.Fleet().AddAttributed(trace.Span{
+					Trace: trace.DeriveID(f.traceSeed, pos),
+					Stage: trace.StageQueue, Board: -1, Class: "shed",
+					Start: f.now, End: f.now,
+				})
+			}
 			continue
+		}
+		if f.tracer != nil {
+			s.Trace = trace.DeriveID(f.traceSeed, pos)
+			s.EnqueuedAt = f.now
+			f.tracer.Fleet().Open(trace.Span{
+				Trace: s.Trace, Stage: trace.StageQueue, Board: -1, Start: f.now,
+			})
 		}
 		f.pending = append(f.pending, s)
 		accepted++
@@ -361,6 +427,16 @@ func (f *Fleet) requeueLocked(requeue []Submission) {
 	f.pending = append(requeue, f.pending...)
 	if over := len(f.pending) - f.cfg.QueueCap; over > 0 {
 		f.counters.Shed += uint64(over)
+		if f.tracer != nil {
+			// Trimmed submissions all carry open queue spans (accepted or
+			// requeued earlier); attribute them to the shed so the ledger
+			// stays conserved.
+			for _, s := range f.pending[f.cfg.QueueCap:] {
+				if s.Trace != 0 {
+					f.tracer.Fleet().CloseAttributed(s.Trace, trace.StageQueue, f.now, "shed")
+				}
+			}
+		}
 		f.pending = f.pending[:f.cfg.QueueCap]
 	}
 }
@@ -419,9 +495,36 @@ func (f *Fleet) Step() error {
 	subs := f.pending
 	f.pending = nil
 	issued := f.issued
+	routeAt := f.now
 	f.mu.Unlock()
 
+	var t0 time.Time
+	if f.tracer != nil {
+		t0 = time.Now()
+	}
 	rb := f.disp.Route(snaps, subs)
+	if f.tracer != nil {
+		// Spans ride the barrier, not the route loop: one pass over the
+		// decided picks closes each routed submission's queue span with
+		// the pass that placed it (home lane vs. steal) and records its
+		// queue wait. Wall-clock routing latency goes to the histogram
+		// only — never the digest.
+		f.histRouting.Record(float64(time.Since(t0).Nanoseconds()))
+		fb := f.tracer.Fleet()
+		for si := range rb.Picks {
+			if rb.Picks[si] < 0 || subs[si].Trace == 0 {
+				continue
+			}
+			class := "home"
+			if rb.Stolen != nil && rb.Stolen[si] {
+				class = "steal"
+			}
+			fb.Close(subs[si].Trace, trace.StageQueue, routeAt, class)
+			f.histQueueWait.RecordExemplar(
+				float64(routeAt-subs[si].EnqueuedAt)/float64(sim.Millisecond),
+				uint64(subs[si].Trace))
+		}
+	}
 	// Materialize the unrouted tail before anything can call Route again
 	// (rb's slices are dispatcher scratch).
 	var unrouted []Submission
@@ -524,10 +627,23 @@ func (f *Fleet) collectOldest() error {
 	bar := f.inflight[0]
 	f.inflight = f.inflight[1:]
 	fresh := make([]Snapshot, len(f.boards))
+	var events []telemetry.Event
 	var firstErr error
 	for i := range f.boards {
 		r := <-bar.replies[i]
 		fresh[i] = r.snap
+		if f.evSink != nil && len(r.events) > 0 {
+			for _, ev := range r.events {
+				ev.Board = i
+				// Restamp Round with the fold round (the barrier number):
+				// emit sites stamp market rounds inconsistently (migration
+				// leaves it zero, fault uses its own period), so the fold
+				// round is the only key that is monotone across the log.
+				// Exact virtual time is preserved in ev.Time.
+				ev.Round = int(bar.batch)
+				events = append(events, ev)
+			}
+		}
 		if r.err != nil && firstErr == nil {
 			firstErr = fmt.Errorf("fleet: board %d: %w", i, r.err)
 		}
@@ -541,7 +657,38 @@ func (f *Fleet) collectOldest() error {
 		f.carry[i].tasks -= bar.add[i].tasks
 		f.carry[i].demandPU -= bar.add[i].demandPU
 	}
+	lag := f.issued - bar.batch
 	f.mu.Unlock()
+	if f.tracer != nil {
+		// The barrier span is fully known at collect time: it covered one
+		// batch of virtual time, and its lag is how many barriers issuance
+		// ran ahead while it was in flight (bounded by MaxSkew).
+		start := sim.Time(bar.batch-1) * f.cfg.Batch
+		f.tracer.Fleet().Add(trace.Span{
+			Stage: trace.StageBarrier, Board: -1,
+			Start: start, End: start + f.cfg.Batch,
+			Barrier: bar.batch, Lag: lag,
+		})
+		f.histBarrierLag.Record(float64(lag))
+	}
+	if len(events) > 0 {
+		// The per-barrier event fold: one globally sorted flush per
+		// barrier in (round, board, kind) order — the ordering contract
+		// JSONL consumers rely on (see telemetry.JSONLSink).
+		sort.SliceStable(events, func(i, j int) bool {
+			a, b := events[i], events[j]
+			if a.Round != b.Round {
+				return a.Round < b.Round
+			}
+			if a.Board != b.Board {
+				return a.Board < b.Board
+			}
+			return a.Kind < b.Kind
+		})
+		for _, ev := range events {
+			f.evSink.Emit(ev)
+		}
+	}
 	return firstErr
 }
 
@@ -637,17 +784,30 @@ func (f *Fleet) emitDrainEvent(board int, class string, evacuated int) {
 }
 
 func (f *Fleet) drainBoard(i int) []Submission {
-	reply := make(chan []task.Spec, 1)
+	reply := make(chan []evacuated, 1)
 	f.boards[i].cmd <- drainCmd{reply: reply}
-	specs := <-reply
-	subs := make([]Submission, len(specs))
-	for j, s := range specs {
-		subs[j] = NewSubmission(s)
-	}
+	evs := <-reply
+	subs := make([]Submission, len(evs))
 	f.mu.Lock()
+	now := f.now
 	f.counters.Drained += uint64(len(subs))
 	f.counters.Resubmitted += uint64(len(subs))
 	f.mu.Unlock()
+	for j, e := range evs {
+		s := NewSubmission(e.spec)
+		if f.tracer != nil && e.id != 0 {
+			// The evacuated task keeps its trace ID: its board span just
+			// closed attributed to the drain, and a fresh queue span opens
+			// here so the requeue leg shows up on the same timeline.
+			s.Trace = e.id
+			s.EnqueuedAt = now
+			f.tracer.Fleet().Open(trace.Span{
+				Trace: e.id, Stage: trace.StageQueue, Board: -1,
+				Start: now, Class: "requeue",
+			})
+		}
+		subs[j] = s
+	}
 	return subs
 }
 

@@ -8,6 +8,7 @@ import (
 
 	"pricepower/internal/sim"
 	"pricepower/internal/task"
+	"pricepower/internal/telemetry/trace"
 )
 
 // DefaultStealTheta is the default work-steal band: a shard hands a
@@ -28,6 +29,14 @@ const DefaultStealTheta = 1.0
 type Submission struct {
 	Spec task.Spec
 	Est  float64 // estimated LITTLE-cluster demand in PU (EstimateDemandPU)
+	// Trace is the submission's causal trace ID (0 = untraced). Assigned
+	// at admission from the fleet's trace seed and the admission position,
+	// so a replay of the same inputs reproduces the same IDs; requeued
+	// evacuations keep their original ID across boards.
+	Trace trace.ID
+	// EnqueuedAt is the virtual time the submission (re-)entered the
+	// admission queue — the queue-wait histogram's span start.
+	EnqueuedAt sim.Time
 }
 
 // NewSubmission wraps a spec with its demand estimate.
@@ -58,6 +67,12 @@ type RoutedBatch struct {
 	// Unrouted lists the submissions that found no admissible board
 	// anywhere, in arrival order.
 	Unrouted []int32
+	// Stolen flags, per submission, whether the pick came from the
+	// cross-shard steal pass rather than the home lane (always false with
+	// one shard). The tracing layer stamps this as the queue span's class
+	// so "where did the latency go" distinguishes home-lane routing from
+	// overflow placement. Dispatcher scratch, like Picks.
+	Stolen []bool
 	// Routed counts the submissions that got a board.
 	Routed int
 }
@@ -262,6 +277,7 @@ type ShardedDispatcher struct {
 
 	proj     []projEntry
 	picks    []int32
+	stolen   []bool
 	counts   []int32
 	addDPU   []float64
 	perBoard [][]int32
@@ -354,6 +370,7 @@ func (d *ShardedDispatcher) ensure(B, nsubs int) int {
 	}
 	if cap(d.picks) < nsubs {
 		d.picks = make([]int32, nsubs)
+		d.stolen = make([]bool, nsubs)
 	}
 	if cap(d.cursors) < S {
 		d.cursors = make([]int, S)
@@ -391,6 +408,10 @@ func (d *ShardedDispatcher) Route(snaps []Snapshot, subs []Submission) RoutedBat
 		}
 	}
 	picks := d.picks[:len(subs)]
+	stolen := d.stolen[:len(subs)]
+	for si := range stolen {
+		stolen[si] = false
+	}
 	counts := d.counts[:B]
 	addDPU := d.addDPU[:B]
 	for i := 0; i < B; i++ {
@@ -505,6 +526,7 @@ func (d *ShardedDispatcher) Route(snaps []Snapshot, subs []Submission) RoutedBat
 		}
 		est := subs[si].Est
 		picks[si] = int32(best)
+		stolen[si] = true
 		counts[best]++
 		addDPU[best] += est
 		proj[best].project(est)
@@ -547,6 +569,7 @@ func (d *ShardedDispatcher) Route(snaps []Snapshot, subs []Submission) RoutedBat
 		PerBoard:    perBoard,
 		AddDemandPU: addDPU,
 		Unrouted:    d.unrouted,
+		Stolen:      stolen,
 		Routed:      routed,
 	}
 }

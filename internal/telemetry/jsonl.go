@@ -12,6 +12,17 @@ import (
 // event log behind `ppmsim -events out.jsonl`. Writes are buffered and
 // mutex-guarded (emission may come from the worker pool); call Flush (or
 // Close) before reading the output.
+//
+// Ordering contract: the sink writes events in Emit order — it imposes no
+// order of its own. Single-platform runs emit from the worker pool, so
+// lines land in wall-clock completion order. The fleet's per-barrier event
+// fold (Fleet.SetEventSink) is the ordered producer: it buffers each
+// board's events until the batch barrier collects, then emits the whole
+// barrier sorted by (round, board, kind) — and because boards advance the
+// same virtual batch per barrier, their market-round counters stay in
+// step, so the (round, board, kind) key is nondecreasing across the entire
+// log. ReadJSONL consumers may rely on that order for fleet-produced logs
+// (TestFleetJSONLEventOrdering pins it, including under bounded skew).
 type JSONLSink struct {
 	mu    sync.Mutex
 	w     *bufio.Writer

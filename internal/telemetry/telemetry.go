@@ -176,6 +176,11 @@ type Event struct {
 	Cluster int `json:"cluster"`
 	Core    int `json:"core"`
 	Task    int `json:"task"`
+	// Board identifies the fleet board the event came from; 0 both for
+	// board 0 and for single-platform runs, where the field is omitted
+	// from JSONL. Stamped by the fleet's per-barrier event fold, which
+	// also fixes the cross-board ordering (see JSONLSink).
+	Board int `json:"board,omitempty"`
 	// Name is a kind-specific label (task name, new chip state, invariant
 	// identifier).
 	Name string `json:"name,omitempty"`

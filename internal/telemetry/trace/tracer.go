@@ -1,0 +1,169 @@
+package trace
+
+import "sort"
+
+// Tracer is the fleet-wide view: one fleet buffer (queue, barrier, routing
+// spans) plus one buffer per board (residency, rounds, lifecycle points).
+// Buffers are written by their owners only; the Tracer itself is immutable
+// after construction, so cross-board reads need no extra locking beyond
+// each buffer's own mutex.
+type Tracer struct {
+	fleet  *Buffer
+	boards []*Buffer
+}
+
+// NewTracer builds a tracer for n boards. A nil *Tracer is the detached
+// configuration: every accessor returns a nil buffer whose methods no-op.
+func NewTracer(n int) *Tracer {
+	t := &Tracer{fleet: NewBuffer(), boards: make([]*Buffer, n)}
+	for i := range t.boards {
+		t.boards[i] = NewBuffer()
+	}
+	return t
+}
+
+// Fleet returns the coordinator's buffer (nil when detached).
+func (t *Tracer) Fleet() *Buffer {
+	if t == nil {
+		return nil
+	}
+	return t.fleet
+}
+
+// Board returns board i's buffer (nil when detached or out of range).
+func (t *Tracer) Board(i int) *Buffer {
+	if t == nil || i < 0 || i >= len(t.boards) {
+		return nil
+	}
+	return t.boards[i]
+}
+
+// Boards reports the board count.
+func (t *Tracer) Boards() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.boards)
+}
+
+// Digests returns the replay-pinnable digest vector: index 0 is the fleet
+// buffer, index i+1 is board i. Bit-identical across replays of the same
+// inputs on the same build.
+func (t *Tracer) Digests() []uint64 {
+	if t == nil {
+		return nil
+	}
+	out := make([]uint64, 0, 1+len(t.boards))
+	out = append(out, t.fleet.Digest())
+	for _, b := range t.boards {
+		out = append(out, b.Digest())
+	}
+	return out
+}
+
+// Counts aggregates the span ledger across the fleet and all boards.
+func (t *Tracer) Counts() Counts {
+	if t == nil {
+		return Counts{}
+	}
+	c := t.fleet.Counts()
+	for _, b := range t.boards {
+		c.Add(b.Counts())
+	}
+	return c
+}
+
+// SpanCounts implements the check package's SpanLedger interface (kept
+// structural so the trace layer does not import check).
+func (t *Tracer) SpanCounts() (opened, closed, attributed, open, mismatched uint64) {
+	c := t.Counts()
+	return c.Opened, c.Closed, c.Attributed, c.Open, c.Mismatched
+}
+
+// Timeline is the /trace?id= payload: every completed and still-open span
+// of one trace, plus its lifecycle points and the ambient board events
+// (trace 0) that fired on a board while the trace was resident there.
+type Timeline struct {
+	Trace  string  `json:"trace"`
+	Spans  []Span  `json:"spans"`
+	Open   []Span  `json:"open,omitempty"`
+	Points []Point `json:"points,omitempty"`
+}
+
+// Timeline assembles the merged timeline for one trace ID. Spans sort by
+// (Start, Stage, Board), points by (Time, Board, Kind) — the orders a
+// reader walks to answer "where did the latency go".
+func (t *Tracer) Timeline(id ID) Timeline {
+	tl := Timeline{Trace: id.String()}
+	if t == nil || id == 0 {
+		return tl
+	}
+	// Residency windows: [start, end] per board, for ambient attribution.
+	type window struct {
+		board      int
+		start, end int64
+	}
+	var windows []window
+	collect := func(b *Buffer) {
+		for _, sp := range b.Spans() {
+			if sp.Trace != id {
+				continue
+			}
+			tl.Spans = append(tl.Spans, sp)
+			if sp.Stage == StageBoard {
+				windows = append(windows, window{sp.Board, int64(sp.Start), int64(sp.End)})
+			}
+		}
+		for _, sp := range b.OpenSpans() {
+			if sp.Trace != id {
+				continue
+			}
+			tl.Open = append(tl.Open, sp)
+			if sp.Stage == StageBoard {
+				windows = append(windows, window{sp.Board, int64(sp.Start), int64(^uint64(0) >> 1)})
+			}
+		}
+		for _, p := range b.Points() {
+			if p.Trace == id {
+				tl.Points = append(tl.Points, p)
+			}
+		}
+	}
+	collect(t.fleet)
+	for _, b := range t.boards {
+		collect(b)
+	}
+	// Ambient board events inside the trace's residency windows.
+	for _, w := range windows {
+		bb := t.Board(w.board)
+		if bb == nil {
+			continue
+		}
+		for _, p := range bb.Points() {
+			if p.Trace == 0 && int64(p.Time) >= w.start && int64(p.Time) <= w.end {
+				tl.Points = append(tl.Points, p)
+			}
+		}
+	}
+	sort.Slice(tl.Spans, func(i, j int) bool {
+		a, b := tl.Spans[i], tl.Spans[j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.Stage != b.Stage {
+			return a.Stage < b.Stage
+		}
+		return a.Board < b.Board
+	})
+	sort.Slice(tl.Points, func(i, j int) bool {
+		a, b := tl.Points[i], tl.Points[j]
+		if a.Time != b.Time {
+			return a.Time < b.Time
+		}
+		if a.Board != b.Board {
+			return a.Board < b.Board
+		}
+		return a.Kind < b.Kind
+	})
+	return tl
+}

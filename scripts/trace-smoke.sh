@@ -1,0 +1,118 @@
+#!/bin/sh
+# trace-smoke: the observability gate for the deterministic causal tracing
+# layer, in two halves.
+#
+# Replay half: a race-instrumented batch-mode fleetd (8 boards, bounded
+# skew, sharded dispatch, -tracing) is run twice per (K, S) point over
+# K ∈ {0, 4} × S ∈ {1, 8}, and the exit summaries must agree on
+# bit-identical trace digest vectors — span boundaries are virtual-time
+# only, trace IDs derive from the seed, folds happen in a deterministic
+# order. The span ledger printed alongside must conserve:
+#
+#   opened == closed + attributed + open,  mismatched == 0
+#
+# HTTP half: a serving fleetd with -tracing is fed the burst trace and
+# must answer GET /trace (conserving ledger, non-empty digest vector),
+# GET /histograms (per-board and fleet-merged series with trace-ID
+# exemplars), and GET /trace?id= for an exemplar's trace with a JSON
+# timeline. Run from the repository root: make trace-smoke.
+set -eu
+
+BIN=${BIN:-./fleetd-trace-smoke}
+LOG=$(mktemp)
+OUT=$(mktemp)
+trap 'rm -f "$LOG" "$OUT"; [ -n "${PID:-}" ] && kill "$PID" 2>/dev/null || true' EXIT
+
+echo "trace-smoke: building race-instrumented fleetd"
+go build -race -o "$BIN" ./cmd/fleetd
+
+# ledger_ok <summary-log>: assert the span ledger line conserves.
+ledger_ok() {
+  LINE=$(grep '^  trace: ' "$1") || { echo "trace-smoke: no ledger line"; cat "$1"; exit 1; }
+  set -- $LINE # trace: opened N closed N attributed N open N mismatched N
+  OPENED=$3 CLOSED=$5 ATTR=$7 OPEN=$9 MISMATCH=${11}
+  [ "$MISMATCH" -eq 0 ] || { echo "trace-smoke: $MISMATCH mismatched spans"; exit 1; }
+  [ "$OPENED" -gt 0 ] || { echo "trace-smoke: no spans opened"; exit 1; }
+  [ "$OPENED" -eq $((CLOSED + ATTR + OPEN)) ] || {
+    echo "trace-smoke: ledger leak: opened=$OPENED closed=$CLOSED attributed=$ATTR open=$OPEN"
+    exit 1
+  }
+}
+
+for K in 0 4; do
+  for S in 1 8; do
+    "$BIN" -boards 8 -seed 7 -skew "$K" -shards "$S" -drain-degraded 3 \
+      -faults 2:examples/faults/sensor-dropout.json \
+      -tracing -trace examples/fleet/burst.json -dur 5 >"$LOG" 2>&1 ||
+      { echo "trace-smoke: run 1 failed at K=$K S=$S"; cat "$LOG"; exit 1; }
+    ledger_ok "$LOG"
+    D1=$(sed -n 's/^  trace digests: //p' "$LOG")
+    "$BIN" -boards 8 -seed 7 -skew "$K" -shards "$S" -drain-degraded 3 \
+      -faults 2:examples/faults/sensor-dropout.json \
+      -tracing -trace examples/fleet/burst.json -dur 5 >"$LOG" 2>&1 ||
+      { echo "trace-smoke: run 2 failed at K=$K S=$S"; cat "$LOG"; exit 1; }
+    D2=$(sed -n 's/^  trace digests: //p' "$LOG")
+    [ -n "$D1" ] || { echo "trace-smoke: no digest vector at K=$K S=$S"; cat "$LOG"; exit 1; }
+    [ "$D1" = "$D2" ] || {
+      echo "trace-smoke: digests diverge at K=$K S=$S"
+      echo "  run 1: $D1"
+      echo "  run 2: $D2"
+      exit 1
+    }
+    echo "trace-smoke: K=$K S=$S replay-identical ($(echo "$D1" | wc -w | tr -d ' ') digests)"
+  done
+done
+
+echo "trace-smoke: starting serving fleetd with -tracing"
+"$BIN" -boards 4 -seed 7 -pace 5 -tracing -http 127.0.0.1:0 >"$LOG" 2>&1 &
+PID=$!
+
+ADDR=
+for _ in $(seq 1 100); do
+  ADDR=$(sed -n 's|^fleetd: listening on http://\([0-9.:]*\).*|\1|p' "$LOG")
+  [ -n "$ADDR" ] && break
+  sleep 0.2
+done
+[ -n "$ADDR" ] || { echo "trace-smoke: no listening address"; cat "$LOG"; exit 1; }
+grep -q '/trace /histograms' "$LOG" || { echo "trace-smoke: trace endpoints not advertised"; exit 1; }
+
+curl -fsS -X POST --data-binary @examples/fleet/burst.json "http://$ADDR/submit" >/dev/null
+
+# Let the paced driver route the burst, then read the ledger over HTTP.
+OK=
+for _ in $(seq 1 100); do
+  curl -fsS "http://$ADDR/trace" >"$OUT" 2>/dev/null || { sleep 0.2; continue; }
+  CLOSED=$(sed -n 's/.*"closed": \([0-9]*\).*/\1/p' "$OUT")
+  [ "${CLOSED:-0}" -gt 0 ] && { OK=1; break; }
+  sleep 0.2
+done
+[ -n "$OK" ] || { echo "trace-smoke: /trace never showed closed spans"; cat "$OUT"; exit 1; }
+OPENED=$(sed -n 's/.*"opened": \([0-9]*\).*/\1/p' "$OUT")
+MISMATCH=$(sed -n 's/.*"mismatched": \([0-9]*\).*/\1/p' "$OUT")
+[ "${MISMATCH:-1}" -eq 0 ] || { echo "trace-smoke: /trace reports mismatched spans"; cat "$OUT"; exit 1; }
+grep -q '"digests"' "$OUT" || { echo "trace-smoke: /trace missing digest vector"; exit 1; }
+echo "trace-smoke: /trace ledger ok (opened=$OPENED)"
+
+curl -fsS "http://$ADDR/histograms" >"$OUT"
+for SERIES in pricepower_fleet_queue_wait_ms_bucket pricepower_board_round_ms_bucket pricepower_fleet_round_ms_bucket; do
+  grep -q "^$SERIES" "$OUT" || { echo "trace-smoke: /histograms missing $SERIES"; cat "$OUT"; exit 1; }
+done
+EXEMPLAR=$(sed -n 's/.*trace_id="\([0-9a-f]*\)".*/\1/p' "$OUT" | head -1)
+[ -n "$EXEMPLAR" ] || { echo "trace-smoke: no trace-ID exemplar in /histograms"; cat "$OUT"; exit 1; }
+echo "trace-smoke: /histograms ok (exemplar trace $EXEMPLAR)"
+
+curl -fsS "http://$ADDR/trace?id=$EXEMPLAR" >"$OUT"
+grep -q '"spans"' "$OUT" || { echo "trace-smoke: timeline for $EXEMPLAR has no spans"; cat "$OUT"; exit 1; }
+echo "trace-smoke: /trace?id=$EXEMPLAR timeline ok"
+
+kill -TERM "$PID"
+WAITED=0
+while kill -0 "$PID" 2>/dev/null; do
+  WAITED=$((WAITED + 1))
+  [ "$WAITED" -lt 100 ] || { echo "trace-smoke: fleetd ignored SIGTERM"; exit 1; }
+  sleep 0.1
+done
+wait "$PID" 2>/dev/null || { echo "trace-smoke: fleetd exited non-zero"; cat "$LOG"; exit 1; }
+PID=
+rm -f "$BIN"
+echo "trace-smoke: PASS"
