@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test check race chaos fuzz golden bench bench-quick fleet-smoke fleet-saturation fleet-shards trace-smoke ci clean
+.PHONY: build vet test check race chaos fuzz golden bench bench-quick fleet-smoke fleet-saturation fleet-shards fleet-chaos trace-smoke ci clean
 
 # Minutes of fuzzing per property target (see `make fuzz`).
 FUZZTIME ?= 30s
@@ -84,6 +84,15 @@ fleet-shards:
 	$(GO) test -race -count=1 -run 'TestPropertySharded|TestSharded|TestFleetSharded|FuzzRouteShardedVsLinear' ./internal/fleet
 	$(GO) test -race -run '^$$' -bench 'BenchmarkDispatcherSharded' -benchtime 1x .
 
+# Board failure-domain gate: the crash/stall/restart suite under the race
+# detector (orphan accounting, joined crash errors, crash + stall in one
+# barrier, zero-loss across crash -> restart -> re-place for S ∈ {1,2,4,8},
+# checkpoint codec corpus), then a race-instrumented batch fleetd run twice
+# with the example board-crash and board-stall scenarios live, diffing the
+# trace digest vectors and failure counters (see scripts/fleet-chaos.sh).
+fleet-chaos:
+	sh scripts/fleet-chaos.sh
+
 # Full scalability sweep (tick throughput to 512 tasks, market rounds to
 # 256 clusters); persists BENCH_scale.json.
 bench:
@@ -93,7 +102,7 @@ bench:
 bench-quick:
 	$(GO) run ./cmd/bench -quick -out BENCH_scale.json
 
-ci: build vet race chaos test check bench-quick fleet-smoke fleet-saturation trace-smoke
+ci: build vet race chaos test check bench-quick fleet-smoke fleet-saturation trace-smoke fleet-chaos
 
 clean:
 	rm -f BENCH_scale.json

@@ -5,6 +5,7 @@
 //
 //	fleetd [-boards N] [-seed S] [-tdp watts] [-batch ms] [-hysteresis frac]
 //	       [-queue cap] [-skew K] [-drain-degraded N] [-faults board:file,...]
+//	       [-restart-after N] [-max-restarts N] [-stall-barriers N] [-deadline dur]
 //	       [-trace arrivals.json] [-tracing] [-http ADDR] [-pace ms] [-dur seconds]
 //
 // Without -http, fleetd plays the -trace arrivals for -dur virtual seconds
@@ -15,6 +16,14 @@
 // the shared internal/httpd path. Virtual time holds at zero until the
 // first task is submitted, so fault-scenario windows and deferred arrivals
 // measure from first load rather than from process start.
+//
+// Board failure domains: -faults scenarios may include the board-level
+// classes (board-crash, board-stall). A crash is survivable in batch mode —
+// the supervisor orphans the board's work and, with -restart-after N > 0,
+// resurrects it after the backoff and re-places the orphans; the run keeps
+// stepping and the summary reports crash/restart counters. -deadline puts a
+// wall-clock liveness bound on each barrier so a genuinely hung board fails
+// the run fast with a dump of the unreplied boards instead of deadlocking.
 //
 // -tracing attaches deterministic causal tracing and latency histograms:
 // with -http the mux additionally serves GET /trace, GET /trace?id= and
@@ -29,6 +38,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"net"
@@ -61,6 +71,10 @@ func run() error {
 	skew := flag.Int("skew", 0, "max barriers a board may run ahead of the slowest (0 = lockstep)")
 	shards := flag.Int("shards", 1, "dispatcher shards; boards partition into S price indexes with work stealing (clamped to the board count)")
 	drainDegraded := flag.Int("drain-degraded", 0, "auto-drain a board after this many consecutive degraded barriers (0 = off)")
+	restartAfter := flag.Int("restart-after", 0, "restart a crashed board after this many barriers, backing off per repeat (0 = crashes quarantine permanently)")
+	maxRestarts := flag.Int("max-restarts", 0, "cap supervised restarts per board; beyond it the board quarantines permanently (0 = unlimited)")
+	stallBarriers := flag.Int("stall-barriers", fleet.DefaultStallBarriers, "quarantine a board after this many consecutively withheld barriers")
+	deadline := flag.Duration("deadline", 0, "wall-clock liveness deadline per barrier; a hung run fails fast with the unreplied boards (0 = off)")
 	faults := flag.String("faults", "", "per-board fault scenarios as board:file[,board:file...]")
 	traceFile := flag.String("trace", "", "arrival trace JSON to submit at startup")
 	tracing := flag.Bool("tracing", false, "attach causal tracing + latency histograms (/trace, /histograms)")
@@ -79,6 +93,10 @@ func run() error {
 		MaxSkew:            *skew,
 		Shards:             *shards,
 		DrainDegradedAfter: *drainDegraded,
+		RestartAfter:       *restartAfter,
+		MaxRestarts:        *maxRestarts,
+		StallBarriers:      *stallBarriers,
+		Liveness:           *deadline,
 		Trace:              *tracing,
 		Check:              exp.CheckEnabled(),
 	}
@@ -109,22 +127,57 @@ func run() error {
 }
 
 // runBatch advances the fleet as fast as the host allows for dur virtual
-// seconds and prints the summary — the smoke-testable path.
+// seconds and prints the summary — the smoke-testable path. Board
+// crashes are survivable events here: the supervisor already orphaned
+// the dead board's work, so a step error that is *only* crash reports is
+// logged and the run keeps going. Anything else — invariant violation,
+// liveness timeout — aborts.
 func runBatch(f *fleet.Fleet, cfg fleet.Config, dur float64) error {
 	batches := int(sim.FromSeconds(dur) / cfg.Batch)
 	if batches < 1 {
 		batches = 1
 	}
 	for i := 0; i < batches; i++ {
-		if err := f.Step(); err != nil {
+		if err := stepSupervised(f); err != nil {
 			return err
 		}
 	}
-	if err := f.Flush(); err != nil { // collect the bounded-skew tail
+	if err := stepFlush(f); err != nil { // collect the bounded-skew tail
 		return err
 	}
 	printSummary(f)
 	return nil
+}
+
+// stepSupervised runs one Step, absorbing crash-only errors (logged,
+// survivable) and decorating a liveness timeout with the diagnostic dump
+// of the boards that never replied.
+func stepSupervised(f *fleet.Fleet) error {
+	return superviseErr(f.Step())
+}
+
+func stepFlush(f *fleet.Fleet) error {
+	return superviseErr(f.Flush())
+}
+
+func superviseErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	if crashes, only := fleet.CrashErrors(err); only {
+		for _, ce := range crashes {
+			fmt.Printf("fleetd: %v (supervised; run continues)\n", ce)
+		}
+		return nil
+	}
+	var le *fleet.LivenessError
+	if errors.As(err, &le) {
+		fmt.Fprintf(os.Stderr, "fleetd: liveness deadline %v exceeded at barrier %d\n", le.Deadline, le.Barrier)
+		for _, b := range le.Boards {
+			fmt.Fprintf(os.Stderr, "  board %d: no step reply (hung)\n", b)
+		}
+	}
+	return err
 }
 
 // serve runs the API server and a paced driver until SIGINT/SIGTERM,
@@ -179,7 +232,7 @@ func serve(f *fleet.Fleet, addr string, paceMS float64) error {
 				}
 				idle = false
 			}
-			if err := f.Step(); err != nil {
+			if err := stepSupervised(f); err != nil {
 				driverDone <- err
 				return
 			}
@@ -190,7 +243,7 @@ func serve(f *fleet.Fleet, addr string, paceMS float64) error {
 	if derr := <-driverDone; derr != nil && err == nil {
 		err = derr
 	}
-	if ferr := f.Flush(); ferr != nil && err == nil {
+	if ferr := stepFlush(f); ferr != nil && err == nil {
 		err = ferr
 	}
 	printSummary(f)
@@ -204,6 +257,11 @@ func printSummary(f *fleet.Fleet) {
 	fmt.Printf("  submitted %d  routed %d  live %d  in-flight %d  queued %d  shed %d  drained %d  redrains %d\n",
 		st.Counters.Submitted, st.Counters.Routed, st.Live(), st.InFlight, st.QueueLen, st.Counters.Shed,
 		st.Counters.Drained, st.Counters.Redrained)
+	if st.Counters.Crashes > 0 || st.Counters.Stalls > 0 {
+		fmt.Printf("  failures: crashes %d  stalls %d  restarts %d  orphaned %d (held %d)  replaced %d\n",
+			st.Counters.Crashes, st.Counters.Stalls, st.Counters.Restarts,
+			st.Counters.Orphaned, st.Orphaned, st.Counters.Replaced)
+	}
 	for _, b := range st.Boards {
 		status := b.State
 		if b.Degraded {
@@ -211,6 +269,15 @@ func printSummary(f *fleet.Fleet) {
 		}
 		if b.Draining {
 			status += " draining"
+		}
+		if b.Crashed {
+			status += " crashed"
+		}
+		if b.Stalled {
+			status += " stalled"
+		}
+		if b.Epoch > 0 {
+			status += fmt.Sprintf(" epoch=%d", b.Epoch)
 		}
 		fmt.Printf("  board %d: %2d tasks  price %.5f  %5.2f W  %s\n",
 			b.Board, b.Tasks, b.Price, b.PowerW, status)

@@ -1,0 +1,38 @@
+package check
+
+import "fmt"
+
+// Fleet conservation
+//
+// The fleet's zero-loss invariant extends across board failures: a task
+// accepted at admission (submitted − shed) must be exactly one of
+//
+//   - live on a board per the newest collected barrier's snapshots,
+//   - waiting in the admission queue,
+//   - in flight at an issued-but-uncollected barrier (including batches a
+//     stalled board is deferring), or
+//   - orphaned in the crash supervisor, awaiting re-placement at restart.
+//
+// Crashes move work between the terms — a dead board's residents leave
+// "live" and enter "orphaned" in the same barrier — but never out of the
+// sum. The check holds at every barrier, not just at quiescence.
+
+// FleetLedger is anything that can report its zero-loss accounting. The
+// shape is structural — implemented by fleet.Fleet — so the fleet does
+// not have to be imported here (this package must stay dependency-free
+// below the fleet layer).
+type FleetLedger interface {
+	FleetAccounting() (accepted, live, queued, inflight, orphaned uint64)
+}
+
+// CheckFleetConservation asserts the extended zero-loss identity:
+// accepted == live + queued + inflight + orphaned.
+func CheckFleetConservation(l FleetLedger) error {
+	accepted, live, queued, inflight, orphaned := l.FleetAccounting()
+	if live+queued+inflight+orphaned != accepted {
+		return fmt.Errorf(
+			"check: fleet conservation violated: live %d + queued %d + in-flight %d + orphaned %d = %d, want accepted (submitted-shed) %d",
+			live, queued, inflight, orphaned, live+queued+inflight+orphaned, accepted)
+	}
+	return nil
+}

@@ -109,8 +109,11 @@ func (sc Scenario) Period() sim.Time {
 
 // Validate checks the schedule against a chip geometry.
 func (sc Scenario) Validate(clusters, cores int) error {
-	known := make(map[Type]bool, len(Types))
+	known := make(map[Type]bool, len(Types)+len(BoardTypes))
 	for _, t := range Types {
+		known[t] = true
+	}
+	for _, t := range BoardTypes {
 		known[t] = true
 	}
 	for i, f := range sc.Faults {
@@ -119,6 +122,12 @@ func (sc Scenario) Validate(clusters, cores int) error {
 		}
 		if f.Start < 0 || f.Rounds <= 0 {
 			return fmt.Errorf("fault %d (%s): window start=%d rounds=%d invalid", i, f.Type, f.Start, f.Rounds)
+		}
+		if IsBoardFault(f.Type) {
+			// Board faults target the whole board, not a cluster or core:
+			// the window is in batch barriers and the cluster field is
+			// ignored, so there is no geometry to check.
+			continue
 		}
 		if f.Cluster < -1 || f.Cluster >= clusters {
 			return fmt.Errorf("fault %d (%s): cluster %d outside [-1,%d)", i, f.Type, f.Cluster, clusters)

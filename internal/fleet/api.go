@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -20,6 +21,27 @@ type SubmitResult struct {
 	Shed int `json:"shed"`
 }
 
+// MaxSubmitBody caps a POST /submit request body. A full QueueCap of
+// richly-specified tasks fits comfortably; anything past the cap is a
+// runaway client or an attack, refused with a structured 413 before a
+// byte of it is parsed into memory.
+const MaxSubmitBody = 4 << 20 // 4 MiB
+
+// apiError is the structured error body every non-2xx /submit response
+// carries, so clients never have to scrape free-text http.Error strings.
+type apiError struct {
+	Error string `json:"error"` // machine-friendly slug: bad-request, too-large, method
+	Msg   string `json:"msg"`   // human detail
+}
+
+func writeAPIError(w http.ResponseWriter, status int, slug, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(apiError{Error: slug, Msg: msg}) //nolint:errcheck // headers already sent
+}
+
 // NewMux serves the fleet's HTTP surface:
 //
 //	POST /submit      — batch task submission (ArrivalTrace JSON body)
@@ -35,17 +57,24 @@ func NewMux(f *Fleet) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/submit", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
-			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			writeAPIError(w, http.StatusMethodNotAllowed, "method", "POST only")
 			return
 		}
-		tr, err := ParseTrace(r.Body)
+		body := http.MaxBytesReader(w, r.Body, MaxSubmitBody)
+		tr, err := ParseTrace(body)
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				writeAPIError(w, http.StatusRequestEntityTooLarge, "too-large",
+					fmt.Sprintf("request body exceeds %d bytes", MaxSubmitBody))
+				return
+			}
+			writeAPIError(w, http.StatusBadRequest, "bad-request", err.Error())
 			return
 		}
 		specs, err := tr.Resolve()
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+			writeAPIError(w, http.StatusBadRequest, "bad-request", err.Error())
 			return
 		}
 		var res SubmitResult

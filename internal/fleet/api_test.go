@@ -126,3 +126,101 @@ func getJSON(t *testing.T, url string, v interface{}) {
 		t.Fatalf("GET %s: %v", url, err)
 	}
 }
+
+// TestSubmitRejectsOversizedBody pins the POST /submit body cap: a
+// payload past MaxSubmitBody gets a structured 413 without being
+// parsed, and a sane request on the same server still succeeds.
+func TestSubmitRejectsOversizedBody(t *testing.T) {
+	f, err := New(Config{Boards: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	srv := httptest.NewServer(NewMux(f))
+	defer srv.Close()
+
+	// A syntactically valid JSON body that only reveals its size by
+	// being read: one giant padding field the strict decoder would
+	// reject *after* the limit already fired.
+	huge := `{"tasks":[{"bench":"swaptions","input":"n","pad":"` +
+		strings.Repeat("x", MaxSubmitBody+1024) + `"}]}`
+	resp, err := http.Post(srv.URL+"/submit", "application/json", strings.NewReader(huge))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d, want 413", resp.StatusCode)
+	}
+	var apiErr struct {
+		Error string `json:"error"`
+		Msg   string `json:"msg"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&apiErr); err != nil {
+		t.Fatalf("413 body is not structured JSON: %v", err)
+	}
+	if apiErr.Error != "too-large" || apiErr.Msg == "" {
+		t.Fatalf("413 body = %+v, want slug too-large with detail", apiErr)
+	}
+
+	// The server is still healthy for well-formed submissions.
+	resp2, err := http.Post(srv.URL+"/submit", "application/json",
+		strings.NewReader(`{"tasks":[{"bench":"swaptions","input":"n"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("follow-up submit status = %d, want 200", resp2.StatusCode)
+	}
+}
+
+// TestSubmitStructuredErrors pins the error contract on every /submit
+// failure path: structured JSON with a machine slug, never free text.
+func TestSubmitStructuredErrors(t *testing.T) {
+	f, err := New(Config{Boards: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	srv := httptest.NewServer(NewMux(f))
+	defer srv.Close()
+
+	cases := []struct {
+		name, method, body string
+		status             int
+		slug               string
+	}{
+		{"wrong method", http.MethodGet, "", http.StatusMethodNotAllowed, "method"},
+		{"malformed json", http.MethodPost, `{"tasks":[`, http.StatusBadRequest, "bad-request"},
+		{"unknown field", http.MethodPost, `{"tasks":[{"bench":"swaptions","input":"n","wat":1}]}`, http.StatusBadRequest, "bad-request"},
+		{"empty trace", http.MethodPost, `{"tasks":[]}`, http.StatusBadRequest, "bad-request"},
+		{"unknown bench", http.MethodPost, `{"tasks":[{"bench":"nope","input":"n"}]}`, http.StatusBadRequest, "bad-request"},
+	}
+	for _, tc := range cases {
+		req, err := http.NewRequest(tc.method, srv.URL+"/submit", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != tc.status {
+			t.Errorf("%s: status = %d, want %d", tc.name, resp.StatusCode, tc.status)
+		}
+		if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+			t.Errorf("%s: content-type = %q, want application/json", tc.name, ct)
+		}
+		var apiErr struct {
+			Error string `json:"error"`
+			Msg   string `json:"msg"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&apiErr); err != nil {
+			t.Errorf("%s: error body is not structured JSON: %v", tc.name, err)
+		} else if apiErr.Error != tc.slug {
+			t.Errorf("%s: slug = %q, want %q", tc.name, apiErr.Error, tc.slug)
+		}
+		resp.Body.Close()
+	}
+}

@@ -28,8 +28,9 @@ import (
 // it exclusively through the command channel, so a board needs no locks
 // and its virtual timeline is bit-reproducible.
 type Board struct {
-	ID   int
-	Seed uint64 // per-board seed, derived from the fleet seed
+	ID    int
+	Seed  uint64 // per-board seed, derived from the fleet seed
+	epoch int    // restart epoch (0 = original boot)
 
 	p   *platform.Platform
 	gov *ppm.Governor
@@ -42,6 +43,19 @@ type Board struct {
 	rr     int   // persistent round-robin cursor over little
 
 	draining bool
+
+	// Board failure domain (see DESIGN.md §12). bsc is the board-level
+	// fault schedule (nil without board faults); crashed flips on panic
+	// recovery and is terminal for this epoch — the board answers every
+	// later command with a crashed reply so the barrier pipeline never
+	// deadlocks on it. ckpt is the encoded checkpoint folded at the end
+	// of the last successful step; deferred holds stalled batches until
+	// the stall window closes.
+	bsc      *fault.Scenario
+	crashed  bool
+	crashErr error
+	ckpt     []byte
+	deferred []deferredBatch
 
 	// Causal tracing (nil when Config.Trace is off — the zero-cost
 	// detached state). All fields are owned by the board goroutine; trc's
@@ -137,6 +151,27 @@ type stepReply struct {
 	// and emits them in (round, board, kind) order to its event sink.
 	events []telemetry.Event
 	err    error // first invariant violation, when checking is on
+
+	// crashed marks a terminal reply from a dead board: no snapshot, no
+	// events — just the last folded checkpoint for the supervisor to
+	// orphan from. The board keeps answering so the pipeline never
+	// blocks on it. stalled marks a withheld step (board-stall fault):
+	// the batch was deferred board-side and the fleet keeps its
+	// assignments in flight until the board catches up or crashes.
+	crashed bool
+	stalled bool
+	ckpt    []byte // encoded Checkpoint (crashed replies only)
+}
+
+// deferredBatch is one stalled step command held by the board: it runs,
+// in order, at the first barrier past the stall window (or dies with
+// the board, in which case the fleet's stall-pending ledger recovers
+// the work).
+type deferredBatch struct {
+	subs  []Submission
+	mine  []int32
+	d     sim.Time
+	batch int
 }
 
 // evacuated pairs an evacuated spec with its causal trace ID (0 when
@@ -158,12 +193,21 @@ type stopCmd struct{ reply chan struct{} }
 // newBoard assembles one board from the fleet config. The governor is
 // always PPM: clearing prices are the routing signal, so a price-less
 // governor has no place in the fleet. trc is the board's trace buffer
-// (nil when tracing is detached).
-func newBoard(id int, cfg Config, trc *trace.Buffer) (*Board, error) {
+// (nil when tracing is detached). epoch is the restart epoch: 0 for the
+// original boot (seed stream unchanged from the pre-failure-domain
+// fleet, keeping old replay digests valid), ≥ 1 for a supervised
+// restart, which derives a fresh epoch-namespaced seed so the reborn
+// board's randomness never replays the timeline that crashed.
+func newBoard(id int, cfg Config, trc *trace.Buffer, epoch int) (*Board, error) {
+	seed := sim.DeriveSeed(cfg.Seed, uint64(id))
+	if epoch > 0 {
+		seed = sim.DeriveSeed(sim.DeriveSeed(cfg.Seed, restartSeedStream+uint64(epoch)), uint64(id))
+	}
 	b := &Board{
-		ID:   id,
-		Seed: sim.DeriveSeed(cfg.Seed, uint64(id)),
-		p:    platform.NewTC2(),
+		ID:    id,
+		Seed:  seed,
+		epoch: epoch,
+		p:     platform.NewTC2(),
 		// Bounded skew queues up to MaxSkew+1 step commands on a board
 		// that is running behind, plus one control command (drain /
 		// resume / stop); the buffer keeps the fleet's issue path from
@@ -206,6 +250,13 @@ func newBoard(id int, cfg Config, trc *trace.Buffer) (*Board, error) {
 		b.inj = fault.NewInjector(sc)
 		b.p.AttachFaults(b.inj)
 		maxOver = faultMaxOverRounds
+		if sc.HasBoardFaults() {
+			// Board-level faults (crash / stall) are consulted once per
+			// step command against the batch barrier number; the platform
+			// injector skips them.
+			scc := sc
+			b.bsc = &scc
+		}
 	}
 	if cfg.Check {
 		b.chk = check.New(check.Options{
@@ -216,7 +267,11 @@ func newBoard(id int, cfg Config, trc *trace.Buffer) (*Board, error) {
 		b.p.AttachChecker(b.chk)
 	}
 	if cfg.Record {
-		b.rec = check.NewRecorder(fmt.Sprintf("board-%d", id), b.Seed, "fleet",
+		name := fmt.Sprintf("board-%d", id)
+		if epoch > 0 {
+			name = fmt.Sprintf("board-%d.r%d", id, epoch)
+		}
+		b.rec = check.NewRecorder(name, b.Seed, "fleet",
 			check.RecorderOptions{Market: b.gov.Market()})
 		b.p.AttachChecker(b.rec)
 	}
@@ -253,53 +308,23 @@ func newBoard(id int, cfg Config, trc *trace.Buffer) (*Board, error) {
 const faultMaxOverRounds = 64
 
 // loop is the board goroutine: it owns every mutable field of the board
-// and executes fleet commands in arrival order.
+// and executes fleet commands in arrival order. Every command is
+// answered even after a crash — the barrier pipeline must never block
+// on a dead board.
 func (b *Board) loop() {
 	defer close(b.done)
 	for raw := range b.cmd {
 		switch c := raw.(type) {
 		case stepCmd:
-			var w0 time.Time
-			if b.trc != nil {
-				w0 = time.Now()
-			}
-			b.place(c.subs, c.mine)
-			b.p.Run(c.d)
-			if b.rec != nil {
-				// Fold the barrier counter and assignment count into the
-				// replay trace: under bounded skew a run is bit-identical
-				// only if every batch of work landed on the same barrier,
-				// so the counters must be part of the digest chain, not
-				// just the market samples.
-				b.rec.Record(uint64(c.batch)<<20 | uint64(len(c.mine)))
-			}
-			r := stepReply{snap: b.snapshot(c.batch)}
-			if b.trc != nil {
-				// Per-round fold: drain the batch's captured lifecycle
-				// events, sort into the total content order (pool-worker
-				// emission order is nondeterministic), and fold them as
-				// timeline points. Wall-clock step time goes only to the
-				// histogram, never the digest.
-				b.histStep.Record(float64(time.Since(w0).Nanoseconds()))
-				evs := b.capture.drain()
-				sortEvents(evs)
-				for _, ev := range evs {
-					b.trc.Mark(trace.Point{
-						Kind:  ev.Kind.String(),
-						Board: b.ID,
-						Time:  ev.Time,
-						Class: ev.Class,
-						Value: ev.Value,
-					})
-				}
-				r.events = evs
-			}
-			if b.chk != nil {
-				r.err = b.chk.Err()
-			}
-			c.reply <- r
+			c.reply <- b.step(c)
 		case drainCmd:
-			c.reply <- b.evacuate()
+			if b.crashed {
+				// Nothing to evacuate: the supervisor already owns the
+				// crashed board's work via the checkpoint.
+				c.reply <- nil
+			} else {
+				c.reply <- b.evacuate()
+			}
 		case resumeCmd:
 			b.draining = false
 			close(c.reply)
@@ -308,6 +333,142 @@ func (b *Board) loop() {
 			return
 		}
 	}
+}
+
+// step executes one barrier command with the board's failure domain
+// around it: a crashed board answers terminally, a stalling board
+// defers the batch behind a sentinel reply, and any panic — injected
+// board-crash or real bug — is recovered into the terminal crashed
+// state instead of killing the goroutine (which would deadlock
+// collectTo forever on this board's reply channel).
+func (b *Board) step(c stepCmd) (r stepReply) {
+	if b.crashed {
+		return stepReply{crashed: true, ckpt: b.ckpt, err: b.crashErr}
+	}
+	if b.bsc != nil && b.bsc.StallsAt(b.ID, c.batch) {
+		// Withhold the real reply: hold the batch for catch-up and answer
+		// with the sentinel so the barrier still completes. The fleet
+		// keeps these assignments in flight (stall-pending) and
+		// quarantines the board after Config.StallBarriers misses.
+		b.deferred = append(b.deferred, deferredBatch{subs: c.subs, mine: c.mine, d: c.d, batch: c.batch})
+		return stepReply{stalled: true}
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			r = b.recoverCrash(c.batch, p)
+		}
+	}()
+	var w0 time.Time
+	if b.trc != nil {
+		w0 = time.Now()
+	}
+	// Catch up deferred (stalled) batches first, in barrier order, then
+	// run the current one: the board's virtual timeline replays exactly
+	// the batches it was issued, so replay digests stay bit-identical.
+	for _, dd := range b.deferred {
+		b.runBatch(dd.subs, dd.mine, dd.d, dd.batch)
+	}
+	b.deferred = nil
+	b.runBatch(c.subs, c.mine, c.d, c.batch)
+	r = stepReply{snap: b.snapshot(c.batch)}
+	if b.trc != nil {
+		// Per-round fold: drain the batch's captured lifecycle events
+		// (including any caught-up batches'), sort into the total content
+		// order (pool-worker emission order is nondeterministic), and
+		// fold them as timeline points. Wall-clock step time goes only to
+		// the histogram, never the digest.
+		b.histStep.Record(float64(time.Since(w0).Nanoseconds()))
+		evs := b.capture.drain()
+		sortEvents(evs)
+		for _, ev := range evs {
+			b.trc.Mark(trace.Point{
+				Kind:  ev.Kind.String(),
+				Board: b.ID,
+				Time:  ev.Time,
+				Class: ev.Class,
+				Value: ev.Value,
+			})
+		}
+		r.events = evs
+	}
+	if b.chk != nil {
+		r.err = b.chk.Err()
+	}
+	// Fold the restart image after the step fully succeeded: a crash at
+	// barrier n orphans from the barrier n-1 image plus the fleet-side
+	// ledgers, never from a half-run barrier.
+	b.ckpt = b.foldCheckpoint(c.batch)
+	return r
+}
+
+// runBatch is one batch of board work: the injected-crash gate, the
+// placement of the barrier's assignments, and the platform run.
+func (b *Board) runBatch(subs []Submission, mine []int32, d sim.Time, batch int) {
+	if b.bsc != nil && b.bsc.CrashesAt(b.ID, batch) {
+		panic(fmt.Sprintf("fault: board-crash injected at barrier %d", batch))
+	}
+	b.place(subs, mine)
+	b.p.Run(d)
+	if b.rec != nil {
+		// Fold the barrier counter and assignment count into the replay
+		// trace: under bounded skew a run is bit-identical only if every
+		// batch of work landed on the same barrier, so the counters must
+		// be part of the digest chain, not just the market samples.
+		b.rec.Record(uint64(batch)<<20 | uint64(len(mine)))
+	}
+}
+
+// recoverCrash turns a step panic into the terminal crashed state: the
+// board's open residency spans close attributed to the crash (in trace
+// ID order — map iteration order must never reach a digest), buffered
+// capture is dropped, and every future command gets an immediate
+// crashed reply carrying the last good checkpoint.
+func (b *Board) recoverCrash(batch int, cause interface{}) stepReply {
+	b.crashed = true
+	b.crashErr = fmt.Errorf("board %d panicked at barrier %d: %v", b.ID, batch, cause)
+	b.deferred = nil // the fleet's stall-pending ledger owns this work now
+	if b.trc != nil {
+		now := b.p.Now()
+		ids := make([]trace.ID, 0, len(b.traceOf))
+		for _, id := range b.traceOf {
+			if id != 0 {
+				ids = append(ids, id)
+			}
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			b.trc.CloseAttributed(id, trace.StageBoard, now, "crash")
+		}
+		b.traceOf = make(map[*task.Task]trace.ID)
+		b.capture.drain() // the dead batch's events never reach the fold
+		if b.obs != nil {
+			b.obs.watch = b.obs.watch[:0]
+		}
+	}
+	return stepReply{crashed: true, ckpt: b.ckpt, err: b.crashErr}
+}
+
+// foldCheckpoint builds and encodes the board's restart image: every
+// resident task spec with its trace ID, plus the market/governor
+// restart position (barrier, round, virtual time, placement cursor,
+// seed). Runs on the board goroutine after a successful step, so the
+// platform state it reads is a consistent barrier boundary.
+func (b *Board) foldCheckpoint(batch int) []byte {
+	tasks := b.p.Tasks()
+	ck := &Checkpoint{
+		Board: b.ID,
+		Epoch: b.epoch,
+		Batch: batch,
+		Round: b.gov.Market().Round(),
+		Time:  b.p.Now(),
+		RR:    b.rr,
+		Seed:  b.Seed,
+		Tasks: make([]CheckpointTask, 0, len(tasks)),
+	}
+	for _, t := range tasks {
+		ck.Tasks = append(ck.Tasks, CheckpointTask{Spec: t.Spec, Trace: b.traceOf[t]})
+	}
+	return ck.Encode()
 }
 
 // place boots the board's share of the barrier batch on the LITTLE
@@ -383,6 +544,7 @@ func (b *Board) snapshot(batch int) Snapshot {
 	st := b.p.Stats()
 	return Snapshot{
 		Board:       b.ID,
+		Epoch:       b.epoch,
 		Time:        b.p.Now(),
 		Batch:       batch,
 		Round:       m.Round(),

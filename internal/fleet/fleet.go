@@ -23,6 +23,7 @@
 package fleet
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -55,6 +56,17 @@ const routeSeedStream = 0x5a4d_0000
 // traceSeedStream namespaces the causal-trace ID stream off the fleet
 // seed: submission i gets trace.DeriveID(DeriveSeed(Seed, traceSeedStream), i).
 const traceSeedStream = 0x7ace_0000
+
+// restartSeedStream namespaces the supervisor's restart machinery off
+// the fleet seed: per-board restart-backoff jitter, and the derived
+// epoch seeds a resurrected board boots under (epoch e, board i runs on
+// DeriveSeed(DeriveSeed(Seed, restartSeedStream+e), i), so no epoch
+// ever replays another's randomness).
+const restartSeedStream = 0x4e57_0000
+
+// DefaultStallBarriers is the stall detector's quarantine threshold
+// when Config.StallBarriers is zero.
+const DefaultStallBarriers = 2
 
 // Config assembles a fleet.
 type Config struct {
@@ -97,8 +109,38 @@ type Config struct {
 	// sensor cannot thrash drain→resume→re-trip→drain every few barriers.
 	// 0 disables auto-drain.
 	DrainDegradedAfter int
+	// StallBarriers is the deterministic stall detector's threshold
+	// (default DefaultStallBarriers): a board that withholds its real
+	// step reply for this many consecutive barriers — counted in
+	// virtual barriers, never wall clock — is quarantined (excluded
+	// from routing) until its first caught-up reply. Deferred
+	// assignments stay in the in-flight ledger the whole time, so the
+	// zero-loss invariant holds through the stall.
+	StallBarriers int
+	// RestartAfter enables the crash supervisor: a crashed board is
+	// resurrected under the same ID after at least this many barriers,
+	// growing exponentially per repeat crash with seeded jitter
+	// (fault.Backoff over the restartSeedStream). The restarted board
+	// boots a fresh platform under a derived restart-epoch seed and the
+	// crashed board's checkpointed tasks re-enter the dispatcher. 0
+	// disables restarts: a crash permanently quarantines the board and
+	// its orphans requeue immediately.
+	RestartAfter int
+	// MaxRestarts caps supervised restarts per board; a crash beyond
+	// the cap permanently quarantines the board (0 = unlimited).
+	MaxRestarts int
+	// Liveness is an optional wall-clock deadline per collected barrier
+	// (0 = off, the default — determinism-preserving): if any board
+	// produces no step reply within it, collection fails fast with a
+	// LivenessError naming the unreplied boards instead of deadlocking
+	// on a real hang. Injected stalls reply instantly with a sentinel
+	// and never trip it.
+	Liveness time.Duration
 	// Faults maps board ID → fault scenario injected into that board.
 	// The scenario's seed is overridden with the board's derived seed.
+	// Board-level classes (fault.BoardCrash, fault.BoardStall) schedule
+	// whole-board failures in batch barriers; platform classes perturb
+	// sensors and actuators as on a single platform.
 	Faults map[int]fault.Scenario
 	// Record attaches a replay recorder to every board (check.Trace per
 	// board, exposed via Traces). Each board folds its per-barrier
@@ -139,18 +181,24 @@ func (c Config) withDefaults() Config {
 	if c.Shards <= 0 {
 		c.Shards = 1
 	}
+	if c.StallBarriers <= 0 {
+		c.StallBarriers = DefaultStallBarriers
+	}
 	return c
 }
 
 // Counters are the fleet's task-accounting totals. The zero-loss
-// invariant — enforced by tests and the fleet-smoke gate — is:
+// invariant — enforced by tests, check.CheckFleetConservation and the
+// fleet-smoke gate — is:
 //
-//	Submitted - Shed == live tasks on boards + Queued + InFlight
+//	Submitted - Shed == live tasks on boards + Queued + InFlight + Orphaned
 //
 // where InFlight covers tasks assigned at barriers still uncollected
-// under bounded skew. (Drained/Resubmitted track evacuations, which
-// conserve tasks; evacuated tasks that overflow the queue are counted
-// once in Shed, never silently dropped.)
+// under bounded skew (including batches a stalled board is deferring),
+// and Orphaned covers tasks a crashed board's supervisor is holding
+// until restart re-places them. (Drained/Resubmitted track evacuations,
+// which conserve tasks; evacuated tasks that overflow the queue are
+// counted once in Shed, never silently dropped.)
 type Counters struct {
 	Submitted   uint64 `json:"submitted"`
 	Routed      uint64 `json:"routed"`
@@ -161,6 +209,17 @@ type Counters struct {
 	// Redrained counts auto-drains of a board beyond its first since the
 	// cooldown last reset — the drain/resume flapping signal.
 	Redrained uint64 `json:"redrained"`
+	// Crashes counts board-crash detections; Stalls counts stall
+	// quarantines (a board that missed StallBarriers barriers);
+	// Restarts counts supervised resurrections. Orphaned is the
+	// cumulative count of tasks orphaned by crashes; Replaced counts
+	// orphans re-placed through the dispatcher (at restart or, for a
+	// permanently quarantined board, immediately).
+	Crashes  uint64 `json:"crashes"`
+	Stalls   uint64 `json:"stalls"`
+	Restarts uint64 `json:"restarts"`
+	Orphaned uint64 `json:"orphaned_total"`
+	Replaced uint64 `json:"replaced"`
 }
 
 // State is the fleet-wide snapshot served at /state.
@@ -171,8 +230,14 @@ type State struct {
 	Boards   []Snapshot `json:"boards"`
 	QueueLen int        `json:"queue_len"`
 	// InFlight counts tasks assigned to boards at barriers not yet
-	// collected (always 0 in lockstep or after Flush).
-	InFlight int      `json:"in_flight"`
+	// collected (always 0 in lockstep or after Flush), plus batches a
+	// stalled board is deferring.
+	InFlight int `json:"in_flight"`
+	// Orphaned counts tasks held by the crash supervisor: work
+	// recovered from crashed boards (checkpoint residents, stalled
+	// deferrals, never-run barrier assignments) awaiting re-placement
+	// at restart.
+	Orphaned int      `json:"orphaned"`
 	Counters Counters `json:"counters"`
 	// Shards is the dispatcher's effective shard count (configured value
 	// clamped to the board count).
@@ -201,21 +266,36 @@ type projCarry struct {
 }
 
 // inflightBarrier is one issued-but-uncollected barrier: its reply
-// channels and the per-board assignment stats to unwind from the carry
-// once its snapshots arrive.
+// channels, the per-board assignment stats to unwind from the carry once
+// its snapshots arrive, and the barrier's submissions with each board's
+// pick list — retained so a crash or stall collected at this barrier can
+// recover exactly the work that was assigned (PerBoard's inner slices
+// are freshly allocated per Route call, so holding them is safe).
 type inflightBarrier struct {
 	batch   int
 	replies []chan stepReply
 	add     []projCarry
-	total   int // tasks assigned at this barrier
+	total   int          // tasks assigned at this barrier
+	subs    []Submission // the barrier's submission batch (shared, read-only)
+	mine    [][]int32    // per-board pick indexes into subs
 }
 
-// drainOp is a deferred drain/resume decision, executed only once the
-// pipeline is flushed so the board is quiescent.
+// drainOp is a deferred drain/resume/restart/replace decision, executed
+// only once the pipeline is flushed so the board is quiescent and —
+// crucially for restarts under bounded skew — every barrier issued
+// before the decision has already been collected, so all of a crashed
+// board's skewed-barrier orphans are appended before its work re-enters
+// the dispatcher.
 type drainOp struct {
 	board   int
 	resume  bool
 	redrain bool
+	// restart resurrects a crashed board under the same ID with a
+	// derived restart-epoch seed and requeues its orphans; replace only
+	// requeues the orphans (permanent quarantine: restarts disabled or
+	// MaxRestarts exhausted).
+	restart bool
+	replace bool
 }
 
 // Fleet is the coordinator: it owns the admission queue, the dispatcher
@@ -239,13 +319,44 @@ type Fleet struct {
 	resumeAfter []int // healthy barriers required before resume
 	sinceResume []int // barriers survived since the last resume
 
+	// Crash-supervisor state (stepping-goroutine owned, like the drain
+	// streaks above). crashed marks boards whose terminal reply has been
+	// collected this epoch; crashEpochs is each board's current restart
+	// epoch; restartBarrier is the barrier at which a pending restart
+	// becomes due (-1 = none); restarts counts supervised resurrections
+	// per board (the backoff attempt counter); quarantined marks boards
+	// permanently retired (restarts disabled or MaxRestarts exhausted);
+	// crashedAt records the detection barrier for the restart-latency
+	// histogram; orphans holds each crashed board's recovered work until
+	// its restart/replace op re-places it.
+	crashed        []bool
+	crashEpochs    []int
+	restartBarrier []int
+	restarts       []int
+	quarantined    []bool
+	crashedAt      []int
+	orphans        [][]Submission
+
+	// Stall-detector state (stepping-goroutine owned). stallMiss counts
+	// consecutive withheld replies per board; stallQ marks boards past
+	// Config.StallBarriers (quarantined from routing until catch-up);
+	// stallPending holds the submissions of every deferred batch (the
+	// recovery set if the stalled board crashes); stallCarry is the
+	// matching projection carry kept pinned in the in-flight ledger for
+	// the stall's duration.
+	stallMiss    []int
+	stallQ       []bool
+	stallPending [][]Submission
+	stallCarry   []projCarry
+
 	mu            sync.Mutex
 	snaps         []Snapshot  // newest collected barrier's snapshots
 	carry         []projCarry // in-flight projected load per board
 	batch         int         // barriers collected
 	issued        int         // barriers issued
 	now           sim.Time    // fleet virtual time (issued * cfg.Batch)
-	inflightTasks int          // tasks assigned at uncollected barriers
+	inflightTasks int          // tasks assigned at uncollected barriers (incl. stalled deferrals)
+	orphanedCount int          // tasks held by the crash supervisor
 	pending       []Submission // FIFO admission queue (demand pre-estimated)
 	sched         []timedSpec  // trace-scheduled future arrivals, sorted by at
 	counters      Counters
@@ -263,6 +374,7 @@ type Fleet struct {
 	histRouting    *metrics.Histogram // wall ns per Route call
 	histQueueWait  *metrics.Histogram // virtual ms enqueue → routed (exemplars)
 	histBarrierLag *metrics.Histogram // barriers of skew at collect
+	histRestart    *metrics.Histogram // barriers crash-detection → restart
 	// evSink, when set, receives each collected barrier's board lifecycle
 	// events in (round, board, kind) order (see SetEventSink).
 	evSink telemetry.Sink
@@ -289,7 +401,23 @@ func New(cfg Config) (*Fleet, error) {
 		drainCount:  make([]int, cfg.Boards),
 		resumeAfter: make([]int, cfg.Boards),
 		sinceResume: make([]int, cfg.Boards),
-		reg:         telemetry.NewRegistry(),
+
+		crashed:        make([]bool, cfg.Boards),
+		crashEpochs:    make([]int, cfg.Boards),
+		restartBarrier: make([]int, cfg.Boards),
+		restarts:       make([]int, cfg.Boards),
+		quarantined:    make([]bool, cfg.Boards),
+		crashedAt:      make([]int, cfg.Boards),
+		orphans:        make([][]Submission, cfg.Boards),
+		stallMiss:      make([]int, cfg.Boards),
+		stallQ:         make([]bool, cfg.Boards),
+		stallPending:   make([][]Submission, cfg.Boards),
+		stallCarry:     make([]projCarry, cfg.Boards),
+
+		reg: telemetry.NewRegistry(),
+	}
+	for i := range f.restartBarrier {
+		f.restartBarrier[i] = -1
 	}
 	if cfg.Trace {
 		f.tracer = trace.NewTracer(cfg.Boards)
@@ -297,9 +425,10 @@ func New(cfg Config) (*Fleet, error) {
 		f.histRouting = metrics.NewLog(100, 2, 24)  // 100ns .. ~800ms wall
 		f.histQueueWait = metrics.NewLog(1, 2, 20)  // 1ms .. ~9min virtual
 		f.histBarrierLag = metrics.NewLog(0.5, 2, 8) // 0 lag lands ≤0.5
+		f.histRestart = metrics.NewLog(0.5, 2, 10)   // barriers crash → restart
 	}
 	for i := 0; i < cfg.Boards; i++ {
-		b, err := newBoard(i, cfg, f.tracer.Board(i))
+		b, err := newBoard(i, cfg, f.tracer.Board(i), 0)
 		if err != nil {
 			f.Close()
 			return nil, err
@@ -334,6 +463,13 @@ func (f *Fleet) registerMetrics() {
 	counter("pricepower_fleet_drained_total", "Tasks evacuated from draining boards.", &f.counters.Drained)
 	counter("pricepower_fleet_resubmitted_total", "Evacuated tasks re-routed through the dispatcher.", &f.counters.Resubmitted)
 	counter("pricepower_fleet_redrains_total", "Auto-drains of a board beyond its first (flapping).", &f.counters.Redrained)
+	counter("pricepower_fleet_crashes_total", "Board-crash detections.", &f.counters.Crashes)
+	counter("pricepower_fleet_stalls_total", "Stall quarantines (boards past StallBarriers misses).", &f.counters.Stalls)
+	counter("pricepower_fleet_restarts_total", "Supervised board resurrections.", &f.counters.Restarts)
+	counter("pricepower_fleet_orphaned_total", "Tasks orphaned by board crashes (cumulative).", &f.counters.Orphaned)
+	counter("pricepower_fleet_replaced_total", "Orphaned tasks re-placed through the dispatcher.", &f.counters.Replaced)
+	f.reg.GaugeFunc("pricepower_fleet_orphaned_tasks", "Tasks held by the crash supervisor awaiting re-placement.",
+		func() float64 { f.mu.Lock(); defer f.mu.Unlock(); return float64(f.orphanedCount) })
 }
 
 // Registry is the fleet-level metrics registry (queue depth, routing
@@ -543,6 +679,8 @@ func (f *Fleet) Step() error {
 		batch:   issued + 1,
 		replies: make([]chan stepReply, len(f.boards)),
 		add:     make([]projCarry, len(f.boards)),
+		subs:    subs,
+		mine:    make([][]int32, len(f.boards)),
 	}
 	for i, b := range f.boards {
 		var mine []int32
@@ -554,6 +692,7 @@ func (f *Fleet) Step() error {
 		bar.replies[i] = make(chan stepReply, 1)
 		b.cmd <- stepCmd{subs: subs, mine: mine, d: f.cfg.Batch, batch: issued + 1, reply: bar.replies[i]}
 		bar.add[i] = projCarry{tasks: len(mine), demandPU: dpu}
+		bar.mine[i] = mine
 		bar.total += len(mine)
 	}
 	f.inflight = append(f.inflight, bar)
@@ -575,90 +714,190 @@ func (f *Fleet) Step() error {
 	f.mu.Lock()
 	f.requeueLocked(append(resubmit, unrouted...))
 	f.mu.Unlock()
+	if f.cfg.Check {
+		// The crash-conservation self-check: every accepted task is live,
+		// queued, in flight, or orphaned — at every barrier, crashes and
+		// stalls included. Joined after the step error so a crash report
+		// and a ledger leak both surface.
+		if err := check.CheckFleetConservation(f); err != nil {
+			firstErr = errors.Join(firstErr, err)
+		}
+	}
 	return firstErr
 }
 
 // collectTo collects outstanding barriers until at most maxOutstanding
-// remain and no drain/resume decision is pending. Decisions flush the
-// pipeline first (drain/resume must see a quiescent board), then execute
-// in decision order; evacuated specs are returned for requeueing.
+// remain and no deferred decision is pending. Decisions flush the
+// pipeline first (drain/resume must see a quiescent board; restart must
+// see every skewed barrier's orphans appended), then execute in decision
+// order; evacuated and re-placed specs are returned for requeueing.
+// Errors join across barriers and boards (errors.Join), so one collect
+// pass can report two boards crashing at the same barrier plus an
+// invariant violation on a third. A LivenessError aborts immediately —
+// after a real hang the remaining barriers would only hang again.
 func (f *Fleet) collectTo(maxOutstanding int) (resubmit []Submission, firstErr error) {
+	var errs []error
 	for len(f.inflight) > maxOutstanding || len(f.ops) > 0 {
 		if len(f.ops) > 0 && len(f.inflight) == 0 {
 			ops := f.ops
 			f.ops = nil
 			for _, op := range ops {
-				if op.resume {
+				switch {
+				case op.restart:
+					resubmit = append(resubmit, f.restartBoard(op.board)...)
+				case op.replace:
+					subs := f.takeOrphans(op.board)
+					resubmit = append(resubmit, subs...)
+					f.emitBoardEvent(op.board, "replace", float64(len(subs)))
+				case op.resume:
+					if f.crashed[op.board] || f.quarantined[op.board] {
+						continue // moot: the board crashed since the op queued
+					}
 					f.resumeBoard(op.board)
 					f.mu.Lock()
 					f.snaps[op.board].Draining = false
 					f.mu.Unlock()
 					f.emitDrainEvent(op.board, "resume", 0)
-					continue
+				default:
+					if f.crashed[op.board] || f.quarantined[op.board] {
+						continue // moot: the supervisor owns this board's work
+					}
+					subs := f.drainBoard(op.board)
+					resubmit = append(resubmit, subs...)
+					f.mu.Lock()
+					f.snaps[op.board].Draining = true
+					f.snaps[op.board].Tasks = 0
+					if op.redrain {
+						f.counters.Redrained++
+					}
+					f.mu.Unlock()
+					class := "drain"
+					if op.redrain {
+						class = "redrain"
+					}
+					f.emitDrainEvent(op.board, class, len(subs))
 				}
-				subs := f.drainBoard(op.board)
-				resubmit = append(resubmit, subs...)
-				f.mu.Lock()
-				f.snaps[op.board].Draining = true
-				f.snaps[op.board].Tasks = 0
-				if op.redrain {
-					f.counters.Redrained++
-				}
-				f.mu.Unlock()
-				class := "drain"
-				if op.redrain {
-					class = "redrain"
-				}
-				f.emitDrainEvent(op.board, class, len(subs))
 			}
 			continue
 		}
-		if err := f.collectOldest(); err != nil && firstErr == nil {
-			firstErr = err
+		if err := f.collectOldest(); err != nil {
+			errs = append(errs, err)
+			var le *LivenessError
+			if errors.As(err, &le) {
+				break
+			}
 		}
 	}
-	return resubmit, firstErr
+	return resubmit, errors.Join(errs...)
 }
 
-// collectOldest blocks on the oldest in-flight barrier, publishes its
-// versioned snapshots, unwinds its projection carry, and records any
-// drain/resume decisions its snapshots trigger.
+// collectReplies gathers one barrier's step replies, optionally bounded
+// by the wall-clock liveness deadline. Injected stalls and crashes reply
+// instantly with sentinels and never trip it; only a real hang does. On
+// timeout every already-delivered reply is drained non-blocking first
+// (reply channels are buffered), so the hung list names exactly the
+// boards that produced nothing.
+func (f *Fleet) collectReplies(bar inflightBarrier) ([]stepReply, []int) {
+	replies := make([]stepReply, len(bar.replies))
+	if f.cfg.Liveness <= 0 {
+		for i := range bar.replies {
+			replies[i] = <-bar.replies[i]
+		}
+		return replies, nil
+	}
+	got := make([]bool, len(bar.replies))
+	timer := time.NewTimer(f.cfg.Liveness)
+	defer timer.Stop()
+	for i := range bar.replies {
+		select {
+		case r := <-bar.replies[i]:
+			replies[i], got[i] = r, true
+		case <-timer.C:
+			var hung []int
+			for j := range bar.replies {
+				if got[j] {
+					continue
+				}
+				select {
+				case r := <-bar.replies[j]:
+					replies[j], got[j] = r, true
+				default:
+					hung = append(hung, j)
+				}
+			}
+			if len(hung) == 0 {
+				return replies, nil // everything was already on the wire
+			}
+			return replies, hung
+		}
+	}
+	return replies, nil
+}
+
+// collectOldest blocks on the oldest in-flight barrier, resolves each
+// board's reply (normal snapshot, stall sentinel, crash sentinel, or
+// stall catch-up), publishes the versioned snapshots, unwinds the
+// projection carry, and records any drain/restart decisions the barrier
+// triggers. Per-board errors join: two boards crashing at one barrier
+// yield one errors.Join of two CrashErrors.
 func (f *Fleet) collectOldest() error {
 	bar := f.inflight[0]
 	f.inflight = f.inflight[1:]
+	replies, hung := f.collectReplies(bar)
+	if hung != nil {
+		return &LivenessError{Barrier: bar.batch, Deadline: f.cfg.Liveness, Boards: hung}
+	}
 	fresh := make([]Snapshot, len(f.boards))
 	var events []telemetry.Event
-	var firstErr error
-	for i := range f.boards {
-		r := <-bar.replies[i]
-		fresh[i] = r.snap
-		if f.evSink != nil && len(r.events) > 0 {
-			for _, ev := range r.events {
-				ev.Board = i
-				// Restamp Round with the fold round (the barrier number):
-				// emit sites stamp market rounds inconsistently (migration
-				// leaves it zero, fault uses its own period), so the fold
-				// round is the only key that is monotone across the log.
-				// Exact virtual time is preserved in ev.Time.
-				ev.Round = int(bar.batch)
-				events = append(events, ev)
-			}
-		}
-		if r.err != nil && firstErr == nil {
-			firstErr = fmt.Errorf("fleet: board %d: %w", i, r.err)
-		}
-	}
-	f.noteDrainStreaks(fresh)
+	var bevents []boardEvent // crash/stall lifecycle, emitted after unlock
+	var errs []error
 	f.mu.Lock()
-	copy(f.snaps, fresh)
+	// Unwind the barrier's projection first; the resolvers below re-pin
+	// the share belonging to stalled boards and move crashed boards'
+	// shares to the orphan ledger.
 	f.batch++
 	f.inflightTasks -= bar.total
 	for i := range f.carry {
 		f.carry[i].tasks -= bar.add[i].tasks
 		f.carry[i].demandPU -= bar.add[i].demandPU
 	}
+	for i := range f.boards {
+		r := replies[i]
+		switch {
+		case r.crashed:
+			fresh[i] = f.resolveCrashLocked(i, bar, r, &errs, &bevents)
+		case r.stalled:
+			fresh[i] = f.resolveStallLocked(i, bar, &bevents)
+		default:
+			fresh[i] = r.snap
+			if f.stallMiss[i] > 0 {
+				f.resolveCatchupLocked(i, &bevents)
+			}
+			if f.evSink != nil && len(r.events) > 0 {
+				for _, ev := range r.events {
+					ev.Board = i
+					// Restamp Round with the fold round (the barrier number):
+					// emit sites stamp market rounds inconsistently (migration
+					// leaves it zero, fault uses its own period), so the fold
+					// round is the only key that is monotone across the log.
+					// Exact virtual time is preserved in ev.Time.
+					ev.Round = int(bar.batch)
+					events = append(events, ev)
+				}
+			}
+			if r.err != nil {
+				errs = append(errs, fmt.Errorf("fleet: board %d: %w", i, r.err))
+			}
+		}
+	}
+	copy(f.snaps, fresh)
 	lag := f.issued - bar.batch
 	f.mu.Unlock()
+	for _, be := range bevents {
+		f.emitBoardEvent(be.board, be.class, be.value)
+	}
+	f.noteDrainStreaks(fresh)
+	f.pendRestarts(bar.batch)
 	if f.tracer != nil {
 		// The barrier span is fully known at collect time: it covered one
 		// batch of virtual time, and its lag is how many barriers issuance
@@ -689,7 +928,237 @@ func (f *Fleet) collectOldest() error {
 			f.evSink.Emit(ev)
 		}
 	}
-	return firstErr
+	return errors.Join(errs...)
+}
+
+// boardEvent is one gathered crash/stall lifecycle event, emitted after
+// the resolvers release f.mu (the emitter's clock takes the fleet lock).
+type boardEvent struct {
+	board int
+	class string
+	value float64
+}
+
+// resolveCrashLocked handles one crashed reply under f.mu. On first
+// detection it orphans the board's recoverable work — the last good
+// checkpoint's residents, every stall-deferred batch, and this barrier's
+// never-run assignments — unpins the stall carry, schedules the restart
+// (or permanent quarantine), and reports a CrashError. Later crashed
+// replies from the same epoch only orphan that barrier's skew-issued
+// assignments (routing already excludes the board once the crash
+// snapshot publishes).
+func (f *Fleet) resolveCrashLocked(i int, bar inflightBarrier, r stepReply, errs *[]error, bevents *[]boardEvent) Snapshot {
+	var orphaned []Submission
+	for _, si := range bar.mine[i] {
+		orphaned = append(orphaned, bar.subs[si])
+	}
+	if !f.crashed[i] {
+		// First detection for this epoch.
+		f.crashed[i] = true
+		f.crashedAt[i] = bar.batch
+		f.counters.Crashes++
+		*errs = append(*errs, &CrashError{Board: i, Barrier: bar.batch, Err: r.err})
+		*bevents = append(*bevents, boardEvent{board: i, class: "crash", value: float64(bar.batch)})
+		// The stall ledger's deferrals died with the board: unpin their
+		// carry and move the submissions to the orphan set.
+		orphaned = append(orphaned, f.stallPending[i]...)
+		f.carry[i].tasks -= f.stallCarry[i].tasks
+		f.carry[i].demandPU -= f.stallCarry[i].demandPU
+		f.inflightTasks -= f.stallCarry[i].tasks
+		f.stallCarry[i] = projCarry{}
+		f.stallPending[i] = nil
+		f.stallMiss[i] = 0
+		f.stallQ[i] = false
+		// The checkpoint's residents (folded at the last successful
+		// barrier; nil when the board never completed one).
+		if ck, err := DecodeCheckpoint(r.ckpt); err != nil {
+			*errs = append(*errs, fmt.Errorf("fleet: board %d checkpoint: %w", i, err))
+		} else if ck != nil {
+			for _, ct := range ck.Tasks {
+				s := NewSubmission(ct.Spec)
+				s.Trace = ct.Trace
+				orphaned = append(orphaned, s)
+			}
+		}
+		// Schedule the resurrection, or retire the board for good.
+		if f.cfg.RestartAfter > 0 && (f.cfg.MaxRestarts <= 0 || f.restarts[i] < f.cfg.MaxRestarts) {
+			f.restartBarrier[i] = bar.batch + f.restartDelayBarriers(i)
+		} else {
+			f.quarantined[i] = true
+			f.ops = append(f.ops, drainOp{board: i, replace: true})
+			*bevents = append(*bevents, boardEvent{board: i, class: "quarantine", value: float64(f.restarts[i])})
+		}
+	}
+	f.orphans[i] = append(f.orphans[i], orphaned...)
+	f.orphanedCount += len(orphaned)
+	f.counters.Orphaned += uint64(len(orphaned))
+	snap := f.snaps[i]
+	snap.Batch = bar.batch
+	snap.Crashed = true
+	snap.Stalled = false
+	snap.Tasks = 0
+	snap.DemandPU = 0
+	return snap
+}
+
+// resolveStallLocked handles one stall-sentinel reply under f.mu: the
+// barrier's assignments stay pinned in the in-flight ledger (the board
+// holds the batch for catch-up), the actual submissions join the
+// stall-pending recovery set, and the board quarantines from routing
+// once it has missed Config.StallBarriers barriers in a row.
+func (f *Fleet) resolveStallLocked(i int, bar inflightBarrier, bevents *[]boardEvent) Snapshot {
+	f.carry[i].tasks += bar.add[i].tasks
+	f.carry[i].demandPU += bar.add[i].demandPU
+	f.inflightTasks += bar.add[i].tasks
+	f.stallCarry[i].tasks += bar.add[i].tasks
+	f.stallCarry[i].demandPU += bar.add[i].demandPU
+	for _, si := range bar.mine[i] {
+		f.stallPending[i] = append(f.stallPending[i], bar.subs[si])
+	}
+	f.stallMiss[i]++
+	if !f.stallQ[i] && f.stallMiss[i] >= f.cfg.StallBarriers {
+		f.stallQ[i] = true
+		f.counters.Stalls++
+		*bevents = append(*bevents, boardEvent{board: i, class: "stall", value: float64(f.stallMiss[i])})
+	}
+	snap := f.snaps[i]
+	snap.Batch = bar.batch
+	snap.Stalled = f.stallQ[i]
+	return snap
+}
+
+// resolveCatchupLocked clears a board's stall state on its first real
+// reply after a stall window: the caught-up snapshot already counts the
+// deferred batches' tasks as live, so the pinned carry unwinds here,
+// exactly once.
+func (f *Fleet) resolveCatchupLocked(i int, bevents *[]boardEvent) {
+	f.carry[i].tasks -= f.stallCarry[i].tasks
+	f.carry[i].demandPU -= f.stallCarry[i].demandPU
+	f.inflightTasks -= f.stallCarry[i].tasks
+	f.stallCarry[i] = projCarry{}
+	f.stallPending[i] = nil
+	if f.stallQ[i] {
+		*bevents = append(*bevents, boardEvent{board: i, class: "catch-up", value: float64(f.stallMiss[i])})
+	}
+	f.stallMiss[i] = 0
+	f.stallQ[i] = false
+}
+
+// pendRestarts queues restart ops for crashed boards whose backoff
+// expired at or before the just-collected barrier. The op mechanism
+// flushes the pipeline before executing, so every skew-issued barrier's
+// orphans are appended before the restart re-places them.
+func (f *Fleet) pendRestarts(collected int) {
+	for i := range f.boards {
+		if f.restartBarrier[i] >= 0 && collected >= f.restartBarrier[i] {
+			f.restartBarrier[i] = -1
+			f.ops = append(f.ops, drainOp{board: i, restart: true})
+		}
+	}
+}
+
+// restartDelayBarriers derives the barriers between a crash detection
+// and the board's resurrection: RestartAfter on the first crash, backing
+// off exponentially per repeat with deterministic seeded jitter (its own
+// lane of the restart seed stream, disjoint from the epoch-seed lane).
+func (f *Fleet) restartDelayBarriers(board int) int {
+	bo := fault.Backoff{
+		Base:   sim.Time(f.cfg.RestartAfter) * f.cfg.Batch,
+		Factor: 2,
+		Jitter: 0.25,
+		Seed:   sim.DeriveSeed(f.cfg.Seed, restartSeedStream+0x8000+uint64(board)),
+	}
+	barriers := int((bo.Next(f.restarts[board]) + f.cfg.Batch - 1) / f.cfg.Batch)
+	if barriers < f.cfg.RestartAfter {
+		barriers = f.cfg.RestartAfter
+	}
+	return barriers
+}
+
+// restartBoard resurrects a crashed board under the same ID: the dead
+// goroutine stops, a fresh platform boots under the derived
+// restart-epoch seed, and the orphaned work re-enters the dispatcher as
+// ordinary submissions (returned for requeueing at the queue head).
+// Runs only on a flushed pipeline (drainOp contract), so the old
+// board's command queue is empty and its every skewed barrier has been
+// orphan-accounted.
+func (f *Fleet) restartBoard(i int) []Submission {
+	old := f.boards[i]
+	reply := make(chan struct{})
+	old.cmd <- stopCmd{reply: reply}
+	<-reply
+	<-old.done
+
+	epoch := f.crashEpochs[i] + 1
+	b, err := newBoard(i, f.cfg, f.tracer.Board(i), epoch)
+	if err != nil {
+		// Can only happen if the board's fault scenario fails validation,
+		// which New() already vetted — but if it does, retire the board
+		// rather than crash the fleet.
+		f.quarantined[i] = true
+		f.emitBoardEvent(i, "quarantine", float64(f.restarts[i]))
+		return f.takeOrphans(i)
+	}
+	f.crashEpochs[i] = epoch
+	f.restarts[i]++
+	f.crashed[i] = false
+	f.degraded[i], f.healthy[i], f.auto[i] = 0, 0, false
+
+	f.mu.Lock()
+	f.boards[i] = b // under mu: Boards() is read from HTTP goroutines
+	f.counters.Restarts++
+	f.snaps[i] = Snapshot{Board: i, Epoch: epoch, MaxSupplyPU: b.p.MaxSupplyPU()}
+	latency := f.batch - f.crashedAt[i]
+	f.mu.Unlock()
+	if f.histRestart != nil {
+		f.histRestart.Record(float64(latency))
+	}
+	f.emitBoardEvent(i, "restart", float64(epoch))
+	return f.takeOrphans(i)
+}
+
+// takeOrphans drains a board's orphan ledger into submissions ready for
+// the queue head: each keeps its trace ID and reopens a queue span
+// attributed to the requeue, so a task's crash → re-place journey reads
+// as one timeline.
+func (f *Fleet) takeOrphans(i int) []Submission {
+	subs := f.orphans[i]
+	f.orphans[i] = nil
+	if len(subs) == 0 {
+		return nil
+	}
+	f.mu.Lock()
+	now := f.now
+	f.orphanedCount -= len(subs)
+	f.counters.Replaced += uint64(len(subs))
+	if f.tracer != nil {
+		for j := range subs {
+			if subs[j].Trace == 0 {
+				continue
+			}
+			subs[j].EnqueuedAt = now
+			f.tracer.Fleet().Open(trace.Span{
+				Trace: subs[j].Trace, Stage: trace.StageQueue, Board: -1,
+				Start: now, Class: "requeue",
+			})
+		}
+	}
+	f.mu.Unlock()
+	return subs
+}
+
+// emitBoardEvent publishes one KindBoard lifecycle event (class = crash /
+// stall / catch-up / restart / replace / quarantine). Never call under
+// f.mu: the emitter's clock is f.Now.
+func (f *Fleet) emitBoardEvent(board int, class string, value float64) {
+	if !f.em.Enabled(telemetry.KindBoard) {
+		return
+	}
+	ev := telemetry.E(telemetry.KindBoard)
+	ev.Name = fmt.Sprintf("board-%d", board)
+	ev.Class = class
+	ev.Value = value
+	f.em.Emit(ev)
 }
 
 // Flush collects every outstanding barrier and executes pending
@@ -733,6 +1202,14 @@ func (f *Fleet) noteDrainStreaks(fresh []Snapshot) {
 		return
 	}
 	for i, s := range fresh {
+		if f.crashed[i] || f.quarantined[i] || f.stallMiss[i] > 0 {
+			// Dead or silent boards republish stale snapshots; their
+			// Degraded bit is old news, and draining them is the
+			// supervisor's job, not the sensor-health path's.
+			f.degraded[i] = 0
+			f.healthy[i] = 0
+			continue
+		}
 		if s.Degraded {
 			f.degraded[i]++
 			f.healthy[i] = 0
@@ -826,6 +1303,9 @@ func (f *Fleet) Drain(i int) error {
 	if i < 0 || i >= len(f.boards) {
 		return fmt.Errorf("fleet: no board %d", i)
 	}
+	if f.crashed[i] || f.quarantined[i] {
+		return fmt.Errorf("fleet: board %d crashed; the supervisor owns its work", i)
+	}
 	if err := f.Flush(); err != nil {
 		return err
 	}
@@ -843,6 +1323,9 @@ func (f *Fleet) Drain(i int) error {
 func (f *Fleet) Resume(i int) error {
 	if i < 0 || i >= len(f.boards) {
 		return fmt.Errorf("fleet: no board %d", i)
+	}
+	if f.crashed[i] || f.quarantined[i] {
+		return fmt.Errorf("fleet: board %d crashed; resume waits on the supervisor", i)
 	}
 	if err := f.Flush(); err != nil {
 		return err
@@ -874,24 +1357,47 @@ func (f *Fleet) StateSnapshot() State {
 		Boards:   append([]Snapshot(nil), f.snaps...),
 		QueueLen: len(f.pending),
 		InFlight: f.inflightTasks,
+		Orphaned: f.orphanedCount,
 		Counters: f.counters,
 		Shards:   shards,
 	}
 	return st
 }
 
+// FleetAccounting reports the zero-loss ledger terms at the newest
+// collected barrier, for check.CheckFleetConservation: accepted =
+// submitted − shed must equal live + queued + in-flight + orphaned.
+// (Finished tasks stay resident until drained, so completions never
+// leak out of the identity.)
+func (f *Fleet) FleetAccounting() (accepted, live, queued, inflight, orphaned uint64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for i := range f.snaps {
+		live += uint64(f.snaps[i].Tasks)
+	}
+	return f.counters.Submitted - f.counters.Shed, live,
+		uint64(len(f.pending)), uint64(f.inflightTasks), uint64(f.orphanedCount)
+}
+
 // Traces returns the per-board replay traces (index = board ID); entries
 // are nil unless Config.Record was set.
 func (f *Fleet) Traces() []*check.Trace {
-	out := make([]*check.Trace, len(f.boards))
-	for i, b := range f.boards {
+	boards := f.Boards()
+	out := make([]*check.Trace, len(boards))
+	for i, b := range boards {
 		out[i] = b.Trace()
 	}
 	return out
 }
 
-// Boards exposes the boards (read-only use: registries, traces).
-func (f *Fleet) Boards() []*Board { return f.boards }
+// Boards exposes the boards (read-only use: registries, traces). The
+// returned slice is a copy: a supervised restart swaps a board pointer
+// mid-run, and HTTP readers must not race it.
+func (f *Fleet) Boards() []*Board {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]*Board(nil), f.boards...)
+}
 
 // Close stops every board goroutine. The fleet is unusable afterwards.
 // Outstanding pipelined steps drain through each board's command queue

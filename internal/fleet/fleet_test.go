@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"pricepower/internal/check"
 	"pricepower/internal/fault"
 	"pricepower/internal/sim"
 	"pricepower/internal/task"
@@ -26,10 +27,13 @@ func checkZeroLoss(t *testing.T, f *Fleet) {
 	t.Helper()
 	st := f.StateSnapshot()
 	want := st.Counters.Submitted - st.Counters.Shed
-	got := uint64(st.Live() + st.QueueLen + st.InFlight)
+	got := uint64(st.Live() + st.QueueLen + st.InFlight + st.Orphaned)
 	if got != want {
-		t.Fatalf("zero-loss violated: live %d + queued %d + inflight %d = %d, want submitted %d - shed %d = %d",
-			st.Live(), st.QueueLen, st.InFlight, got, st.Counters.Submitted, st.Counters.Shed, want)
+		t.Fatalf("zero-loss violated: live %d + queued %d + inflight %d + orphaned %d = %d, want submitted %d - shed %d = %d",
+			st.Live(), st.QueueLen, st.InFlight, st.Orphaned, got, st.Counters.Submitted, st.Counters.Shed, want)
+	}
+	if err := check.CheckFleetConservation(f); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -28,6 +28,10 @@ func (f *Fleet) WriteHistograms(w io.Writer) error {
 		"Barriers of pipeline skew observed at collection.", ""); err != nil {
 		return err
 	}
+	if err := f.histRestart.WriteProm(w, "pricepower_fleet_restart_latency_barriers",
+		"Barriers from crash detection to supervised restart.", ""); err != nil {
+		return err
+	}
 
 	type boardHist struct {
 		name, help string
@@ -41,9 +45,10 @@ func (f *Fleet) WriteHistograms(w io.Writer) error {
 		{"pricepower_board_task_residency_ms", "Virtual placement-to-completion time (ms), with trace exemplars.",
 			func(b *Board) *metrics.Histogram { return b.obs.histResidency }},
 	}
+	boards := f.Boards() // copy: a restart may swap a board mid-scrape
 	for _, h := range hists {
-		all := make([]*metrics.Histogram, 0, len(f.boards))
-		for _, b := range f.boards {
+		all := make([]*metrics.Histogram, 0, len(boards))
+		for _, b := range boards {
 			hb := h.pick(b)
 			all = append(all, hb)
 			if err := hb.WriteProm(w, h.name, h.help, fmt.Sprintf("board=%q", fmt.Sprint(b.ID))); err != nil {

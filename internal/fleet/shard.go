@@ -88,7 +88,7 @@ type projEntry struct {
 	price  float64
 	demand float64
 	supply float64 // MaxSupplyPU
-	live   bool    // !Draining && !Degraded && power headroom
+	live   bool    // !Crashed && !Stalled && !Draining && !Degraded && power headroom
 }
 
 func (e *projEntry) admissible() bool { return e.live && e.demand < e.supply }
@@ -404,7 +404,7 @@ func (d *ShardedDispatcher) Route(snaps []Snapshot, subs []Submission) RoutedBat
 			price:  s.Price,
 			demand: s.DemandPU,
 			supply: s.MaxSupplyPU,
-			live:   !s.Draining && !s.Degraded && (s.WthW <= 0 || s.SmoothedW < s.WthW),
+			live:   !s.Crashed && !s.Stalled && !s.Draining && !s.Degraded && (s.WthW <= 0 || s.SmoothedW < s.WthW),
 		}
 	}
 	picks := d.picks[:len(subs)]

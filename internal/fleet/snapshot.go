@@ -13,6 +13,7 @@ import (
 // recorded sequence of them.
 type Snapshot struct {
 	Board int      `json:"board"`
+	Epoch int      `json:"epoch,omitempty"` // restart epoch (0 = original boot)
 	Time  sim.Time `json:"t"`
 	Batch int      `json:"batch"`
 	Round int      `json:"round"` // market bid rounds completed
@@ -28,6 +29,13 @@ type Snapshot struct {
 	State     string  `json:"state"`   // market state: nominal/threshold/emergency
 	Degraded  bool    `json:"degraded"`// sensor-health flag (internal/fault)
 	Draining  bool    `json:"draining"`
+	// Crashed marks a board whose goroutine panicked; the supervisor
+	// holds its orphaned work until restart (or permanent quarantine).
+	// Stalled marks a board quarantined by the stall detector after
+	// missing Config.StallBarriers consecutive barriers. Both exclude
+	// the board from routing.
+	Crashed bool `json:"crashed,omitempty"`
+	Stalled bool `json:"stalled,omitempty"`
 
 	Tasks       int     `json:"tasks"`
 	DemandPU    float64 `json:"demand_pu"`
@@ -50,7 +58,8 @@ func (s *Snapshot) HasHeadroom() bool {
 }
 
 // Admissible reports whether the dispatcher may route new work to the
-// board: not draining, sensors healthy, and headroom left.
+// board: alive (not crashed or stall-quarantined), not draining,
+// sensors healthy, and headroom left.
 func (s *Snapshot) Admissible() bool {
-	return !s.Draining && !s.Degraded && s.HasHeadroom()
+	return !s.Crashed && !s.Stalled && !s.Draining && !s.Degraded && s.HasHeadroom()
 }

@@ -95,6 +95,17 @@ const (
 	// Value = the raw reading that triggered the edge, Prev = the last
 	// trusted reading the market held instead.
 	KindDegraded
+	// KindBoard marks a fleet board failure-domain transition
+	// (internal/fleet). Name = "board-N"; Class = "crash" (terminal
+	// panic detected at a barrier, Value = the barrier), "stall" (the
+	// deterministic stall detector quarantined the board, Value =
+	// barriers missed), "catch-up" (a stalled board's first real reply,
+	// Value = barriers missed), "restart" (supervised resurrection,
+	// Value = the new restart epoch), "replace" (a permanently
+	// quarantined board's orphans re-placed, Value = the count) or
+	// "quarantine" (restarts disabled or exhausted, Value = restarts
+	// used). Low volume: a handful of events per failure.
+	KindBoard
 
 	numKinds
 )
@@ -112,6 +123,7 @@ var kindNames = [numKinds]string{
 	KindFault:     "fault",
 	KindDrain:     "drain",
 	KindDegraded:  "degraded",
+	KindBoard:     "board",
 }
 
 // String names the kind (the value used in JSONL logs and metric labels).

@@ -104,8 +104,9 @@ func (s *Stage) UnmarshalJSON(b []byte) error {
 // Span is one closed interval of a trace's life, in virtual time. Board is
 // -1 for fleet-level spans (queue, barrier). Class carries the resolution:
 // "home"/"steal" for queue spans (which routing pass placed it),
-// "shed"/"requeue" for attributed admission outcomes, "completed"/"drain"
-// for board spans.
+// "shed"/"requeue" for attributed admission outcomes, "completed"/"drain"/
+// "crash" for board spans ("crash" = the board panicked with the task
+// resident; the supervisor requeues it under the same trace ID).
 type Span struct {
 	Trace   ID       `json:"trace"`
 	Stage   Stage    `json:"stage"`
