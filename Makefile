@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test check race chaos fuzz golden bench bench-quick fleet-smoke fleet-saturation fleet-shards fleet-chaos trace-smoke ci clean
+.PHONY: build vet test check race chaos fuzz golden bench bench-quick fleet-smoke fleet-saturation fleet-shards fleet-chaos trace-smoke federation-smoke ci clean
 
 # Minutes of fuzzing per property target (see `make fuzz`).
 FUZZTIME ?= 30s
@@ -20,12 +20,14 @@ check:
 	PRICEPOWER_CHECK=1 $(GO) test ./...
 
 # Property fuzzing of the V-F ladder clamping contract, the run-queue
-# scheduling contract, and the sharded dispatcher against the linear
-# routing oracle. FUZZTIME bounds each target.
+# scheduling contract, the sharded dispatcher against the linear routing
+# oracle, and the electricity-price trace decode→validate→lookup
+# pipeline. FUZZTIME bounds each target.
 fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzLadderLookup -fuzztime=$(FUZZTIME) ./internal/core
 	$(GO) test -run=^$$ -fuzz=FuzzQueuePickNext -fuzztime=$(FUZZTIME) ./internal/sched
 	$(GO) test -run=^$$ -fuzz=FuzzRouteShardedVsLinear -fuzztime=$(FUZZTIME) ./internal/fleet
+	$(GO) test -run=^$$ -fuzz=FuzzPriceTraceLookup -fuzztime=$(FUZZTIME) ./internal/federation
 
 # Regenerate the pinned experiment digests after an intentional numerical
 # change (see EXPERIMENTS.md, "Bisecting a digest mismatch").
@@ -35,10 +37,11 @@ golden:
 # The concurrency-bearing packages under the race detector: the worker-pool
 # market rounds (internal/core), the platform tick/migration machinery
 # (internal/platform), the telemetry sinks/registry fed from pool workers
-# (internal/telemetry) and the fleet's board goroutines behind the batch
-# barrier (internal/fleet).
+# (internal/telemetry), the fleet's board goroutines behind the batch
+# barrier (internal/fleet), and the federation stepping region fleets
+# (internal/federation).
 race:
-	$(GO) test -race ./internal/core ./internal/platform ./internal/telemetry ./internal/fleet
+	$(GO) test -race ./internal/core ./internal/platform ./internal/telemetry ./internal/fleet ./internal/federation
 
 # Fault-injection suite under the race detector: randomized chaos schedules,
 # single-fault recovery acceptance, and the ≥16-cluster run that drives the
@@ -93,6 +96,16 @@ fleet-shards:
 fleet-chaos:
 	sh scripts/fleet-chaos.sh
 
+# Geo-distributed federation gate: the federation suite (conservation at
+# R ∈ {1,2,4}, migration hysteresis/convergence, faulted replay, stacked
+# region+board metric labels) under the race detector, then a
+# race-instrumented fedd double run of the example 3-region federation
+# (board crash + region outage) diffing the federation digest vectors
+# (see scripts/federation-smoke.sh).
+federation-smoke:
+	$(GO) test -race -count=1 ./internal/federation
+	sh scripts/federation-smoke.sh
+
 # Full scalability sweep (tick throughput to 512 tasks, market rounds to
 # 256 clusters); persists BENCH_scale.json.
 bench:
@@ -102,7 +115,7 @@ bench:
 bench-quick:
 	$(GO) run ./cmd/bench -quick -out BENCH_scale.json
 
-ci: build vet race chaos test check bench-quick fleet-smoke fleet-saturation trace-smoke fleet-chaos
+ci: build vet race chaos test check bench-quick fleet-smoke fleet-saturation trace-smoke fleet-chaos federation-smoke
 
 clean:
 	rm -f BENCH_scale.json

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"pricepower/internal/exp"
+	"pricepower/internal/federation"
 	"pricepower/internal/fleet"
 	"pricepower/internal/metrics"
 	"pricepower/internal/platform"
@@ -106,6 +107,7 @@ type report struct {
 	Results    []result     `json:"results"`
 	Telemetry  []overhead   `json:"telemetry_overhead"`
 	Trace      []overhead   `json:"trace_overhead"`
+	Federation []overhead   `json:"federation_epoch"`
 	Routing    []routing    `json:"dispatcher_routing"`
 	Saturation []saturation `json:"fleet_saturation"`
 }
@@ -340,6 +342,25 @@ func main() {
 		}
 	}
 
+	// federation_epoch: the price-divergence migration controller's cost
+	// on the federation epoch path. Both sides run an identical 3-region
+	// federation under identical load (a backlog pinned into the most
+	// expensive region so the controller genuinely evicts, transits, and
+	// re-submits); the detached side disables the controller. Budget: the
+	// controller adds ≤10% to the epoch step.
+	{
+		fedIters, fedRounds := 16, 15
+		if *quick {
+			fedIters, fedRounds = 4, 7
+		}
+		fd, stepD := federationStepper(3, 2, true)
+		fa, stepA := federationStepper(3, 2, false)
+		paired(&rep.Federation, "controller", "federation_epoch/R=3",
+			fedIters, fedRounds, stepD, stepA)
+		fd.Close()
+		fa.Close()
+	}
+
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
@@ -416,6 +437,65 @@ func saturationStepper(boards, skew int, traced bool) (*fleet.Fleet, func()) {
 	step := func() {
 		for j := 0; j < boards; j++ {
 			f.Submit(churn(j))
+		}
+		if err := f.Step(); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		step()
+	}
+	return f, step
+}
+
+// federationStepper builds a warmed 3-region federation with steeply
+// divergent flat electricity prices and returns it with a step closure:
+// a pinned backlog refreshed into the dearest region plus routed load,
+// then one federation epoch. With disabled=false the migration
+// controller runs with near-zero cost and no cooldown, so every epoch
+// pays decision + eviction + transit + delivery — the attached side of
+// the federation_epoch overhead pair.
+func federationStepper(regions, boardsPer int, disabled bool) (*federation.Federation, func()) {
+	const batch = 10 * sim.Millisecond
+	cfg := federation.Config{
+		Seed: 42, Batch: batch, EpochBarriers: 2,
+		Migration: federation.MigrationConfig{
+			CostLatency: 1e-6, CostTransfer: 1e-6,
+			SustainEpochs: 1, MaxBatch: 4, CooldownEpochs: -1,
+			Disabled: disabled,
+		},
+	}
+	for i := 0; i < regions; i++ {
+		cfg.Regions = append(cfg.Regions, federation.RegionConfig{
+			Name: fmt.Sprintf("b%d", i),
+			Fleet: fleet.Config{
+				Boards: boardsPer, QueueCap: 64 * boardsPer,
+			},
+			Price: federation.PriceTrace{Intervals: []federation.PriceInterval{
+				{StartH: 0, EndH: 24, PriceKWh: 0.02 + 0.25*float64(i)},
+			}},
+		})
+	}
+	f, err := federation.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	churn := func(i int) task.Spec {
+		return task.Spec{
+			Name: fmt.Sprintf("fedchurn%02d", i%32), Priority: 1, MinHR: 24, MaxHR: 30,
+			Phases: []task.Phase{{Duration: batch, HBCostLittle: 2, SpeedupBig: 2}},
+		}
+	}
+	dear := regions - 1
+	step := func() {
+		for j := 0; j < boardsPer; j++ {
+			if _, err := f.SubmitTo(dear, churn(j)); err != nil {
+				fmt.Fprintln(os.Stderr, "bench:", err)
+				os.Exit(1)
+			}
+			f.Submit(churn(boardsPer + j))
 		}
 		if err := f.Step(); err != nil {
 			fmt.Fprintln(os.Stderr, "bench:", err)

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+
+	"pricepower/internal/smoke"
+)
+
+// TestSmokeSynth boots a synthesized 3-region federation, plays the
+// follow-the-sun trace for a handful of epochs, and checks the summary:
+// every region reported, work submitted, and a digest vector printed.
+func TestSmokeSynth(t *testing.T) {
+	out := smoke.Run(t, "-regions", "3", "-boards", "1", "-seed", "7",
+		"-trace", "../../examples/fleet/burst.json", "-epochs", "6", "-check")
+	if !strings.Contains(out, "federation: 3 regions") {
+		t.Errorf("missing federation summary:\n%s", out)
+	}
+	for _, r := range []string{"region r0:", "region r1:", "region r2:"} {
+		if !strings.Contains(out, r) {
+			t.Errorf("summary missing %q:\n%s", r, out)
+		}
+	}
+	if !strings.Contains(out, "digests: ") {
+		t.Errorf("missing digest vector:\n%s", out)
+	}
+}
+
+// TestSmokeFaultedReplay runs the example faulted federation (board crash
+// in us-east, region outage in ap-south) twice and diffs the digest
+// vectors — the binary-level replay gate the federation-smoke script
+// relies on.
+func TestSmokeFaultedReplay(t *testing.T) {
+	args := []string{"-config", "../../examples/regions/federation.json",
+		"-trace", "../../examples/regions/follow-the-sun.json", "-epochs", "10", "-check"}
+	re := regexp.MustCompile(`digests: ([0-9a-f ]+)`)
+	extract := func(out string) string {
+		m := re.FindStringSubmatch(out)
+		if m == nil {
+			t.Fatalf("no digest vector in output:\n%s", out)
+		}
+		return m[1]
+	}
+	a := extract(smoke.Run(t, args...))
+	b := extract(smoke.Run(t, args...))
+	if a != b {
+		t.Fatalf("faulted federation replay diverged:\n  run 1: %s\n  run 2: %s", a, b)
+	}
+	if len(strings.Fields(a)) != 4 {
+		t.Fatalf("digest vector has %d entries, want 4 (controller + 3 regions): %s", len(strings.Fields(a)), a)
+	}
+}

@@ -109,11 +109,14 @@ func (sc Scenario) Period() sim.Time {
 
 // Validate checks the schedule against a chip geometry.
 func (sc Scenario) Validate(clusters, cores int) error {
-	known := make(map[Type]bool, len(Types)+len(BoardTypes))
+	known := make(map[Type]bool, len(Types)+len(BoardTypes)+len(RegionTypes))
 	for _, t := range Types {
 		known[t] = true
 	}
 	for _, t := range BoardTypes {
+		known[t] = true
+	}
+	for _, t := range RegionTypes {
 		known[t] = true
 	}
 	for i, f := range sc.Faults {
@@ -123,10 +126,11 @@ func (sc Scenario) Validate(clusters, cores int) error {
 		if f.Start < 0 || f.Rounds <= 0 {
 			return fmt.Errorf("fault %d (%s): window start=%d rounds=%d invalid", i, f.Type, f.Start, f.Rounds)
 		}
-		if IsBoardFault(f.Type) {
-			// Board faults target the whole board, not a cluster or core:
-			// the window is in batch barriers and the cluster field is
-			// ignored, so there is no geometry to check.
+		if IsBoardFault(f.Type) || IsRegionFault(f.Type) {
+			// Board and region faults target a whole failure domain, not a
+			// cluster or core: their windows are in batch barriers
+			// (boards) or federation epochs (regions) and the cluster
+			// field is ignored, so there is no geometry to check.
 			continue
 		}
 		if f.Cluster < -1 || f.Cluster >= clusters {

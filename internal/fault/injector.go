@@ -66,9 +66,10 @@ func (in *Injector) windowOpen(i int, now sim.Time) bool {
 // per edge. Runs sequentially before the tick's scheduling step.
 func (in *Injector) BeginTick(p *platform.Platform, now sim.Time) {
 	for i := range in.sc.Faults {
-		if IsBoardFault(in.sc.Faults[i].Type) {
+		if IsBoardFault(in.sc.Faults[i].Type) || IsRegionFault(in.sc.Faults[i].Type) {
 			// Board-level faults (crash / stall) are consumed by the fleet
-			// layer per batch barrier; they have no platform window, emit no
+			// layer per batch barrier, region-level faults (outage) by the
+			// federation per epoch; they have no platform window, emit no
 			// edge events here, and never count as injector activations.
 			continue
 		}

@@ -1,0 +1,147 @@
+package federation
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"pricepower/internal/fault"
+	"pricepower/internal/fleet"
+	"pricepower/internal/sim"
+)
+
+// fedFile is fedd's JSON config shape. Trace and scenario paths resolve
+// relative to the config file's directory, so a config plus its traces
+// travel as one directory (see examples/regions/).
+type fedFile struct {
+	Seed          uint64          `json:"seed"`
+	BatchMS       float64         `json:"batch_ms,omitempty"`
+	EpochBarriers int             `json:"epoch_barriers,omitempty"`
+	HoursPerSec   float64         `json:"hours_per_sec,omitempty"`
+	Hysteresis    float64         `json:"hysteresis,omitempty"`
+	Tiers         []Tier          `json:"tiers,omitempty"`
+	Migration     MigrationConfig `json:"migration"`
+	Regions       []fedFileRegion `json:"regions"`
+}
+
+type fedFileRegion struct {
+	Name     string  `json:"name"`
+	Boards   int     `json:"boards"`
+	TDP      float64 `json:"tdp,omitempty"`
+	QueueCap int     `json:"queue_cap,omitempty"`
+	Shards   int     `json:"shards,omitempty"`
+	MaxSkew  int     `json:"max_skew,omitempty"`
+	// RestartAfter enables each board's crash supervisor (barriers).
+	RestartAfter int `json:"restart_after,omitempty"`
+	// PriceTrace is the electricity schedule file (relative to the
+	// config), or "" to synthesize a diurnal curve.
+	PriceTrace string `json:"price_trace,omitempty"`
+	// Diurnal parameterizes the synthetic schedule when PriceTrace is
+	// empty: base ± amp $/kWh peaking at peak_hour.
+	Diurnal *struct {
+		Base     float64 `json:"base"`
+		Amp      float64 `json:"amp"`
+		PeakHour float64 `json:"peak_hour"`
+		Steps    int     `json:"steps,omitempty"`
+	} `json:"diurnal,omitempty"`
+	// Faults maps board ID → board/platform fault scenario file.
+	Faults map[string]string `json:"faults,omitempty"`
+	// Outage is a region-outage scenario file (fault.RegionOutage
+	// windows in federation epochs).
+	Outage string `json:"outage,omitempty"`
+}
+
+// LoadConfig reads a fedd federation config file into a Config ready
+// for New (Check stays off; the caller decides).
+func LoadConfig(path string) (Config, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return Config{}, err
+	}
+	var ff fedFile
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&ff); err != nil {
+		return Config{}, fmt.Errorf("federation: %s: %w", path, err)
+	}
+	dir := filepath.Dir(path)
+	cfg := Config{
+		Seed:          ff.Seed,
+		Batch:         sim.FromMillis(ff.BatchMS),
+		EpochBarriers: ff.EpochBarriers,
+		HoursPerSec:   ff.HoursPerSec,
+		Hysteresis:    ff.Hysteresis,
+		Tiers:         ff.Tiers,
+		Migration:     ff.Migration,
+	}
+	if ff.BatchMS <= 0 {
+		cfg.Batch = 0
+	}
+	if len(ff.Regions) == 0 {
+		return Config{}, fmt.Errorf("federation: %s: no regions", path)
+	}
+	for i, fr := range ff.Regions {
+		rc := RegionConfig{
+			Name: fr.Name,
+			Fleet: fleet.Config{
+				Boards: fr.Boards, TDP: fr.TDP, QueueCap: fr.QueueCap,
+				Shards: fr.Shards, MaxSkew: fr.MaxSkew, RestartAfter: fr.RestartAfter,
+			},
+		}
+		switch {
+		case fr.PriceTrace != "":
+			tr, err := LoadPriceTrace(filepath.Join(dir, fr.PriceTrace))
+			if err != nil {
+				return Config{}, fmt.Errorf("federation: %s: region %d: %w", path, i, err)
+			}
+			rc.Price = tr
+		case fr.Diurnal != nil:
+			rc.Price = Diurnal(fr.Name, fr.Diurnal.Base, fr.Diurnal.Amp, fr.Diurnal.PeakHour, fr.Diurnal.Steps)
+		default:
+			return Config{}, fmt.Errorf("federation: %s: region %d (%s): no price_trace or diurnal", path, i, fr.Name)
+		}
+		if len(fr.Faults) > 0 {
+			rc.Fleet.Faults = map[int]fault.Scenario{}
+			for id, fp := range fr.Faults {
+				var board int
+				if _, err := fmt.Sscanf(id, "%d", &board); err != nil {
+					return Config{}, fmt.Errorf("federation: %s: region %d: bad board id %q", path, i, id)
+				}
+				sc, err := fault.LoadScenario(filepath.Join(dir, fp))
+				if err != nil {
+					return Config{}, fmt.Errorf("federation: %s: region %d: %w", path, i, err)
+				}
+				rc.Fleet.Faults[board] = sc
+			}
+		}
+		if fr.Outage != "" {
+			sc, err := fault.LoadScenario(filepath.Join(dir, fr.Outage))
+			if err != nil {
+				return Config{}, fmt.Errorf("federation: %s: region %d: %w", path, i, err)
+			}
+			rc.Outage = sc
+		}
+		cfg.Regions = append(cfg.Regions, rc)
+	}
+	return cfg, nil
+}
+
+// SynthConfig builds an R-region federation with phase-shifted diurnal
+// price curves — the zero-file way to boot fedd (-regions N).
+func SynthConfig(regions, boardsPer int, seed uint64) Config {
+	cfg := Config{Seed: seed}
+	for i := 0; i < regions; i++ {
+		peak := 14.0 + 24.0*float64(i)/float64(regions) // staggered demand peaks
+		for peak >= 24 {
+			peak -= 24
+		}
+		cfg.Regions = append(cfg.Regions, RegionConfig{
+			Name:  "r" + itoa(i),
+			Fleet: fleet.Config{Boards: boardsPer},
+			Price: Diurnal("synth-r"+itoa(i), 0.10, 0.06, peak, 24),
+		})
+	}
+	return cfg
+}

@@ -1,0 +1,173 @@
+package federation
+
+import (
+	"pricepower/internal/fault"
+	"pricepower/internal/sim"
+)
+
+// Migration controller
+//
+// Every federation epoch the controller compares the regions' effective
+// compute prices — electricity price × watts per unit of delivered work
+// — and considers moving queued (evictable) load from the most
+// expensive region with a backlog to the cheapest region. Migration is
+// never free: the configured cost (a latency penalty plus transfer
+// energy, both expressed in the same effective-price units) sets the
+// divergence threshold, and two layers of hysteresis stop regions from
+// ping-ponging work on price noise:
+//
+//   - sustain: the divergence must exceed the threshold for
+//     SustainEpochs *consecutive* epochs before anything moves, so a
+//     divergence oscillating around the threshold migrates nothing;
+//   - cooldown: after each migration the controller sleeps for a
+//     backoff-grown number of epochs (fault.Backoff in epoch units,
+//     deterministic seeded jitter), decaying back on calm epochs.
+//
+// Decide is a pure function of its inputs and the controller's own
+// deterministically-evolved state — no clocks, no shared RNG — so a
+// federation run replays its migration schedule bit-identically.
+
+// MigrationConfig tunes the controller.
+type MigrationConfig struct {
+	// CostLatency is the latency component of the migration cost in
+	// effective-price units ($/PU·h-equivalent).
+	CostLatency float64 `json:"cost_latency"`
+	// CostTransfer is the transfer-energy component, same units.
+	CostTransfer float64 `json:"cost_transfer"`
+	// SustainEpochs is how many consecutive epochs the divergence must
+	// exceed the cost before a migration fires (default 2).
+	SustainEpochs int `json:"sustain_epochs,omitempty"`
+	// LatencyEpochs is the transfer latency: an evicted batch is in
+	// migration for this many epochs before the destination accepts it
+	// (default 1).
+	LatencyEpochs int `json:"latency_epochs,omitempty"`
+	// MaxBatch caps tasks moved per migration (default 8).
+	MaxBatch int `json:"max_batch,omitempty"`
+	// CooldownEpochs is the post-migration sleep before the controller
+	// may fire again; it grows exponentially with consecutive
+	// migrations (fault.Backoff, seeded jitter) and decays on calm
+	// epochs (default 2, 0 keeps the default; use -1 to disable).
+	CooldownEpochs int `json:"cooldown_epochs,omitempty"`
+	// Disabled turns the controller off (regions still price and
+	// account; nothing migrates).
+	Disabled bool `json:"disabled,omitempty"`
+}
+
+func (m MigrationConfig) withDefaults() MigrationConfig {
+	if m.SustainEpochs <= 0 {
+		m.SustainEpochs = 2
+	}
+	if m.LatencyEpochs <= 0 {
+		m.LatencyEpochs = 1
+	}
+	if m.MaxBatch <= 0 {
+		m.MaxBatch = 8
+	}
+	if m.CooldownEpochs == 0 {
+		m.CooldownEpochs = 2
+	}
+	return m
+}
+
+// threshold is the divergence a migration must beat.
+func (m MigrationConfig) threshold() float64 { return m.CostLatency + m.CostTransfer }
+
+// Decision is one epoch's controller outcome (Move=false: held).
+type Decision struct {
+	Epoch  int     `json:"epoch"`
+	Move   bool    `json:"move"`
+	Src    int     `json:"src"`
+	Dst    int     `json:"dst"`
+	Tasks  int     `json:"tasks"`
+	Spread float64 `json:"spread"` // effective-price divergence observed
+}
+
+// Migrator holds the controller's hysteresis state.
+type Migrator struct {
+	cfg      MigrationConfig
+	backoff  fault.Backoff
+	streak   int // consecutive epochs with divergence > threshold
+	calm     int // consecutive epochs at or below it
+	attempts int // consecutive migrations driving the cooldown growth
+	wakeAt   int // first epoch allowed to migrate again
+}
+
+// NewMigrator builds a controller; seed decorrelates its cooldown
+// jitter from every other consumer of the federation seed.
+func NewMigrator(cfg MigrationConfig, seed uint64) *Migrator {
+	cfg = cfg.withDefaults()
+	base := sim.Time(cfg.CooldownEpochs)
+	if base < 1 {
+		base = 1
+	}
+	return &Migrator{
+		cfg: cfg,
+		// Backoff in whole-epoch units: Base epochs, doubling per
+		// consecutive migration, capped at 8×, 25% seeded jitter.
+		backoff: fault.Backoff{Base: base, Max: 8 * base, Jitter: 0.25, Seed: seed},
+	}
+}
+
+// Decide evaluates one epoch: eff[i] is region i's effective compute
+// price, up[i] whether it is serving, queued[i] its evictable queue
+// depth. A Move decision names source (most expensive up region with a
+// backlog), destination (cheapest up region), and the task count to
+// evict (≤ MaxBatch). Pure given the controller state; the state only
+// advances through Decide, in epoch order.
+func (mg *Migrator) Decide(epoch int, eff []float64, up []bool, queued []int) Decision {
+	d := Decision{Epoch: epoch, Src: -1, Dst: -1}
+	if mg.cfg.Disabled || len(eff) < 2 {
+		return d
+	}
+	src, dst := -1, -1
+	for i := range eff {
+		if !up[i] {
+			continue
+		}
+		if dst < 0 || eff[i] < eff[dst] {
+			dst = i
+		}
+		if queued[i] > 0 && (src < 0 || eff[i] > eff[src]) {
+			src = i
+		}
+	}
+	if src < 0 || dst < 0 || src == dst {
+		mg.relax()
+		return d
+	}
+	d.Src, d.Dst = src, dst
+	d.Spread = eff[src] - eff[dst]
+	if d.Spread <= mg.cfg.threshold() {
+		mg.relax()
+		return d
+	}
+	mg.streak++
+	mg.calm = 0
+	if mg.streak < mg.cfg.SustainEpochs || (mg.cfg.CooldownEpochs >= 0 && epoch < mg.wakeAt) {
+		return d
+	}
+	d.Move = true
+	d.Tasks = queued[src]
+	if d.Tasks > mg.cfg.MaxBatch {
+		d.Tasks = mg.cfg.MaxBatch
+	}
+	// Re-arm: the spread must sustain again from scratch, and the
+	// cooldown grows with each consecutive migration.
+	mg.streak = 0
+	if mg.cfg.CooldownEpochs >= 0 {
+		mg.wakeAt = epoch + int(mg.backoff.Next(mg.attempts))
+		mg.attempts++
+	}
+	return d
+}
+
+// relax registers a calm epoch: the sustain streak resets, and enough
+// consecutive calm epochs walk the cooldown growth back down.
+func (mg *Migrator) relax() {
+	mg.streak = 0
+	mg.calm++
+	if mg.calm >= 4 && mg.attempts > 0 {
+		mg.attempts--
+		mg.calm = 0
+	}
+}

@@ -1,0 +1,161 @@
+package federation
+
+import (
+	"math"
+	"testing"
+)
+
+// TestMigratorOscillationAroundThreshold is the required hysteresis
+// property: a divergence that keeps crossing the threshold but never
+// stays above it for SustainEpochs consecutive epochs must migrate
+// nothing, whatever the oscillation phase or amplitude.
+func TestMigratorOscillationAroundThreshold(t *testing.T) {
+	cfg := MigrationConfig{CostLatency: 0.01, CostTransfer: 0.01, SustainEpochs: 2}
+	thr := cfg.threshold()
+	for _, amp := range []float64{0.001, 0.005, 0.5 * thr} {
+		for phase := 0; phase < 2; phase++ {
+			mg := NewMigrator(cfg, 42)
+			moves := 0
+			for epoch := 1; epoch <= 200; epoch++ {
+				// Alternate strictly above / strictly below the threshold.
+				div := thr + amp
+				if (epoch+phase)%2 == 0 {
+					div = thr - amp
+					if div < 0 {
+						div = 0
+					}
+				}
+				d := mg.Decide(epoch, []float64{0.1 + div, 0.1}, []bool{true, true}, []int{50, 0})
+				if d.Move {
+					moves++
+				}
+			}
+			if moves != 0 {
+				t.Fatalf("amp %v phase %d: %d migrations from an oscillating divergence", amp, phase, moves)
+			}
+		}
+	}
+}
+
+// TestMigratorExactThresholdNeverFires pins the strict inequality: a
+// divergence exactly at the migration cost is not worth paying.
+func TestMigratorExactThresholdNeverFires(t *testing.T) {
+	cfg := MigrationConfig{CostLatency: 0.02, CostTransfer: 0.01, SustainEpochs: 1}
+	mg := NewMigrator(cfg, 1)
+	for epoch := 1; epoch <= 50; epoch++ {
+		d := mg.Decide(epoch, []float64{0.1 + cfg.threshold(), 0.1}, []bool{true, true}, []int{10, 0})
+		if d.Move {
+			t.Fatalf("epoch %d: migrated at exactly the threshold", epoch)
+		}
+	}
+}
+
+// TestMigratorSustainedDivergenceFires: a divergence held above the
+// threshold fires after exactly SustainEpochs epochs, from the
+// expensive backlog toward the cheap region, at most MaxBatch tasks.
+func TestMigratorSustainedDivergenceFires(t *testing.T) {
+	cfg := MigrationConfig{CostLatency: 0.01, CostTransfer: 0.01, SustainEpochs: 3, MaxBatch: 8}
+	mg := NewMigrator(cfg, 7)
+	eff := []float64{0.30, 0.05, 0.10}
+	up := []bool{true, true, true}
+	queued := []int{100, 0, 5}
+	var first Decision
+	for epoch := 1; epoch <= 10; epoch++ {
+		d := mg.Decide(epoch, eff, up, queued)
+		if d.Move {
+			first = d
+			break
+		}
+		if epoch >= cfg.SustainEpochs {
+			t.Fatalf("no migration by epoch %d despite sustained divergence", epoch)
+		}
+	}
+	if first.Src != 0 || first.Dst != 1 || first.Tasks != 8 {
+		t.Fatalf("decision = %+v, want src 0 → dst 1, 8 tasks", first)
+	}
+}
+
+// TestMigratorCooldownGrows: consecutive migrations must space out —
+// the gap between firing epochs is non-decreasing while the divergence
+// stays pinned high (backoff-grown cooldown).
+func TestMigratorCooldownGrows(t *testing.T) {
+	cfg := MigrationConfig{CostLatency: 0.005, CostTransfer: 0.005, SustainEpochs: 1, CooldownEpochs: 2}
+	mg := NewMigrator(cfg, 3)
+	var fired []int
+	for epoch := 1; epoch <= 120 && len(fired) < 5; epoch++ {
+		d := mg.Decide(epoch, []float64{0.5, 0.05}, []bool{true, true}, []int{1000, 0})
+		if d.Move {
+			fired = append(fired, epoch)
+		}
+	}
+	if len(fired) < 3 {
+		t.Fatalf("only %d migrations in 120 pinned epochs", len(fired))
+	}
+	for i := 2; i < len(fired); i++ {
+		prev := fired[i-1] - fired[i-2]
+		cur := fired[i] - fired[i-1]
+		// Jitter shortens delays by up to 25%, so allow equality and a
+		// one-epoch wobble while requiring overall growth.
+		if cur+1 < prev {
+			t.Fatalf("cooldown shrank: gaps %v", gaps(fired))
+		}
+	}
+	if g := gaps(fired); g[len(g)-1] <= g[0] {
+		t.Fatalf("cooldown did not grow: gaps %v", g)
+	}
+}
+
+func gaps(fired []int) []int {
+	out := make([]int, 0, len(fired)-1)
+	for i := 1; i < len(fired); i++ {
+		out = append(out, fired[i]-fired[i-1])
+	}
+	return out
+}
+
+// TestMigratorSkipsDownAndEmptyRegions: a down region is neither source
+// nor destination, and a region with no backlog cannot be a source.
+func TestMigratorSkipsDownAndEmptyRegions(t *testing.T) {
+	cfg := MigrationConfig{CostLatency: 0.001, CostTransfer: 0.001, SustainEpochs: 1}
+	mg := NewMigrator(cfg, 9)
+	// Cheapest region (1) is down: dst must fall to region 2.
+	var got Decision
+	for epoch := 1; epoch <= 3; epoch++ {
+		got = mg.Decide(epoch, []float64{0.5, 0.01, 0.1}, []bool{true, false, true}, []int{10, 0, 0})
+		if got.Move {
+			break
+		}
+	}
+	if !got.Move || got.Src != 0 || got.Dst != 2 {
+		t.Fatalf("decision = %+v, want move 0 → 2 around the down region", got)
+	}
+	// No up region with a backlog: nothing to move.
+	mg2 := NewMigrator(cfg, 9)
+	for epoch := 1; epoch <= 10; epoch++ {
+		if d := mg2.Decide(epoch, []float64{0.5, 0.01}, []bool{false, true}, []int{10, 0}); d.Move {
+			t.Fatalf("epoch %d: migrated out of a down region", epoch)
+		}
+	}
+}
+
+// TestMigratorDeterministic: the controller's decision sequence is a
+// pure function of (config, seed, inputs).
+func TestMigratorDeterministic(t *testing.T) {
+	run := func() []Decision {
+		cfg := MigrationConfig{CostLatency: 0.01, CostTransfer: 0.01}
+		mg := NewMigrator(cfg, 77)
+		var out []Decision
+		for epoch := 1; epoch <= 60; epoch++ {
+			// A deterministic pseudo-noisy divergence pattern.
+			div := 0.05 * (1 + math.Sin(float64(epoch)/3))
+			out = append(out, mg.Decide(epoch, []float64{0.1 + div, 0.1}, []bool{true, true}, []int{20, 0}))
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d diverged: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

@@ -165,19 +165,22 @@ func digestStrings(ds []uint64) []string {
 	return out
 }
 
-// WriteMetrics renders the merged Prometheus document: the fleet's own
+// ExportMetrics snapshots the merged series set: the fleet's own
 // registry as-is, plus every board's registry with a board label
-// injected into each series.
-func WriteMetrics(w http.ResponseWriter, f *Fleet) error {
+// injected into each series. Callers that nest the fleet under a larger
+// topology (the federation) relabel the result again with
+// telemetry.AppendLabeled.
+func (f *Fleet) ExportMetrics() []telemetry.Series {
 	merged := f.Registry().Export()
 	for _, b := range f.Boards() {
-		id := strconv.Itoa(b.ID)
-		for _, s := range b.Registry().Export() {
-			s.Name = telemetry.InjectLabel(s.Name, "board", id)
-			merged = append(merged, s)
-		}
+		merged = telemetry.AppendLabeled(merged, b.Registry().Export(), "board", strconv.Itoa(b.ID))
 	}
-	return telemetry.WriteSeriesProm(w, merged)
+	return merged
+}
+
+// WriteMetrics renders the merged Prometheus document (see ExportMetrics).
+func WriteMetrics(w http.ResponseWriter, f *Fleet) error {
+	return telemetry.WriteSeriesProm(w, f.ExportMetrics())
 }
 
 func writeJSON(w http.ResponseWriter, v interface{}) {

@@ -1,0 +1,86 @@
+package fleet
+
+import (
+	"testing"
+
+	"pricepower/internal/check"
+)
+
+// TestEvictQueuedTakesTailAndConserves pins the migration hook's
+// contract: eviction removes from the queue tail (FIFO preserved for
+// the survivors), counts into Evicted, and keeps the fleet's zero-loss
+// identity balanced with the evicted term subtracted.
+func TestEvictQueuedTakesTailAndConserves(t *testing.T) {
+	f, err := New(Config{Boards: 1, Seed: 1, QueueCap: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	names := []string{"a", "b", "c", "d", "e", "f"}
+	for _, n := range names {
+		f.Submit(lightSpec(n))
+	}
+	got := f.EvictQueued(4)
+	if len(got) != 4 {
+		t.Fatalf("EvictQueued(4) returned %d submissions", len(got))
+	}
+	for i, want := range []string{"c", "d", "e", "f"} {
+		if got[i].Spec.Name != want {
+			t.Errorf("evicted[%d] = %q, want %q (tail, arrival order)", i, got[i].Spec.Name, want)
+		}
+	}
+	st := f.StateSnapshot()
+	if st.Counters.Evicted != 4 || st.QueueLen != 2 {
+		t.Fatalf("evicted=%d queue=%d, want 4 / 2", st.Counters.Evicted, st.QueueLen)
+	}
+	checkZeroLoss(t, f)
+
+	// Eviction beyond the queue drains it and stops.
+	if n := len(f.EvictQueued(100)); n != 2 {
+		t.Fatalf("EvictQueued(100) returned %d, want 2", n)
+	}
+	if n := len(f.EvictQueued(1)); n != 0 {
+		t.Fatalf("EvictQueued on empty queue returned %d", n)
+	}
+	checkZeroLoss(t, f)
+
+	// The survivors (none here) and the fleet keep stepping normally.
+	if err := f.Step(); err != nil {
+		t.Fatal(err)
+	}
+	checkZeroLoss(t, f)
+}
+
+// TestEvictQueuedClosesSpans asserts the tracer ledger stays conserved
+// across eviction: the open queue spans of evicted submissions are
+// attributed ("evict"), trace IDs are cleared for the new owner, and
+// span conservation holds.
+func TestEvictQueuedClosesSpans(t *testing.T) {
+	f, err := New(Config{Boards: 1, Seed: 9, QueueCap: 64, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	for i := 0; i < 5; i++ {
+		f.Submit(lightSpec("t"))
+	}
+	out := f.EvictQueued(3)
+	if len(out) != 3 {
+		t.Fatalf("evicted %d, want 3", len(out))
+	}
+	for i, s := range out {
+		if s.Trace != 0 {
+			t.Errorf("evicted[%d] still carries trace ID %v", i, s.Trace)
+		}
+	}
+	c := f.Tracer().Counts()
+	if c.Attributed != 3 || c.Open != 2 {
+		t.Fatalf("span ledger = %+v, want 3 attributed / 2 open", c)
+	}
+	if err := check.CheckSpanConservation(f.Tracer()); err != nil {
+		t.Fatal(err)
+	}
+	checkZeroLoss(t, f)
+}

@@ -220,6 +220,10 @@ type Counters struct {
 	Restarts uint64 `json:"restarts"`
 	Orphaned uint64 `json:"orphaned_total"`
 	Replaced uint64 `json:"replaced"`
+	// Evicted counts queued submissions handed off to an external owner
+	// via EvictQueued (the federation's migration path). Evicted work
+	// leaves this fleet's ledger — it is the caller's to conserve.
+	Evicted uint64 `json:"evicted_total"`
 }
 
 // State is the fleet-wide snapshot served at /state.
@@ -350,11 +354,11 @@ type Fleet struct {
 	stallCarry   []projCarry
 
 	mu            sync.Mutex
-	snaps         []Snapshot  // newest collected barrier's snapshots
-	carry         []projCarry // in-flight projected load per board
-	batch         int         // barriers collected
-	issued        int         // barriers issued
-	now           sim.Time    // fleet virtual time (issued * cfg.Batch)
+	snaps         []Snapshot   // newest collected barrier's snapshots
+	carry         []projCarry  // in-flight projected load per board
+	batch         int          // barriers collected
+	issued        int          // barriers issued
+	now           sim.Time     // fleet virtual time (issued * cfg.Batch)
 	inflightTasks int          // tasks assigned at uncollected barriers (incl. stalled deferrals)
 	orphanedCount int          // tasks held by the crash supervisor
 	pending       []Submission // FIFO admission queue (demand pre-estimated)
@@ -422,8 +426,8 @@ func New(cfg Config) (*Fleet, error) {
 	if cfg.Trace {
 		f.tracer = trace.NewTracer(cfg.Boards)
 		f.traceSeed = sim.DeriveSeed(cfg.Seed, traceSeedStream)
-		f.histRouting = metrics.NewLog(100, 2, 24)  // 100ns .. ~800ms wall
-		f.histQueueWait = metrics.NewLog(1, 2, 20)  // 1ms .. ~9min virtual
+		f.histRouting = metrics.NewLog(100, 2, 24)   // 100ns .. ~800ms wall
+		f.histQueueWait = metrics.NewLog(1, 2, 20)   // 1ms .. ~9min virtual
 		f.histBarrierLag = metrics.NewLog(0.5, 2, 8) // 0 lag lands ≤0.5
 		f.histRestart = metrics.NewLog(0.5, 2, 10)   // barriers crash → restart
 	}
@@ -468,6 +472,7 @@ func (f *Fleet) registerMetrics() {
 	counter("pricepower_fleet_restarts_total", "Supervised board resurrections.", &f.counters.Restarts)
 	counter("pricepower_fleet_orphaned_total", "Tasks orphaned by board crashes (cumulative).", &f.counters.Orphaned)
 	counter("pricepower_fleet_replaced_total", "Orphaned tasks re-placed through the dispatcher.", &f.counters.Replaced)
+	counter("pricepower_fleet_evicted_total", "Queued submissions evicted to an external owner (migration).", &f.counters.Evicted)
 	f.reg.GaugeFunc("pricepower_fleet_orphaned_tasks", "Tasks held by the crash supervisor awaiting re-placement.",
 		func() float64 { f.mu.Lock(); defer f.mu.Unlock(); return float64(f.orphanedCount) })
 }
@@ -575,6 +580,45 @@ func (f *Fleet) requeueLocked(requeue []Submission) {
 		}
 		f.pending = f.pending[:f.cfg.QueueCap]
 	}
+}
+
+// EvictQueued removes up to max submissions from the tail of the
+// admission queue and hands them to the caller — the federation's
+// migration hook. Tail eviction preserves FIFO for the work that stays
+// (the head waited longest and routes next barrier); the youngest
+// arrivals are the cheapest to move. Evicted work leaves this fleet's
+// zero-loss ledger via the Evicted counter:
+//
+//	Submitted − Shed − Evicted == live + Queued + InFlight + Orphaned
+//
+// so the caller must re-account it (the federation holds it in an
+// in-migration ledger until the destination fleet accepts it). Open
+// queue spans are closed with an "evict" attribution and the returned
+// submissions' trace IDs are zeroed — the destination fleet derives
+// fresh IDs from its own trace seed on re-submission.
+func (f *Fleet) EvictQueued(max int) []Submission {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if max <= 0 || len(f.pending) == 0 {
+		return nil
+	}
+	n := max
+	if n > len(f.pending) {
+		n = len(f.pending)
+	}
+	cut := len(f.pending) - n
+	out := append([]Submission(nil), f.pending[cut:]...)
+	f.pending = f.pending[:cut]
+	f.counters.Evicted += uint64(n)
+	for i := range out {
+		if out[i].Trace != 0 {
+			if f.tracer != nil {
+				f.tracer.Fleet().CloseAttributed(out[i].Trace, trace.StageQueue, f.now, "evict")
+			}
+			out[i].Trace = 0
+		}
+	}
+	return out
 }
 
 // SubmitAt schedules a spec for submission when the fleet's virtual time
@@ -1366,16 +1410,17 @@ func (f *Fleet) StateSnapshot() State {
 
 // FleetAccounting reports the zero-loss ledger terms at the newest
 // collected barrier, for check.CheckFleetConservation: accepted =
-// submitted − shed must equal live + queued + in-flight + orphaned.
-// (Finished tasks stay resident until drained, so completions never
-// leak out of the identity.)
+// submitted − shed − evicted must equal live + queued + in-flight +
+// orphaned. (Finished tasks stay resident until drained, so completions
+// never leak out of the identity; evicted work belongs to whoever
+// called EvictQueued.)
 func (f *Fleet) FleetAccounting() (accepted, live, queued, inflight, orphaned uint64) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	for i := range f.snaps {
 		live += uint64(f.snaps[i].Tasks)
 	}
-	return f.counters.Submitted - f.counters.Shed, live,
+	return f.counters.Submitted - f.counters.Shed - f.counters.Evicted, live,
 		uint64(len(f.pending)), uint64(f.inflightTasks), uint64(f.orphanedCount)
 }
 

@@ -26,11 +26,12 @@ func lightSpec(name string) task.Spec {
 func checkZeroLoss(t *testing.T, f *Fleet) {
 	t.Helper()
 	st := f.StateSnapshot()
-	want := st.Counters.Submitted - st.Counters.Shed
+	want := st.Counters.Submitted - st.Counters.Shed - st.Counters.Evicted
 	got := uint64(st.Live() + st.QueueLen + st.InFlight + st.Orphaned)
 	if got != want {
-		t.Fatalf("zero-loss violated: live %d + queued %d + inflight %d + orphaned %d = %d, want submitted %d - shed %d = %d",
-			st.Live(), st.QueueLen, st.InFlight, st.Orphaned, got, st.Counters.Submitted, st.Counters.Shed, want)
+		t.Fatalf("zero-loss violated: live %d + queued %d + inflight %d + orphaned %d = %d, want submitted %d - shed %d - evicted %d = %d",
+			st.Live(), st.QueueLen, st.InFlight, st.Orphaned, got,
+			st.Counters.Submitted, st.Counters.Shed, st.Counters.Evicted, want)
 	}
 	if err := check.CheckFleetConservation(f); err != nil {
 		t.Fatal(err)

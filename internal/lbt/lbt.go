@@ -36,6 +36,7 @@ package lbt
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"pricepower/internal/core"
 )
@@ -242,12 +243,18 @@ func (p *Planner) evalCluster(v *core.ClusterAgent, tasksOf map[int][]*core.Task
 	ev := clusterEval{minRatio: 1, cores: make(map[int]*coreEval, len(tasksOf))}
 	ctl := v.Control
 
-	// Demands per core (profiled demand on this cluster).
+	// Demands per core (profiled demand on this cluster). Cores are
+	// walked in ID order: float accumulation and max-demand tie-breaks
+	// must not depend on map iteration order, or two identical runs
+	// diverge at the ULP level and the divergence is amplified by the
+	// market feedback loop into different plans.
+	coreIDs := sortedCoreIDs(tasksOf)
 	var dMax, dSecond float64
 	maxCore := -1
 	occupied := false
 	demands := make(map[int]float64, len(tasksOf))
-	for coreID, ts := range tasksOf {
+	for _, coreID := range coreIDs {
+		ts := tasksOf[coreID]
 		if len(ts) == 0 {
 			continue
 		}
@@ -280,7 +287,8 @@ func (p *Planner) evalCluster(v *core.ClusterAgent, tasksOf map[int][]*core.Task
 	ev.level = level
 	ev.supply = ctl.SupplyAt(level)
 
-	for coreID, ts := range tasksOf {
+	for _, coreID := range coreIDs {
+		ts := tasksOf[coreID]
 		if len(ts) == 0 {
 			continue
 		}
@@ -702,8 +710,8 @@ func (p *Planner) tasksOfCluster(v *core.ClusterAgent, a assignment) map[int][]*
 		ids[c.ID] = true
 	}
 	out := make(map[int][]*core.TaskAgent)
-	for t, coreID := range a {
-		if ids[coreID] {
+	for _, t := range agentsByID(a) {
+		if coreID := a[t]; ids[coreID] {
 			out[coreID] = append(out[coreID], t)
 		}
 	}
@@ -716,10 +724,34 @@ func (p *Planner) groupAll(a assignment) []map[int][]*core.TaskAgent {
 	for i := range out {
 		out[i] = make(map[int][]*core.TaskAgent)
 	}
-	for t, coreID := range a {
+	for _, t := range agentsByID(a) {
+		coreID := a[t]
 		ci := p.clusterIndexOfCore(coreID)
 		out[ci][coreID] = append(out[ci][coreID], t)
 	}
+	return out
+}
+
+// agentsByID lists an assignment's agents in ascending agent-ID order.
+// Grouping must not inherit map iteration order: the per-core slices feed
+// water-filling and float sums whose results are order-sensitive, and a
+// replay is only bit-identical if every evaluation sees the same order.
+func agentsByID(a assignment) []*core.TaskAgent {
+	out := make([]*core.TaskAgent, 0, len(a))
+	for t := range a {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// sortedCoreIDs lists a grouping's core IDs in ascending order.
+func sortedCoreIDs(tasksOf map[int][]*core.TaskAgent) []int {
+	out := make([]int, 0, len(tasksOf))
+	for id := range tasksOf {
+		out = append(out, id)
+	}
+	sort.Ints(out)
 	return out
 }
 

@@ -197,7 +197,11 @@ func beneficiary(newR, oldR map[*core.TaskAgent]float64) (*core.TaskAgent, float
 		if o >= satisfiedRatio || n <= o+minGain {
 			continue
 		}
-		if ben == nil || t.Priority > ben.Priority {
+		// Ties broken by gain, then agent ID, so the witness — and the
+		// gain the candidate ranking sees — never depends on map order.
+		if ben == nil || t.Priority > ben.Priority ||
+			(t.Priority == ben.Priority && (n-o > gain ||
+				(n-o == gain && t.ID < ben.ID))) {
 			ben, gain = t, n-o
 		}
 	}

@@ -302,7 +302,14 @@ func (g *Governor) syncTasks() {
 // that just elapsed (Table 4's conversion).
 func (g *Governor) observe(now sim.Time) {
 	period := g.cfg.BidPeriod.Seconds()
-	for t, a := range g.agents {
+	// Iterate the platform's creation-ordered task slice, not g.agents:
+	// per-task observation is order-independent today, but any future
+	// shared accumulation (or trace line) must not inherit map order.
+	for _, t := range g.p.Tasks() {
+		a := g.agents[t]
+		if a == nil {
+			continue
+		}
 		total := g.p.TotalWork(t)
 		consumed := (total - g.lastTotal[t]) / period
 		g.lastTotal[t] = total
@@ -412,7 +419,11 @@ func (w *demandWindow) scale(f float64) {
 // applyPurchases turns each agent's purchased supply into a scheduler share
 // (the paper's nice-value manipulation).
 func (g *Governor) applyPurchases() {
-	for t, a := range g.agents {
+	for _, t := range g.p.Tasks() {
+		a := g.agents[t]
+		if a == nil {
+			continue
+		}
 		w := a.Purchased()
 		if w <= 0 || math.IsNaN(w) {
 			w = 1

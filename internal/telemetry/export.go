@@ -12,10 +12,10 @@ import (
 // `board` label into each series, and renders the merged set as one
 // Prometheus document (see WriteSeriesProm).
 type Series struct {
-	Name  string  // full series name, possibly with {labels}
-	Base  string  // name without labels (groups HELP/TYPE headers)
+	Name  string // full series name, possibly with {labels}
+	Base  string // name without labels (groups HELP/TYPE headers)
 	Help  string
-	Type  string  // "counter" or "gauge"
+	Type  string // "counter" or "gauge"
 	Value float64
 	Int   bool
 }
@@ -47,6 +47,20 @@ func InjectLabel(name, key, value string) string {
 		return fmt.Sprintf(`%s{%s=%q,%s`, name[:i], key, value, name[i+1:])
 	}
 	return fmt.Sprintf(`%s{%s=%q}`, name, key, value)
+}
+
+// AppendLabeled appends src to dst with an extra `key="value"` label
+// injected into every series name (see InjectLabel). This is the one
+// merge loop behind every multi-registry exposition: the fleet stacks a
+// `board` label onto each board's export, and the federation stacks a
+// `region` label onto each fleet's already-board-labeled export —
+// labels nest, innermost injection first.
+func AppendLabeled(dst, src []Series, key, value string) []Series {
+	for _, s := range src {
+		s.Name = InjectLabel(s.Name, key, value)
+		dst = append(dst, s)
+	}
+	return dst
 }
 
 // WriteSeriesProm renders a merged series set in the Prometheus text

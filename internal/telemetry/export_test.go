@@ -42,6 +42,40 @@ func TestExportAndInjectLabel(t *testing.T) {
 	}
 }
 
+// TestAppendLabeledStacks pins the shared label-injection path: relabeling
+// an already-relabeled export must nest, newest key outermost, and the
+// merged document must render each label stack as one sample. This is the
+// regression test for the fedd case — region stacked on board.
+func TestAppendLabeledStacks(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ticks_total", "Ticks.").Add(9)
+	r.Counter(`evts_total{kind="x"}`, "Events.").Add(2)
+
+	perBoard := AppendLabeled(nil, r.Export(), "board", "3")
+	merged := AppendLabeled(nil, perBoard, "region", "eu")
+
+	var b strings.Builder
+	if err := WriteSeriesProm(&b, merged); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`ticks_total{region="eu",board="3"} 9`,
+		`evts_total{region="eu",board="3",kind="x"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("merged exposition missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "# TYPE ticks_total counter") != 1 {
+		t.Errorf("TYPE header not deduplicated:\n%s", out)
+	}
+	// AppendLabeled must not mutate its source slice.
+	if perBoard[0].Name != `evts_total{board="3",kind="x"}` {
+		t.Errorf("source series mutated: %q", perBoard[0].Name)
+	}
+}
+
 // TestWriteSeriesProm merges two relabeled registries into one document:
 // headers must appear once per base, values per label set.
 func TestWriteSeriesProm(t *testing.T) {
